@@ -1,0 +1,62 @@
+// Section 4.4.2 ablation: memory fragmentation of the recompute-without-
+// attention workload on the caching-allocator model, with and without
+// chunked MLP / pre-allocated communication buffers / expandable segments.
+#include <cstdio>
+
+#include "mem/workload.h"
+
+using namespace helix::mem;
+
+namespace {
+void report(const char* name, const FragmentationReport& r) {
+  if (r.oom) {
+    std::printf("%-34s %12s (%s)\n", name, "OOM", r.oom_what.substr(0, 48).c_str());
+    return;
+  }
+  std::printf("%-34s %9.2f GiB %9.2f GiB %8.2fx %10.1f%%\n", name,
+              static_cast<double>(r.stats.peak_allocated) / (1ull << 30),
+              static_cast<double>(r.stats.peak_reserved) / (1ull << 30),
+              r.reserved_overhead(), 100.0 * r.stats.fragmentation());
+}
+}  // namespace
+
+int main() {
+  MlpWorkloadParams p;
+  p.s_local = 16384;  // 128k sequence / 8-way sequence parallel
+  p.h = 4096;
+  p.layers = 4;        // 3B model combos per stage at p=4
+  p.micro_batches = 8; // two-fold FILO stashes all of them
+  const AllocatorConfig classic{.capacity_bytes = i64{2} << 40};
+
+  std::printf("Chunked MLP ablation — FILO + recompute workload, s_local=16k,\n"
+              "h=4096, 4 layers x 8 micro batches per stage.\n\n");
+  std::printf("%-34s %13s %13s %8s %11s\n", "configuration", "peak alloc",
+              "peak reserved", "overhead", "end frag");
+
+  p.chunks = 1;
+  p.use_buffer_pool = false;
+  report("unchunked", run_filo_mlp_workload(classic, p));
+
+  p.chunks = 4;
+  report("chunked x4", run_filo_mlp_workload(classic, p));
+
+  p.chunks = 16;
+  report("chunked x16", run_filo_mlp_workload(classic, p));
+
+  p.chunks = 16;
+  p.use_buffer_pool = true;
+  report("chunked x16 + buffer pool", run_filo_mlp_workload(classic, p));
+
+  p.chunks = 1;
+  p.use_buffer_pool = false;
+  const AllocatorConfig expandable{.capacity_bytes = i64{2} << 40,
+                                   .expandable_segments = true};
+  report("unchunked + expandable segs", run_filo_mlp_workload(expandable, p));
+
+  std::printf(
+      "\nChunking shrinks the transient MLP intermediates and the reusable\n"
+      "communication buffers eliminate the allocation churn; expandable\n"
+      "segments (PYTORCH_CUDA_ALLOC_CONF, Section 5.1) attack the same\n"
+      "stranding at the allocator level.\n");
+  return 0;
+}

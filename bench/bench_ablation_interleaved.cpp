@@ -1,0 +1,80 @@
+// Section 6.2 ablation: why not interleaved 1F1B for long sequences?
+// Interleaving divides the layer-proportional bubble by v but leaves
+// attention inside it and multiplies the p2p volume by v; HelixPipe removes
+// attention from the bubble outright. 7B model, p = 8, H20 cost model.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "model/model_config.h"
+#include "schedules/interleaved.h"
+
+using namespace helix;
+using namespace helix::bench;
+
+int main() {
+  const model::ModelConfig mc = model::gpt_7b();
+  const model::ClusterSpec cluster = model::h20_cluster();
+  const int p = 8;
+  std::printf("Interleaved 1F1B ablation — 7B model, p=8, H20, m=2p\n\n");
+  std::printf("%-6s | %10s %10s %10s %10s | %12s\n", "seq", "1F1B", "v=2", "v=4",
+              "HelixPipe", "helix vs v=4");
+  for (const model::i64 s : {32768LL, 65536LL, 131072LL}) {
+    const model::TrainSetup setup{.seq_len = s, .micro_batch = 1, .pipeline = p,
+                                  .micro_batches = 2 * p, .sp = 8};
+    const auto pr = model::make_problem(mc, setup);
+    const model::LayerDims dims{.s = s, .b = 1, .h = mc.hidden};
+    const model::PaperCostModel cost(model::TimingModel(cluster, {}, 8), mc, dims, p);
+    const sim::Simulator sim(cost);
+    const auto lw_base = model::layerwise_base_memory(mc, setup);
+    const auto hx_base = model::helix_base_memory(mc, setup);
+    const auto fmt = [&](const sim::SimResult& r, double best) {
+      char buf[32];
+      if (r.max_peak_memory() > cluster.gpu.mem_bytes) {
+        std::snprintf(buf, sizeof(buf), "%9s ", "OOM");
+      } else {
+        std::snprintf(buf, sizeof(buf), "%9.3f ", best / r.makespan);
+      }
+      return std::string(buf);
+    };
+    const auto r_1f1b = sim.run(schedules::build_1f1b(pr), lw_base);
+    const auto r_v2 =
+        sim.run(schedules::build_interleaved_1f1b(pr, {.virtual_chunks = 2}), lw_base);
+    const auto r_v4 =
+        sim.run(schedules::build_interleaved_1f1b(pr, {.virtual_chunks = 4}), lw_base);
+    const auto r_helix = sim.run(
+        core::build_helix_schedule(
+            pr, {.two_fold = true, .recompute_without_attention = true}),
+        hx_base);
+    const double best =
+        std::min({r_1f1b.makespan, r_v2.makespan, r_v4.makespan, r_helix.makespan});
+    std::printf("%-6s | %s%s%s%s | %+10.1f%%\n", seq_label(s).c_str(),
+                fmt(r_1f1b, best).c_str(), fmt(r_v2, best).c_str(),
+                fmt(r_v4, best).c_str(), fmt(r_helix, best).c_str(),
+                100.0 * (r_v4.makespan / r_helix.makespan - 1.0));
+  }
+  std::printf(
+      "\n(normalized throughput, higher is better; OOM = exceeds capacity)\n"
+      "Interleaving only divides the layer-proportional bubble by v — the\n"
+      "attention stays inside it — while deepening the warmup (more\n"
+      "outstanding stashes on early stages) and multiplying boundary p2p by\n"
+      "v. Its edge over HelixPipe therefore shrinks with sequence length and\n"
+      "flips at 128k, with several times HelixPipe's peak memory\n"
+      "(Section 6.2; peaks below).\n");
+  {
+    const model::TrainSetup setup{.seq_len = 131072, .micro_batch = 1,
+                                  .pipeline = p, .micro_batches = 2 * p, .sp = 8};
+    const auto pr = model::make_problem(mc, setup);
+    const model::LayerDims dims{.s = 131072, .b = 1, .h = mc.hidden};
+    const model::PaperCostModel cost(model::TimingModel(cluster, {}, 8), mc, dims, p);
+    const sim::Simulator sim(cost);
+    const auto v4 = sim.run(schedules::build_interleaved_1f1b(pr, {.virtual_chunks = 4}),
+                            model::layerwise_base_memory(mc, setup));
+    const auto hx = sim.run(core::build_helix_schedule(
+                                pr, {.two_fold = true, .recompute_without_attention = true}),
+                            model::helix_base_memory(mc, setup));
+    std::printf("peak memory at 128k: interleaved v=4 %s GiB vs HelixPipe %s GiB\n",
+                gib(v4.max_peak_memory()).c_str(), gib(hx.max_peak_memory()).c_str());
+  }
+  return 0;
+}

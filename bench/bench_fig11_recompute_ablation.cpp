@@ -1,0 +1,43 @@
+// Fig. 11 reproduction: HelixPipe with and without the recomputation-
+// without-attention strategy — peak memory and normalized throughput for
+// the 3B model on 4 pipeline stages, both clusters.
+#include <cstdio>
+
+#include "common.h"
+#include "model/model_config.h"
+
+using namespace helix;
+using namespace helix::bench;
+
+int main() {
+  std::printf("Fig. 11 — recompute-without-attention ablation, 3B model, p=4\n\n");
+  for (const auto& cluster : {model::h20_cluster(), model::a800_cluster()}) {
+    std::printf("--- %s cluster ---\n", cluster.name.c_str());
+    std::printf("%-6s | %12s %12s %9s | %10s %10s\n", "seq", "mem w/ rc",
+                "mem w/o rc", "ratio", "thr w/ rc", "thr w/o");
+    for (const model::i64 s : {32768LL, 65536LL, 98304LL, 131072LL, 163840LL}) {
+      ExperimentConfig with_rc{.cluster = cluster, .model = model::gpt_3b(),
+                               .p = 4, .seq = s};
+      ExperimentConfig without_rc = with_rc;
+      without_rc.helix_recompute = false;
+      const ExperimentResult a = run_experiment(Method::kHelix, with_rc);
+      const ExperimentResult b = run_experiment(Method::kHelix, without_rc);
+      const double best = std::max(a.tokens_per_second, b.tokens_per_second);
+      std::printf("%-6s | %9s GiB %9s GiB %8.2fx | %10.3f %7.3f%s\n",
+                  seq_label(s).c_str(), gib(a.max_peak_bytes).c_str(),
+                  gib(b.max_peak_bytes).c_str(),
+                  static_cast<double>(b.max_peak_bytes) /
+                      static_cast<double>(a.max_peak_bytes),
+                  a.tokens_per_second / best, b.tokens_per_second / best,
+                  b.oom ? "  (OOM)" : "");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shapes (Section 5.5): recomputation costs throughput at 32k\n"
+      "but the gap closes as attention dominates at longer sequences; the\n"
+      "memory saving (asymptotically 4x on activations) is what lets\n"
+      "HelixPipe train beyond 128k — without it the 160k row exceeds the\n"
+      "A800's 80 GiB (OOM).\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig. 4 reproduction: theoretical 1F1B activation memory per pipeline
+// stage for a 13B transformer on 8 stages at various sequence lengths
+// (fp16, per GPU with 8-way sequence parallelism).
+#include <cstdio>
+
+#include "model/memory.h"
+#include "model/model_config.h"
+
+using namespace helix::model;
+
+int main() {
+  const ModelConfig m = gpt_13b();
+  const int p = 8, sp = 8;
+  const PipelineShape ps{.p = p, .m = 2 * p, .L = m.num_layers};
+  std::printf("Fig. 4 — 1F1B activation memory (GiB per GPU), 13B model, 8 stages,\n"
+              "fp16, sequence parallel size 8. GPU capacity: 80 GiB (A800).\n\n");
+  std::printf("%-8s", "seq");
+  for (int i = 0; i < p; ++i) std::printf("  stage%-2d", i);
+  std::printf("\n");
+  for (const i64 s : {32768LL, 65536LL, 98304LL, 131072LL}) {
+    const LayerDims d{.s = s, .b = 1, .h = m.hidden};
+    std::printf("%-8s", (std::to_string(s / 1024) + "k").c_str());
+    for (int i = 0; i < p; ++i) {
+      const double gib = static_cast<double>(onef1b_stage_activation_bytes(d, ps, i)) /
+                         sp / (1ull << 30);
+      std::printf(" %7.1f%s", gib, gib > 80.0 ? "!" : " ");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n'!' marks stages exceeding the 80 GiB capacity: at 128k the first\n"
+              "two stages overflow while later stages leave large spare memory\n"
+              "(Section 3.2's memory imbalance).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figs. 5/6/7 reproduction: the effect of the two-fold FILO schedule on
+// communication overlap. With realistic (nonzero) p2p cost, the naive FILO
+// schedule serializes transfers with computation on the critical path; the
+// two-fold schedule hides the second micro batch's transfer behind the
+// first's attention. Timelines plus bubble accounting.
+#include <cstdio>
+
+#include "core/cost.h"
+#include "core/filo.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+using namespace helix;
+
+namespace {
+double run(bool two_fold, double comm_per_transfer, double* recv_wait) {
+  core::PipelineProblem pr;
+  pr.p = 4;
+  pr.m = two_fold ? 8 : 4;
+  pr.L = 8;
+  pr.comm.boundary = 1;
+  pr.comm.pre_to_attn = 1;
+  pr.comm.attn_to_post = 1;
+  pr.include_lm_head = false;
+  core::UnitCostModel::Units u;
+  u.seconds_per_elem = comm_per_transfer;
+  const core::UnitCostModel cost{u};
+  const auto sched = core::build_helix_schedule(
+      pr, {.two_fold = two_fold, .recompute_without_attention = false});
+  const auto res = sim::Simulator(cost).run(sched);
+  if (recv_wait != nullptr) {
+    *recv_wait = 0;
+    for (const auto& st : res.stages) *recv_wait += st.recv_wait;
+  }
+  // Per-micro-batch makespan so the two variants are comparable.
+  return res.makespan / pr.m;
+}
+}  // namespace
+
+int main() {
+  std::printf("Fig. 6/7 — naive vs two-fold FILO under increasing p2p cost\n");
+  std::printf("(p=4, L=8; per-micro-batch iteration time in compute units)\n\n");
+  std::printf("%-18s | %10s %10s | %s\n", "p2p / attention", "naive", "two-fold",
+              "winner");
+  for (const double ratio : {0.0, 0.2, 0.5, 0.8, 1.0, 1.5}) {
+    const double comm = ratio * 3.0;  // attention = 3 units
+    const double naive = run(false, comm, nullptr);
+    const double two_fold = run(true, comm, nullptr);
+    std::printf("%-18.2f | %10.2f %10.2f | %s\n", ratio, naive, two_fold,
+                two_fold < naive ? "two-fold" : "naive");
+  }
+  std::printf(
+      "\nWith cheap communication the naive schedule's smaller fill/drain\n"
+      "ladder wins; as p2p grows toward the attention time the naive\n"
+      "schedule serializes communication on the critical path and the\n"
+      "two-fold schedule overtakes it (Section 4.3.2). Beyond p2p > attn\n"
+      "even two-fold cannot hide the transfers (the A800 32k regime of\n"
+      "Fig. 9).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks of the infrastructure itself: schedule
+// generation, simulation, validation, allocator operations and the
+// numerical kernels. Guards against quadratic blowups in the tooling.
+#include <benchmark/benchmark.h>
+
+#include "core/cost.h"
+#include "core/filo.h"
+#include "core/validator.h"
+#include "mem/caching_allocator.h"
+#include "schedules/layerwise.h"
+#include "schedules/zb1p.h"
+#include "sim/simulator.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace helix;
+
+core::PipelineProblem problem(int p, int m, int L) {
+  core::PipelineProblem pr;
+  pr.p = p;
+  pr.m = m;
+  pr.L = L;
+  pr.comm.boundary = 1;
+  pr.comm.pre_to_attn = 1;
+  pr.comm.attn_to_post = 1;
+  return pr;
+}
+
+void BM_BuildHelixSchedule(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto pr = problem(p, 2 * p, 4 * p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_helix_schedule(
+        pr, {.two_fold = true, .recompute_without_attention = true}));
+  }
+  state.SetLabel("p=" + std::to_string(p));
+}
+BENCHMARK(BM_BuildHelixSchedule)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Build1F1B(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto pr = problem(p, 2 * p, 4 * p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedules::build_1f1b(pr));
+  }
+}
+BENCHMARK(BM_Build1F1B)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BuildZb1pGreedy(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto pr = problem(p, 2 * p, 4 * p);
+  const core::UnitCostModel cost;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedules::build_zb1p(pr, cost));
+  }
+}
+BENCHMARK(BM_BuildZb1pGreedy)->Arg(4)->Arg(8);
+
+void BM_Simulate(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto pr = problem(p, 2 * p, 4 * p);
+  const auto sched = core::build_helix_schedule(
+      pr, {.two_fold = true, .recompute_without_attention = true});
+  const core::UnitCostModel cost;
+  const sim::Simulator sim(cost);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(sched));
+  }
+  state.counters["ops"] = static_cast<double>(sched.total_ops());
+}
+BENCHMARK(BM_Simulate)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ValidateStructure(benchmark::State& state) {
+  const auto pr = problem(8, 16, 32);
+  const auto sched = core::build_helix_schedule(
+      pr, {.two_fold = true, .recompute_without_attention = true});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::validate_structure(sched));
+  }
+}
+BENCHMARK(BM_ValidateStructure);
+
+void BM_AllocatorChurn(benchmark::State& state) {
+  using namespace helix::mem;
+  for (auto _ : state) {
+    CachingAllocator a({.capacity_bytes = i64{64} << 30});
+    std::vector<BlockId> live;
+    for (int i = 0; i < 256; ++i) {
+      live.push_back(a.allocate((1 + i % 7) * (i64{4} << 20)));
+      if (i % 3 == 2) {
+        a.free(live[live.size() / 2]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(live.size() / 2));
+      }
+    }
+    for (const BlockId b : live) a.free(b);
+    benchmark::DoNotOptimize(a.stats());
+  }
+}
+BENCHMARK(BM_AllocatorChurn);
+
+void BM_Matmul(benchmark::State& state) {
+  const tensor::i64 n = state.range(0);
+  tensor::Tensor a({n, n}), b({n, n});
+  tensor::fill_uniform(a, 1);
+  tensor::fill_uniform(b, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(2 * n * n * n) * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const tensor::i64 s = state.range(0);
+  const tensor::i64 h = 64;
+  tensor::Tensor qkv({s, 3 * h});
+  tensor::fill_uniform(qkv, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::attention_forward(qkv, 1, s, 4));
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

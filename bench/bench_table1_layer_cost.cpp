@@ -1,0 +1,49 @@
+// Table 1 reproduction: computation and memory overhead of a transformer
+// layer, printed per op and as closed-form totals.
+#include <cstdio>
+
+#include "model/layer_cost.h"
+
+using namespace helix::model;
+
+int main() {
+  const LayerDims d{.s = 32768, .b = 1, .h = 4096};
+  std::printf("Table 1 — per-op FLOPs and element counts (s=%lld, b=%lld, h=%lld)\n\n",
+              static_cast<long long>(d.s), static_cast<long long>(d.b),
+              static_cast<long long>(d.h));
+  std::printf("%-12s %-16s %14s %14s %14s %12s %12s\n", "Op", "Part", "Fwd FLOPs",
+              "BwdB FLOPs", "BwdW FLOPs", "Params", "Activation");
+  for (const OpCost& op : layer_op_costs(d)) {
+    std::printf("%-12s %-16s %14.3e %14.3e %14.3e %12lld %12lld\n", op.name.c_str(),
+                to_string(op.part), static_cast<double>(op.forward_flops),
+                static_cast<double>(op.backward_b_flops),
+                static_cast<double>(op.backward_w_flops),
+                static_cast<long long>(op.param_elems),
+                static_cast<long long>(op.activation_elems));
+  }
+  const LayerTotals t = layer_totals(d);
+  std::printf("\nTotals vs closed forms:\n");
+  std::printf("  forward     %14.6e  == 4bsh(6h+s)  %14.6e\n",
+              static_cast<double>(t.forward_flops),
+              static_cast<double>(4 * d.bsh() * (6 * d.h + d.s)));
+  std::printf("  backward B  %14.6e  == 4bsh(6h+2s) %14.6e\n",
+              static_cast<double>(t.backward_b_flops),
+              static_cast<double>(4 * d.bsh() * (6 * d.h + 2 * d.s)));
+  std::printf("  backward W  %14.6e  == 24bsh^2     %14.6e\n",
+              static_cast<double>(t.backward_w_flops),
+              static_cast<double>(24 * d.bsh() * d.h));
+  std::printf("  params      %14lld  == 12h^2+4h    %14lld\n",
+              static_cast<long long>(t.param_elems),
+              static_cast<long long>(12 * d.h * d.h + 4 * d.h));
+  std::printf("  activation  %14lld  == 16bsh       %14lld\n",
+              static_cast<long long>(t.activation_elems),
+              static_cast<long long>(16 * d.bsh()));
+  std::printf("\nBoundary volumes (Section 4.2), elements:\n");
+  std::printf("  pre->attn naive (Q,K,V + residual): %lld (= 4bsh)\n",
+              static_cast<long long>(pre_to_attn_boundary_elems(d, QkvPlacement::kInPreAttention)));
+  std::printf("  pre->attn with QKV weight shipping: %lld (= 2bsh + 3h^2)\n",
+              static_cast<long long>(pre_to_attn_boundary_elems(d, QkvPlacement::kInAttention)));
+  std::printf("  attn->post:                         %lld (= 2bsh)\n",
+              static_cast<long long>(attn_to_post_boundary_elems(d)));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Capacity-planning tool: given a model, sequence length and cluster, sweep
+// pipeline sizes and schedules, report iteration time / memory / feasibility
+// and recommend a configuration. Exercises the full public API the way a
+// systems engineer sizing a training job would.
+//
+//   cluster_planner [model 1.3B|3B|7B|13B] [seq] [cluster H20|A800]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/filo.h"
+#include "model/gpu_specs.h"
+#include "model/model_config.h"
+#include "model/paper_cost.h"
+#include "model/problem_factory.h"
+#include "schedules/layerwise.h"
+#include "schedules/zb1p.h"
+#include "sim/simulator.h"
+
+using namespace helix;
+using model::i64;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double seconds = 0;
+  i64 peak = 0;
+  bool oom = false;
+};
+
+Row simulate(const std::string& name, const core::Schedule& sched,
+             const core::CostModel& cost, const std::vector<i64>& base,
+             i64 capacity) {
+  const auto res = sim::Simulator(cost).run(sched, base);
+  return {name, res.makespan, res.max_peak_memory(),
+          res.max_peak_memory() > capacity};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const model::ModelConfig mc = model::model_by_name(argc > 1 ? argv[1] : "7B");
+  const i64 seq = argc > 2 ? std::atoll(argv[2]) : 131072;
+  const model::ClusterSpec cluster = model::cluster_by_name(argc > 3 ? argv[3] : "H20");
+
+  std::printf("Planning %s model at %lldk tokens on the %s cluster\n\n",
+              mc.name.c_str(), static_cast<long long>(seq / 1024),
+              cluster.name.c_str());
+  std::printf("%-4s %-6s %-18s %12s %12s %10s\n", "p", "GPUs", "schedule",
+              "iter (s)", "tokens/s", "peak GiB");
+
+  double best_tps = 0;
+  std::string best;
+  for (const int p : {2, 4, 8}) {
+    if (mc.num_layers % p != 0) continue;
+    const model::TrainSetup setup{.seq_len = seq, .micro_batch = 1, .pipeline = p,
+                                  .micro_batches = 2 * p, .sp = 8};
+    const auto pr = model::make_problem(mc, setup);
+    const model::LayerDims dims{.s = seq, .b = 1, .h = mc.hidden};
+    const model::PaperCostModel cost(model::TimingModel(cluster, {}, setup.sp), mc,
+                                     dims, p);
+    const auto lw_base = model::layerwise_base_memory(mc, setup);
+    const auto hx_base = model::helix_base_memory(mc, setup);
+
+    std::vector<Row> rows;
+    rows.push_back(simulate("1F1B", schedules::build_1f1b(pr), cost, lw_base,
+                            cluster.gpu.mem_bytes));
+    rows.push_back(simulate("ZB1P", schedules::build_zb1p(pr, cost), cost, lw_base,
+                            cluster.gpu.mem_bytes));
+    rows.push_back(simulate(
+        "HelixPipe",
+        core::build_helix_schedule(pr, {.two_fold = true, .recompute_without_attention = true}),
+        cost, hx_base, cluster.gpu.mem_bytes));
+    for (const Row& r : rows) {
+      const double tps = 2.0 * p * static_cast<double>(seq) / r.seconds;
+      std::printf("%-4d %-6d %-18s %12.2f %12.0f %9.1f%s\n", p, 8 * p,
+                  r.name.c_str(), r.seconds, tps,
+                  static_cast<double>(r.peak) / (1ull << 30), r.oom ? " OOM" : "");
+      if (!r.oom && tps > best_tps) {
+        best_tps = tps;
+        best = r.name + " with p=" + std::to_string(p) + " (" +
+               std::to_string(8 * p) + " GPUs)";
+      }
+    }
+  }
+  std::printf("\nRecommendation: %s — %.0f tokens/s.\n", best.c_str(), best_tps);
+  std::printf("(Throughput is per iteration of 2p micro batches; per-GPU\n"
+              "efficiency favours smaller p, wall-clock favours larger.)\n");
+  return 0;
+}

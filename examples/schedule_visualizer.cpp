@@ -1,0 +1,97 @@
+// Render the paper's schedule diagrams (Figs. 2, 5, 7) as ASCII timelines,
+// and export any of them as Chrome trace JSON for chrome://tracing.
+//
+//   schedule_visualizer [method] [p] [m] [L] [--comm RATIO] [--trace FILE]
+//     method: 1f1b | gpipe | zb1p | helix | helix2 | helix2rc   (default all)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/cost.h"
+#include "core/filo.h"
+#include "schedules/layerwise.h"
+#include "schedules/zb1p.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+using namespace helix;
+
+namespace {
+
+core::Schedule build(const std::string& method, const core::PipelineProblem& pr,
+                     const core::CostModel& cost) {
+  if (method == "1f1b") return schedules::build_1f1b(pr);
+  if (method == "gpipe") return schedules::build_gpipe(pr);
+  if (method == "zb1p") return schedules::build_zb1p(pr, cost);
+  if (method == "helix") {
+    return core::build_helix_schedule(pr, {.two_fold = false, .recompute_without_attention = false});
+  }
+  if (method == "helix2") {
+    return core::build_helix_schedule(pr, {.two_fold = true, .recompute_without_attention = false});
+  }
+  if (method == "helix2rc") {
+    return core::build_helix_schedule(pr, {.two_fold = true, .recompute_without_attention = true});
+  }
+  throw std::invalid_argument("unknown method: " + method);
+}
+
+void show(const std::string& method, const core::PipelineProblem& pr,
+          double comm_ratio, const std::string& trace_file) {
+  core::UnitCostModel::Units u;
+  u.seconds_per_elem = comm_ratio * 3.0;  // relative to the 3-unit attention
+  const core::UnitCostModel cost{u};
+  // Two-fold variants need m divisible by 2p.
+  core::PipelineProblem local = pr;
+  if (method.rfind("helix2", 0) == 0 && local.m % (2 * local.p) != 0) {
+    local.m = 2 * local.p;
+  }
+  const auto sched = build(method, local, cost);
+  const auto res = sim::Simulator(cost).run(sched);
+  std::printf("--- %s (p=%d, m=%d, L=%d): makespan %.1f units, bubble %.1f ---\n",
+              sched.name.c_str(), local.p, local.m, local.L, res.makespan,
+              res.stages[0].bubble);
+  std::printf("%s\n",
+              sim::render_ascii_timeline(
+                  sched, res, {.time_per_col = res.makespan / 150.0, .max_cols = 150,
+                               .show_comm = comm_ratio > 0})
+                  .c_str());
+  if (!trace_file.empty()) {
+    std::ofstream out(trace_file);
+    out << sim::to_chrome_trace(sched, res);
+    std::printf("chrome trace written to %s\n", trace_file.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string method = argc > 1 ? argv[1] : "all";
+  core::PipelineProblem pr;
+  pr.p = argc > 2 ? std::atoi(argv[2]) : 4;
+  pr.m = argc > 3 ? std::atoi(argv[3]) : 4;
+  pr.L = argc > 4 ? std::atoi(argv[4]) : 8;
+  pr.comm.boundary = 1;
+  pr.comm.pre_to_attn = 1;
+  pr.comm.attn_to_post = 1;
+  pr.include_lm_head = false;
+  double comm_ratio = 0.0;
+  std::string trace_file;
+  for (int i = 5; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--comm") == 0 && i + 1 < argc) comm_ratio = std::atof(argv[++i]);
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) trace_file = argv[++i];
+  }
+  try {
+    if (method == "all") {
+      for (const char* m : {"1f1b", "gpipe", "zb1p", "helix", "helix2"}) {
+        show(m, pr, comm_ratio, "");
+      }
+    } else {
+      show(method, pr, comm_ratio, trace_file);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "comm/world.h"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "tensor/ops.h"
+
+namespace helix::comm {
+
+World::World(int num_ranks) : num_ranks_(num_ranks), mailboxes_(static_cast<std::size_t>(num_ranks)) {
+  if (num_ranks < 1) throw std::invalid_argument("world size must be >= 1");
+}
+
+void World::deliver(int dst, int src, std::int64_t tag, Message msg) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.slots[{src, tag}].push(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Message World::await(int dst, int src, std::int64_t tag) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto key = std::make_pair(src, tag);
+  box.cv.wait(lock, [&] {
+    const auto it = box.slots.find(key);
+    return it != box.slots.end() && !it->second.empty();
+  });
+  auto it = box.slots.find(key);
+  Message msg = std::move(it->second.front());
+  it->second.pop();
+  if (it->second.empty()) box.slots.erase(it);
+  return msg;
+}
+
+int Endpoint::size() const noexcept { return world_->size(); }
+
+void Endpoint::send(int dst, std::int64_t tag, Message msg) {
+  if (dst < 0 || dst >= world_->size()) throw std::out_of_range("bad dst rank");
+  world_->deliver(dst, rank_, tag, std::move(msg));
+}
+
+Message Endpoint::recv(int src, std::int64_t tag) {
+  if (src < 0 || src >= world_->size()) throw std::out_of_range("bad src rank");
+  return world_->await(rank_, src, tag);
+}
+
+void Endpoint::barrier() {
+  std::unique_lock<std::mutex> lock(world_->barrier_mu_);
+  const int gen = world_->barrier_generation_;
+  if (++world_->barrier_count_ == world_->size()) {
+    world_->barrier_count_ = 0;
+    ++world_->barrier_generation_;
+    world_->barrier_cv_.notify_all();
+  } else {
+    world_->barrier_cv_.wait(lock, [&] { return world_->barrier_generation_ != gen; });
+  }
+}
+
+Tensor Endpoint::all_reduce_sum(const Tensor& local, std::int64_t tag_base) {
+  // Simple ring: pass partial sums around, then broadcast the total.
+  const int n = size();
+  if (n == 1) return local;
+  Tensor acc = local;
+  const int next = (rank_ + 1) % n;
+  const int prev = (rank_ + n - 1) % n;
+  // Reduce phase: rank 0 starts; each rank adds and forwards.
+  if (rank_ == 0) {
+    send(next, tag_base, {acc});
+    Message total = recv(prev, tag_base + 1);
+    acc = std::move(total[0]);
+  } else {
+    Message m = recv(prev, tag_base + (rank_ == 1 ? 0 : 2));
+    tensor::add_inplace(m[0], local);
+    if (next == 0) {
+      send(next, tag_base + 1, {m[0]});
+    } else {
+      send(next, tag_base + 2, {m[0]});
+    }
+    acc = std::move(m[0]);
+  }
+  // Broadcast phase from rank 0 (which now holds the total).
+  if (rank_ == 0) {
+    for (int r = 1; r < n; ++r) send(r, tag_base + 3, {acc});
+  } else {
+    Message m = recv(0, tag_base + 3);
+    acc = std::move(m[0]);
+  }
+  return acc;
+}
+
+std::vector<Tensor> Endpoint::all_gather(const Tensor& local, std::int64_t tag_base) {
+  const int n = size();
+  std::vector<Tensor> out(static_cast<std::size_t>(n));
+  out[static_cast<std::size_t>(rank_)] = local;
+  for (int r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    send(r, tag_base + rank_, {local});
+  }
+  for (int r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    Message m = recv(r, tag_base + r);
+    out[static_cast<std::size_t>(r)] = std::move(m[0]);
+  }
+  return out;
+}
+
+Tensor Endpoint::reduce_scatter_rows(const Tensor& partial, std::int64_t tag_base) {
+  const int n = size();
+  if (partial.ndim() != 2 || partial.rows() % n != 0) {
+    throw std::invalid_argument("reduce_scatter_rows: rows must divide by world size");
+  }
+  const tensor::i64 seg = partial.rows() / n;
+  const tensor::i64 c = partial.cols();
+  const auto segment = [&](int r) {
+    Tensor t({seg, c});
+    for (tensor::i64 i = 0; i < seg; ++i) {
+      for (tensor::i64 j = 0; j < c; ++j) t.at(i, j) = partial.at(r * seg + i, j);
+    }
+    return t;
+  };
+  for (int r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    send(r, tag_base + rank_, {segment(r)});
+  }
+  // Sum contributions in rank order for determinism.
+  Tensor acc({seg, c});
+  for (int r = 0; r < n; ++r) {
+    if (r == rank_) {
+      tensor::add_inplace(acc, segment(rank_));
+    } else {
+      Message m = recv(r, tag_base + r);
+      tensor::add_inplace(acc, m[0]);
+    }
+  }
+  return acc;
+}
+
+void World::run(const std::function<void(Endpoint&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks_));
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Endpoint ep(this, r);
+      try {
+        fn(ep);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace helix::comm

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Thread-per-rank message passing: each simulated device is a thread with a
+// private mailbox; all data moves through explicit tagged send/recv pairs
+// (MPI-style cooperative operations — no shared mutable state between
+// ranks). Collectives are built on p2p with ring algorithms, like NCCL.
+namespace helix::comm {
+
+using tensor::Tensor;
+
+/// A message: an ordered bundle of tensors.
+using Message = std::vector<Tensor>;
+
+class World;
+
+/// Per-rank communication endpoint handed to the rank function.
+class Endpoint {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Copy `msg` into dst's mailbox under `tag`. Tags must be unique per
+  /// (src, dst) pair while in flight or matched FIFO.
+  void send(int dst, std::int64_t tag, Message msg);
+  /// Block until a message with `tag` from `src` arrives.
+  Message recv(int src, std::int64_t tag);
+
+  void barrier();
+
+  /// Ring all-reduce (sum) over one tensor, equal shape on every rank.
+  Tensor all_reduce_sum(const Tensor& local, std::int64_t tag_base);
+  /// Ring all-gather: returns all ranks' tensors in rank order.
+  std::vector<Tensor> all_gather(const Tensor& local, std::int64_t tag_base);
+
+  /// Reduce-scatter over rows of a [n, c] partial sum: rank r receives the
+  /// element-wise sum (in rank order, deterministic) of every rank's r-th
+  /// row segment. n must be divisible by the world size.
+  Tensor reduce_scatter_rows(const Tensor& partial, std::int64_t tag_base);
+
+ private:
+  friend class World;
+  Endpoint(World* w, int rank) : world_(w), rank_(rank) {}
+  World* world_;
+  int rank_;
+};
+
+class World {
+ public:
+  explicit World(int num_ranks);
+
+  /// Run `fn(endpoint)` on every rank concurrently; rethrows the first
+  /// exception any rank raised.
+  void run(const std::function<void(Endpoint&)>& fn);
+
+  int size() const noexcept { return num_ranks_; }
+
+ private:
+  friend class Endpoint;
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<int, std::int64_t>, std::queue<Message>> slots;
+  };
+  void deliver(int dst, int src, std::int64_t tag, Message msg);
+  Message await(int dst, int src, std::int64_t tag);
+
+  int num_ranks_;
+  std::vector<Mailbox> mailboxes_;
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  int barrier_generation_ = 0;
+};
+
+}  // namespace helix::comm

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/ir.h"
+
+// Cost models translate IR ops into wall time. The discrete-event simulator
+// and the greedy online schedule builders (ZB1P) consume this interface; the
+// unit-cost instance reproduces the paper's didactic 1:3:2 examples and the
+// Table 2 closed forms, while model::PaperCostModel (src/model/paper_cost.h)
+// prices ops with the hardware timing model.
+namespace helix::core {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+  /// Wall time of a compute op on its stage.
+  virtual double compute_seconds(const Op& op) const = 0;
+  /// Wall time of moving `elems` activation elements between two stages.
+  virtual double transfer_seconds(std::int64_t elems) const = 0;
+};
+
+/// Abstract unit costs in the paper's running example: forward durations
+/// pre : attn : post = 1 : 3 : 2. Backward ratios follow Table 1 exactly:
+/// backward-B of attention costs 2x its forward; backward-B and backward-W
+/// of the parameterized parts each cost 1x their forward. A backward-B op
+/// with `combines_w` set also carries the backward-W cost.
+class UnitCostModel final : public CostModel {
+ public:
+  struct Units {
+    double pre = 1.0;
+    double attn = 3.0;
+    double post = 2.0;
+    double embed = 0.0;
+    double lm_head = 0.0;
+    double optim = 0.0;
+    double seconds_per_elem = 0.0;  ///< transfer cost (0 = free communication)
+    double transfer_latency = 0.0;
+  };
+
+  UnitCostModel() = default;
+  explicit UnitCostModel(Units u) : u_(u) {}
+
+  double compute_seconds(const Op& op) const override {
+    switch (op.kind) {
+      case OpKind::kEmbedFwd:
+      case OpKind::kEmbedBwd:
+        return u_.embed;
+      case OpKind::kFwdPre:
+      case OpKind::kRecomputePre:
+      case OpKind::kBwdWPre:
+        return u_.pre;
+      case OpKind::kFwdAttn:
+      case OpKind::kRecomputeAttn:
+        return u_.attn;
+      case OpKind::kFwdPost:
+      case OpKind::kRecomputePost:
+      case OpKind::kBwdWPost:
+        return u_.post;
+      case OpKind::kBwdAttn:
+        return 2.0 * u_.attn;
+      case OpKind::kBwdPre:
+        return op.combines_w ? 2.0 * u_.pre : u_.pre;
+      case OpKind::kBwdPost:
+        return op.combines_w ? 2.0 * u_.post : u_.post;
+      case OpKind::kLmHeadLoss:
+        return u_.lm_head;
+      case OpKind::kOptimStep:
+        return u_.optim;
+      case OpKind::kSend:
+      case OpKind::kRecv:
+        return 0.0;
+    }
+    return 0.0;
+  }
+
+  double transfer_seconds(std::int64_t elems) const override {
+    return u_.transfer_latency + static_cast<double>(elems) * u_.seconds_per_elem;
+  }
+
+ private:
+  Units u_;
+};
+
+}  // namespace helix::core

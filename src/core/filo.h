@@ -1,0 +1,34 @@
+#pragma once
+
+#include "core/cost.h"
+#include "core/ir.h"
+#include "core/problem.h"
+
+// HelixPipe schedule generation (paper Sections 4.2-4.4): attention parallel
+// partition executed under a first-in-last-out micro batch schedule, either
+// naive (one micro batch at a time per fold slot) or two-fold (two micro
+// batches per slot so the communication of one overlaps the computation of
+// the other), optionally with the recomputation-without-attention strategy.
+namespace helix::core {
+
+struct HelixOptions {
+  bool two_fold = true;
+  bool recompute_without_attention = true;
+};
+
+/// Build the complete HelixPipe schedule for one training iteration.
+/// Requires problem.m divisible by p (naive) or 2p (two-fold) and
+/// problem.L divisible by p.
+Schedule build_helix_schedule(const PipelineProblem& problem,
+                              const HelixOptions& options);
+
+/// As build_helix_schedule, but when m spans multiple FILO loops the static
+/// generator order over-serializes the loop wavefronts, so each stage's
+/// program is refined by list-scheduling under `cost` (core/reorder.h).
+/// Single-loop schedules (the paper's evaluated configuration, m = 2p
+/// two-fold) keep the generator order, which is provably Table-2-optimal.
+Schedule build_helix_schedule_tuned(const PipelineProblem& problem,
+                                    const HelixOptions& options,
+                                    const CostModel& cost);
+
+}  // namespace helix::core

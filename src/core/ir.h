@@ -1,0 +1,178 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Schedule intermediate representation.
+//
+// A Schedule is a per-stage program: every pipeline stage owns an ordered
+// list of ops. Execution semantics (shared by the discrete-event simulator
+// in src/sim and the numerical runtime in src/runtime):
+//
+//  * Compute ops on one stage execute in list order on the stage's compute
+//    stream (an in-order CUDA stream in the real system).
+//  * Send/Recv ops execute in list order on the stage's communication
+//    stream. A transfer is a rendezvous: it starts once the Send is at the
+//    head of the sender's comm stream with its producer finished AND the
+//    matching Recv is at the head of the receiver's comm stream; it occupies
+//    both comm streams for the transfer duration. This models NCCL p2p on a
+//    dedicated stream and reproduces the serialization bottleneck of the
+//    naive FILO schedule (paper Fig. 6a).
+//  * `deps` adds cross-stream edges: a compute op consuming received data
+//    depends on the Recv op; a Send depends on the producing compute op.
+//
+// Memory semantics: `alloc_bytes` is charged when the op starts and
+// `free_bytes` credited when it ends; `transient_bytes` is working memory
+// held only for the duration of the op. Running peak per stage is tracked by
+// the simulator.
+namespace helix::core {
+
+using OpId = std::int32_t;
+inline constexpr OpId kNoOp = -1;
+
+enum class OpKind : std::uint8_t {
+  kEmbedFwd,        ///< input word+position embedding (first pipeline layer)
+  kFwdPre,          ///< forward of pre-attention part
+  kFwdAttn,         ///< forward of attention part (incl. QKV GEMM if shipped)
+  kFwdPost,         ///< forward of post-attention part
+  kLmHeadLoss,      ///< LM head + loss + dlogits, executed in backward (4.6)
+  kBwdPost,         ///< backward-B of post-attention
+  kBwdAttn,         ///< backward-B of attention (flash-style, recomputes internally)
+  kBwdPre,          ///< backward-B of pre-attention
+  kBwdWPre,         ///< backward-W of pre-attention (decoupled, ZB1P)
+  kBwdWPost,        ///< backward-W of post-attention (decoupled, ZB1P)
+  kEmbedBwd,        ///< embedding gradient
+  kRecomputePre,    ///< re-run pre-attention forward before its backward
+  kRecomputeAttn,   ///< re-run attention forward (full-layer recompute only)
+  kRecomputePost,   ///< re-run post-attention forward before its backward
+  kSend,
+  kRecv,
+  kOptimStep,       ///< per-stage optimizer step (end-of-iteration sync)
+};
+
+constexpr bool is_comm(OpKind k) noexcept {
+  return k == OpKind::kSend || k == OpKind::kRecv;
+}
+constexpr bool is_compute(OpKind k) noexcept { return !is_comm(k); }
+constexpr bool is_backward_b(OpKind k) noexcept {
+  return k == OpKind::kBwdPost || k == OpKind::kBwdAttn || k == OpKind::kBwdPre;
+}
+constexpr bool is_backward_w(OpKind k) noexcept {
+  return k == OpKind::kBwdWPre || k == OpKind::kBwdWPost;
+}
+constexpr bool is_forward(OpKind k) noexcept {
+  return k == OpKind::kFwdPre || k == OpKind::kFwdAttn || k == OpKind::kFwdPost ||
+         k == OpKind::kEmbedFwd;
+}
+constexpr bool is_recompute(OpKind k) noexcept {
+  return k == OpKind::kRecomputePre || k == OpKind::kRecomputeAttn ||
+         k == OpKind::kRecomputePost;
+}
+const char* to_string(OpKind k) noexcept;
+
+/// Which logical value a Send/Recv moves; consumed by the numerical runtime
+/// to route real tensors (the simulator only needs sizes).
+enum class DataSlot : std::uint8_t {
+  kNone,
+  kPreToAttn,    ///< {residual x_l, ln1_l, Wqkv_l} (Section 4.2 shipping)
+  kAttnToPost,   ///< {residual x_l, attention output ctx_l}
+  kGradToAttn,   ///< {d x_l, d ctx_l}
+  kGradToPre,    ///< {d x_l, d ln1_l, d Wqkv_l}
+  kFwdBoundary,  ///< layer-wise pipelines: layer input y
+  kBwdBoundary,  ///< layer-wise pipelines: gradient of layer input
+};
+
+struct Op {
+  OpId id = kNoOp;
+  OpKind kind = OpKind::kFwdPre;
+  std::int16_t stage = 0;
+  std::int16_t mb = -1;     ///< micro batch index, -1 if not applicable
+  std::int16_t layer = -1;  ///< transformer layer index, -1 if not applicable
+  std::int16_t peer = -1;   ///< peer stage for Send/Recv
+  std::int32_t tag = -1;    ///< rendezvous key matching a Send with its Recv
+  DataSlot slot = DataSlot::kNone;  ///< payload routing for Send/Recv
+  std::int64_t comm_elems = 0;     ///< payload elements for Send/Recv
+  std::int64_t alloc_bytes = 0;    ///< charged at op start, held until freed
+  std::int64_t free_bytes = 0;     ///< credited at op end
+  std::int64_t transient_bytes = 0;  ///< working memory during the op only
+  bool combines_w = true;  ///< backward-B op also performs backward-W (1F1B style)
+  std::vector<OpId> deps;  ///< cross-op dependencies (op ids)
+};
+
+struct Schedule {
+  std::string name;
+  int num_stages = 0;
+  int num_micro_batches = 0;
+  int num_layers = 0;
+  std::vector<std::vector<Op>> stage_ops;
+
+  std::size_t total_ops() const noexcept {
+    std::size_t n = 0;
+    for (const auto& v : stage_ops) n += v.size();
+    return n;
+  }
+
+  /// Locate an op by id (linear scan; schedules index ops densely so a
+  /// flat lookup table is built on demand by consumers that need speed).
+  const Op* find(OpId id) const noexcept;
+
+  /// Flat view: pointers to every op, indexed by op id. Ops are created with
+  /// dense ids starting at 0.
+  std::vector<const Op*> op_index() const;
+};
+
+/// Incrementally builds a Schedule, keeping ids dense and tags unique.
+class ScheduleBuilder {
+ public:
+  ScheduleBuilder(std::string name, int num_stages, int num_micro_batches,
+                  int num_layers);
+
+  /// Append a compute op to `stage`'s program; returns its id.
+  OpId add(OpKind kind, int stage, int mb, int layer,
+           std::vector<OpId> deps = {});
+
+  /// Set memory effects on the most recently added op.
+  ScheduleBuilder& with_memory(std::int64_t alloc, std::int64_t free_bytes,
+                               std::int64_t transient = 0);
+  /// Mark the most recently added backward-B op as decoupled from backward-W.
+  ScheduleBuilder& decoupled();
+
+  /// Append a Send on `src` (depending on `producer`) and the matching Recv
+  /// on `dst`; returns the Recv id for consumers to depend on.
+  OpId add_transfer(int src, int dst, std::int64_t elems, OpId producer,
+                    int mb = -1, int layer = -1,
+                    DataSlot slot = DataSlot::kNone);
+
+  /// Half-open transfer for generators whose per-stage emission order differs
+  /// from global creation order: add_send appends only the Send; the matching
+  /// Recv is appended later at the receiver's program position via add_recv.
+  struct PendingTransfer {
+    OpId send = kNoOp;
+    std::int32_t tag = -1;
+    int src = -1;
+    int dst = -1;
+    std::int64_t elems = 0;
+    int mb = -1;
+    int layer = -1;
+    DataSlot slot = DataSlot::kNone;
+  };
+  PendingTransfer add_send(int src, int dst, std::int64_t elems, OpId producer,
+                           int mb = -1, int layer = -1,
+                           DataSlot slot = DataSlot::kNone);
+  OpId add_recv(const PendingTransfer& t);
+
+  Schedule finish() &&;
+
+  int next_id() const noexcept { return next_id_; }
+  Op& op(OpId id);
+
+ private:
+  Schedule sched_;
+  std::vector<std::pair<int, int>> locator_;  ///< id -> (stage, index)
+  OpId next_id_ = 0;
+  std::int32_t next_tag_ = 0;
+  OpId last_ = kNoOp;
+};
+
+}  // namespace helix::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <stdexcept>
+
+// Attention parallel partition (paper Section 4.2).
+//
+// A transformer layer is split into pre-attention / attention /
+// post-attention (Fig. 1). Only pre- and post-attention carry parameters,
+// so HelixPipe maps them to stages in a helix pattern:
+//
+//   * combo c (post-attention of layer c-1 concatenated with pre-attention
+//     of layer c) lives on stage (c mod p). Combo 0 is the input embedding
+//     plus pre-attention of layer 0; combo L is post-attention of the last
+//     layer plus the LM head.
+//   * the attention of layer l for fold f (the f-th micro batch of a FILO
+//     loop, or the f-th micro-batch pair in the two-fold schedule) runs on
+//     stage ((l + f + 1) mod p), spreading attention of concurrent micro
+//     batches across all stages.
+//
+// Two geometric consequences the schedule generator exploits:
+//   * fold p-1's attention is colocated with the pre-attention producer
+//     (no pre->attn transfer), and
+//   * fold 0's attention is colocated with the post-attention consumer
+//     (no attn->post transfer).
+namespace helix::core {
+
+/// Stage owning combo c = post-attention(c-1) + pre-attention(c), c in [0, L].
+constexpr int combo_stage(int combo, int p) { return combo % p; }
+
+/// Stage executing the attention of layer `layer` for fold `fold`.
+constexpr int attention_stage(int layer, int fold, int p) {
+  return (layer + fold + 1) % p;
+}
+
+/// Fold whose attention of layer `layer` is assigned to `stage`, inverse of
+/// attention_stage.
+constexpr int fold_on_stage(int layer, int stage, int p) {
+  return ((stage - layer - 1) % p + p) % p;
+}
+
+/// Validated at schedule build time: the FILO schedule admits `p` micro
+/// batches per loop (2p for the two-fold variant), so m must divide evenly.
+inline int filo_loop_size(int p, bool two_fold) { return two_fold ? 2 * p : p; }
+
+inline void check_filo_divisibility(int m, int p, bool two_fold) {
+  const int q = filo_loop_size(p, two_fold);
+  if (m <= 0 || m % q != 0) {
+    throw std::invalid_argument(
+        "FILO schedule requires micro batches divisible by " +
+        std::to_string(q));
+  }
+}
+
+}  // namespace helix::core

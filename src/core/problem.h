@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/ir.h"
+
+// Generator-facing description of one pipeline-parallel training iteration.
+// All byte quantities are per GPU (i.e. already divided by the sequence
+// parallel degree); all communication volumes are in activation elements
+// for the full stage boundary.
+namespace helix::core {
+
+using i64 = std::int64_t;
+
+/// Activation stash bytes per (micro batch, layer), split by layer part.
+/// Full-stash mode follows Table 1 (2/3/11 x bsh x dtype for pre/attn/post);
+/// recompute mode follows Section 4.4.1 (2 x bsh for flash-attention in/out
+/// plus 2 x bsh for the combined post/pre boundary inputs).
+struct ActivationBytes {
+  i64 pre = 0;
+  i64 attn = 0;
+  i64 post = 0;
+  i64 attn_recompute = 0;
+  i64 post_recompute = 0;
+  /// Intermediates recreated by a Recompute op, freed when the matching
+  /// backward finishes (pre + post intermediates, ~12 x bsh x dtype).
+  i64 recompute_transient = 0;
+  /// Boundary-only stash of a fully recomputed layer (AdaPipe-style full
+  /// activation recomputation): the layer input, ~1 x bsh x dtype.
+  i64 full_layer_recompute_stash = 0;
+  /// Gradient stash kept between a decoupled backward-B and its backward-W
+  /// (ZB1P), per part.
+  i64 w_stash_pre = 0;
+  i64 w_stash_post = 0;
+};
+
+/// Inter-stage transfer sizes in elements.
+struct CommElems {
+  i64 boundary = 0;      ///< layer-wise pipelines: output activation, bsh
+  i64 pre_to_attn = 0;   ///< HelixPipe: 2bsh + 3h^2 with QKV shipping (4.2)
+  i64 attn_to_post = 0;  ///< HelixPipe: attention output + residual, 2bsh
+};
+
+struct PipelineProblem {
+  int p = 1;  ///< pipeline stages
+  int m = 1;  ///< micro batches
+  int L = 1;  ///< transformer layers (divisible by p)
+
+  CommElems comm;
+  ActivationBytes act;
+
+  bool include_lm_head = true;
+  /// Working memory of the LM head + loss computed inside backward (4.6).
+  i64 logits_transient_bytes = 0;
+  /// fp32 stash per outstanding micro batch when the LM-head backward-W is
+  /// delayed (the ZB1P final-stage spike of Section 5.4).
+  i64 head_stash_bytes = 0;
+
+  int layers_per_stage() const noexcept { return L / p; }
+};
+
+}  // namespace helix::core

@@ -1,0 +1,136 @@
+#include "core/reorder.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace helix::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Schedule reorder_stage_programs(const Schedule& sched, const CostModel& cost) {
+  const std::vector<const Op*> ops = sched.op_index();
+  const std::size_t n = ops.size();
+
+  // Dependency edges: explicit deps plus the send->recv tag edge (a recv may
+  // be *picked* before its send completes — it then blocks its comm lane —
+  // but scheduling it before the send exists would be meaningless, so treat
+  // the send as a dependency for candidacy while using its end time only for
+  // the recv's completion).
+  std::map<std::int32_t, OpId> send_by_tag;
+  for (const Op* op : ops) {
+    if (op->kind == OpKind::kSend) send_by_tag[op->tag] = op->id;
+  }
+  std::vector<int> missing(n, 0);
+  std::vector<std::vector<OpId>> succ(n);
+  std::vector<OpId> matching_send(n, kNoOp);
+  for (const Op* op : ops) {
+    for (OpId d : op->deps) {
+      succ[static_cast<std::size_t>(d)].push_back(op->id);
+      ++missing[static_cast<std::size_t>(op->id)];
+    }
+    if (op->kind == OpKind::kRecv) {
+      const OpId s = send_by_tag.at(op->tag);
+      matching_send[static_cast<std::size_t>(op->id)] = s;
+      succ[static_cast<std::size_t>(s)].push_back(op->id);
+      ++missing[static_cast<std::size_t>(op->id)];
+    }
+  }
+
+  std::vector<double> dep_ready(n, 0.0);
+  std::vector<double> data_ready(n, 0.0);  // recv: matching send end
+  std::vector<double> end_time(n, kInf);
+  std::vector<bool> scheduled(n, false);
+  std::vector<double> lane_free(static_cast<std::size_t>(sched.num_stages) * 2, 0.0);
+  const auto lane = [&](const Op& op) {
+    return static_cast<std::size_t>(op.stage) * 2 + (is_comm(op.kind) ? 1 : 0);
+  };
+
+  std::vector<OpId> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (missing[i] == 0) candidates.push_back(static_cast<OpId>(i));
+  }
+
+  struct Placed {
+    double start;
+    std::size_t seq;
+    const Op* op;
+  };
+  std::vector<std::vector<Placed>> placed(static_cast<std::size_t>(sched.num_stages));
+
+  std::size_t seq = 0;
+  std::size_t done = 0;
+  while (done < n) {
+    // Pick the candidate with the earliest feasible start; break ties by
+    // earliest completion, then generator order.
+    std::size_t best = candidates.size();
+    double best_start = kInf, best_end = kInf;
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      const OpId id = candidates[ci];
+      const Op& op = *ops[static_cast<std::size_t>(id)];
+      const std::size_t ui = static_cast<std::size_t>(id);
+      const double start = std::max(lane_free[lane(op)], dep_ready[ui]);
+      double end;
+      if (op.kind == OpKind::kRecv) {
+        end = std::max(start, data_ready[ui]);
+      } else if (op.kind == OpKind::kSend) {
+        end = start + cost.transfer_seconds(op.comm_elems);
+      } else {
+        end = start + cost.compute_seconds(op);
+      }
+      if (best == candidates.size() || start < best_start ||
+          (start == best_start &&
+           (end < best_end || (end == best_end && id < candidates[best])))) {
+        best = ci;
+        best_start = start;
+        best_end = end;
+      }
+    }
+    if (best == candidates.size()) {
+      throw std::logic_error("reorder: dependency cycle");
+    }
+    const OpId id = candidates[best];
+    candidates[best] = candidates.back();
+    candidates.pop_back();
+    const Op& op = *ops[static_cast<std::size_t>(id)];
+    const std::size_t ui = static_cast<std::size_t>(id);
+    scheduled[ui] = true;
+    end_time[ui] = best_end;
+    lane_free[lane(op)] = best_end;
+    placed[static_cast<std::size_t>(op.stage)].push_back({best_start, seq++, &op});
+    ++done;
+    for (OpId s : succ[ui]) {
+      const std::size_t us = static_cast<std::size_t>(s);
+      const Op& sop = *ops[us];
+      for (OpId d : sop.deps) {
+        if (d == id) dep_ready[us] = std::max(dep_ready[us], best_end);
+      }
+      if (matching_send[us] == id) data_ready[us] = best_end;
+      if (--missing[us] == 0) candidates.push_back(s);
+    }
+  }
+
+  Schedule out;
+  out.name = sched.name;
+  out.num_stages = sched.num_stages;
+  out.num_micro_batches = sched.num_micro_batches;
+  out.num_layers = sched.num_layers;
+  out.stage_ops.resize(static_cast<std::size_t>(sched.num_stages));
+  for (int s = 0; s < sched.num_stages; ++s) {
+    auto& v = placed[static_cast<std::size_t>(s)];
+    std::sort(v.begin(), v.end(), [](const Placed& a, const Placed& b) {
+      return a.start != b.start ? a.start < b.start : a.seq < b.seq;
+    });
+    out.stage_ops[static_cast<std::size_t>(s)].reserve(v.size());
+    for (const Placed& pl : v) {
+      out.stage_ops[static_cast<std::size_t>(s)].push_back(*pl.op);
+    }
+  }
+  return out;
+}
+
+}  // namespace helix::core

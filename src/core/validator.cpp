@@ -1,0 +1,231 @@
+#include "core/validator.h"
+
+#include <map>
+#include <queue>
+#include <sstream>
+
+namespace helix::core {
+
+namespace {
+
+std::string op_desc(const Op& op) {
+  std::ostringstream os;
+  os << to_string(op.kind) << "(id=" << op.id << ", stage=" << op.stage
+     << ", mb=" << op.mb << ", layer=" << op.layer << ")";
+  return os.str();
+}
+
+/// Adjacency over dependency + stream + tag edges.
+std::vector<std::vector<OpId>> build_adjacency(const Schedule& sched,
+                                               ValidationResult& res) {
+  const auto ops = sched.op_index();
+  std::vector<std::vector<OpId>> adj(ops.size());
+  const auto add_edge = [&](OpId from, OpId to) {
+    adj[static_cast<std::size_t>(from)].push_back(to);
+  };
+  for (const Op* op : ops) {
+    if (op == nullptr) continue;
+    for (OpId d : op->deps) {
+      if (d < 0 || static_cast<std::size_t>(d) >= ops.size() || ops[static_cast<std::size_t>(d)] == nullptr) {
+        res.fail("dependency on unknown op id " + std::to_string(d));
+        continue;
+      }
+      add_edge(d, op->id);
+    }
+  }
+  for (const auto& stage : sched.stage_ops) {
+    OpId prev_compute = kNoOp;
+    OpId prev_comm = kNoOp;
+    for (const Op& op : stage) {
+      if (is_comm(op.kind)) {
+        if (prev_comm != kNoOp) add_edge(prev_comm, op.id);
+        prev_comm = op.id;
+      } else {
+        if (prev_compute != kNoOp) add_edge(prev_compute, op.id);
+        prev_compute = op.id;
+      }
+    }
+  }
+  std::map<std::int32_t, OpId> sends;
+  for (const Op* op : ops) {
+    if (op != nullptr && op->kind == OpKind::kSend) sends[op->tag] = op->id;
+  }
+  for (const Op* op : ops) {
+    if (op != nullptr && op->kind == OpKind::kRecv) {
+      const auto it = sends.find(op->tag);
+      if (it != sends.end()) add_edge(it->second, op->id);
+    }
+  }
+  return adj;
+}
+
+bool reachable(const std::vector<std::vector<OpId>>& adj, OpId from, OpId to) {
+  if (from == to) return true;
+  std::vector<bool> seen(adj.size(), false);
+  std::queue<OpId> q;
+  q.push(from);
+  seen[static_cast<std::size_t>(from)] = true;
+  while (!q.empty()) {
+    const OpId u = q.front();
+    q.pop();
+    for (OpId v : adj[static_cast<std::size_t>(u)]) {
+      if (v == to) return true;
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        q.push(v);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ValidationResult validate_structure(const Schedule& sched) {
+  ValidationResult res;
+  const auto ops = sched.op_index();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i] == nullptr) {
+      res.fail("missing op id " + std::to_string(i));
+      return res;
+    }
+  }
+
+  // Send/Recv pairing.
+  std::map<std::int32_t, const Op*> sends, recvs;
+  for (const Op* op : ops) {
+    if (op->kind == OpKind::kSend) {
+      if (!sends.emplace(op->tag, op).second) res.fail("duplicate send tag " + std::to_string(op->tag));
+      if (op->comm_elems <= 0) res.fail(op_desc(*op) + ": empty payload");
+    } else if (op->kind == OpKind::kRecv) {
+      if (!recvs.emplace(op->tag, op).second) res.fail("duplicate recv tag " + std::to_string(op->tag));
+    }
+  }
+  for (const auto& [tag, s] : sends) {
+    const auto it = recvs.find(tag);
+    if (it == recvs.end()) {
+      res.fail("send tag " + std::to_string(tag) + " has no recv");
+      continue;
+    }
+    const Op* r = it->second;
+    if (s->peer != r->stage || r->peer != s->stage) {
+      res.fail("tag " + std::to_string(tag) + ": peer mismatch " + op_desc(*s) + " vs " + op_desc(*r));
+    }
+    if (s->comm_elems != r->comm_elems) {
+      res.fail("tag " + std::to_string(tag) + ": payload size mismatch");
+    }
+  }
+  for (const auto& [tag, r] : recvs) {
+    if (sends.find(tag) == sends.end()) {
+      res.fail("recv tag " + std::to_string(tag) + " has no send");
+    }
+  }
+
+  // Memory sanity: non-negative deltas, balanced per stage.
+  for (int s = 0; s < sched.num_stages; ++s) {
+    std::int64_t balance = 0;
+    for (const Op& op : sched.stage_ops[static_cast<std::size_t>(s)]) {
+      if (op.alloc_bytes < 0 || op.free_bytes < 0 || op.transient_bytes < 0) {
+        res.fail(op_desc(op) + ": negative memory delta");
+      }
+      balance += op.alloc_bytes - op.free_bytes;
+    }
+    if (balance != 0) {
+      res.fail("stage " + std::to_string(s) + ": unbalanced activation memory (" +
+               std::to_string(balance) + " bytes leak)");
+    }
+  }
+
+  // Acyclicity via Kahn's algorithm on the full edge set.
+  const auto adj = build_adjacency(sched, res);
+  std::vector<int> indeg(ops.size(), 0);
+  for (const auto& out : adj) {
+    for (OpId v : out) ++indeg[static_cast<std::size_t>(v)];
+  }
+  std::queue<OpId> q;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (indeg[i] == 0) q.push(static_cast<OpId>(i));
+  }
+  std::size_t seen = 0;
+  while (!q.empty()) {
+    const OpId u = q.front();
+    q.pop();
+    ++seen;
+    for (OpId v : adj[static_cast<std::size_t>(u)]) {
+      if (--indeg[static_cast<std::size_t>(v)] == 0) q.push(v);
+    }
+  }
+  if (seen != ops.size()) {
+    res.fail("dependency cycle: " + std::to_string(ops.size() - seen) + " ops unreachable");
+  }
+  return res;
+}
+
+ValidationResult validate_semantics(const Schedule& sched) {
+  ValidationResult res = validate_structure(sched);
+  if (!res.ok) return res;
+  const auto adj = build_adjacency(sched, res);
+  const auto ops = sched.op_index();
+
+  // Index semantic ops by (mb, kind, layer); first occurrence wins (a
+  // recompute re-execution of attention uses kRecomputeAttn, never kFwdAttn).
+  std::map<std::tuple<int, OpKind, int>, OpId> sem;
+  for (const Op* op : ops) {
+    if (is_comm(op->kind) || is_recompute(op->kind) ||
+        op->kind == OpKind::kOptimStep) {
+      continue;
+    }
+    const auto key = std::make_tuple(static_cast<int>(op->mb), op->kind,
+                                     static_cast<int>(op->layer));
+    if (!sem.emplace(key, op->id).second) {
+      res.fail("duplicate semantic op " + op_desc(*op));
+    }
+  }
+  if (!res.ok) return res;
+
+  const auto get = [&](int mb, OpKind k, int layer) -> OpId {
+    const auto it = sem.find(std::make_tuple(mb, k, layer));
+    return it == sem.end() ? kNoOp : it->second;
+  };
+  const auto check_order = [&](OpId a, OpId b, const std::string& what) {
+    if (a == kNoOp || b == kNoOp) return;
+    if (!reachable(adj, a, b)) res.fail("missing ordering: " + what);
+  };
+
+  for (int mb = 0; mb < sched.num_micro_batches; ++mb) {
+    std::vector<OpId> chain;
+    const auto push = [&](OpKind k, int layer) {
+      const OpId id = get(mb, k, layer);
+      if (id != kNoOp) chain.push_back(id);
+    };
+    push(OpKind::kEmbedFwd, 0);
+    for (int l = 0; l < sched.num_layers; ++l) {
+      push(OpKind::kFwdPre, l);
+      push(OpKind::kFwdAttn, l);
+      push(OpKind::kFwdPost, l);
+    }
+    push(OpKind::kLmHeadLoss, sched.num_layers - 1);
+    for (int l = sched.num_layers - 1; l >= 0; --l) {
+      push(OpKind::kBwdPost, l);
+      push(OpKind::kBwdAttn, l);
+      push(OpKind::kBwdPre, l);
+    }
+    push(OpKind::kEmbedBwd, 0);
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      const Op& a = *ops[static_cast<std::size_t>(chain[i])];
+      const Op& b = *ops[static_cast<std::size_t>(chain[i + 1])];
+      check_order(chain[i], chain[i + 1],
+                  "mb " + std::to_string(mb) + ": " + op_desc(a) + " -> " + op_desc(b));
+    }
+    // Decoupled backward-W must follow its backward-B.
+    for (int l = 0; l < sched.num_layers; ++l) {
+      check_order(get(mb, OpKind::kBwdPost, l), get(mb, OpKind::kBwdWPost, l),
+                  "mb " + std::to_string(mb) + " BwdWPost layer " + std::to_string(l));
+      check_order(get(mb, OpKind::kBwdPre, l), get(mb, OpKind::kBwdWPre, l),
+                  "mb " + std::to_string(mb) + " BwdWPre layer " + std::to_string(l));
+    }
+  }
+  return res;
+}
+
+}  // namespace helix::core

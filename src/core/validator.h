@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ir.h"
+
+// Structural and semantic schedule validation. The semantic check proves the
+// invariant the paper relies on for convergence (Section 4.1): however ops
+// are interleaved across stages, the dependency graph enforces the original
+// per-micro-batch program order
+//   Embed -> [FwdPre(l) -> FwdAttn(l) -> FwdPost(l)]_l -> LmHeadLoss ->
+//   [BwdPost(l) -> BwdAttn(l) -> BwdPre(l)]_{l desc} -> EmbedBwd,
+// so a scheduled iteration computes exactly what a sequential one does.
+namespace helix::core {
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string msg) {
+    ok = false;
+    errors.push_back(std::move(msg));
+  }
+};
+
+/// Structural checks: dense unique ids, matched Send/Recv pairs with
+/// consistent peers/tags/sizes, valid dependency references, acyclic graph
+/// (dependency + per-stage stream + send->recv edges), non-negative memory
+/// deltas, and balanced alloc/free per stage.
+ValidationResult validate_structure(const Schedule& sched);
+
+/// Semantic per-micro-batch order check via graph reachability. O(chain *
+/// edges); intended for test-sized schedules.
+ValidationResult validate_semantics(const Schedule& sched);
+
+}  // namespace helix::core

@@ -1,0 +1,194 @@
+#include "mem/caching_allocator.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace helix::mem {
+
+namespace {
+i64 round_up(i64 v, i64 to) { return (v + to - 1) / to * to; }
+}  // namespace
+
+CachingAllocator::CachingAllocator(AllocatorConfig config) : config_(config) {
+  if (config_.capacity_bytes <= 0 || config_.round_bytes <= 0) {
+    throw std::invalid_argument("bad allocator config");
+  }
+}
+
+void CachingAllocator::note_peaks() {
+  stats_.peak_allocated = std::max(stats_.peak_allocated, stats_.allocated_bytes);
+  stats_.peak_reserved = std::max(stats_.peak_reserved, stats_.reserved_bytes);
+  i64 largest = 0;
+  for (const Segment& s : segments_) {
+    for (const Block& b : s.blocks) {
+      if (b.free) largest = std::max(largest, b.size);
+    }
+  }
+  stats_.largest_free_block = largest;
+}
+
+bool CachingAllocator::try_best_fit(i64 bytes, std::size_t* seg_out,
+                                    std::list<Block>::iterator* it_out) {
+  const bool small = bytes < config_.small_threshold;
+  i64 best = std::numeric_limits<i64>::max();
+  bool found = false;
+  for (std::size_t si = 0; si < segments_.size(); ++si) {
+    Segment& seg = segments_[si];
+    if (seg.small_pool != small && !config_.expandable_segments) continue;
+    for (auto it = seg.blocks.begin(); it != seg.blocks.end(); ++it) {
+      if (it->free && it->size >= bytes && it->size < best) {
+        best = it->size;
+        *seg_out = si;
+        *it_out = it;
+        found = true;
+      }
+    }
+  }
+  return found;
+}
+
+BlockId CachingAllocator::carve(std::size_t seg_idx,
+                                std::list<Block>::iterator it, i64 bytes) {
+  Segment& seg = segments_[seg_idx];
+  if (it->size > bytes) {
+    // Split: keep the tail free.
+    Block tail{it->offset + bytes, it->size - bytes, true};
+    auto next = std::next(it);
+    seg.blocks.insert(next, tail);
+    it->size = bytes;
+  }
+  it->free = false;
+  const BlockId id = next_id_++;
+  live_[id] = {seg_idx, it->offset, bytes};
+  stats_.allocated_bytes += bytes;
+  note_peaks();
+  return id;
+}
+
+BlockId CachingAllocator::allocate(i64 bytes) {
+  if (bytes <= 0) throw std::invalid_argument("allocate(<=0)");
+  bytes = round_up(bytes, config_.round_bytes);
+
+  std::size_t si = 0;
+  std::list<Block>::iterator it;
+  if (try_best_fit(bytes, &si, &it)) return carve(si, it, bytes);
+
+  if (config_.expandable_segments) {
+    // Grow (or create) the single expandable segment by exactly the needed
+    // amount: no stranding, fragmentation only from live-block holes.
+    if (stats_.reserved_bytes + bytes > config_.capacity_bytes) {
+      throw OutOfMemory("expandable segment would exceed capacity: need " +
+                        std::to_string(bytes) + "B on top of " +
+                        std::to_string(stats_.reserved_bytes) + "B reserved");
+    }
+    if (segments_.empty()) {
+      segments_.push_back({0, false, {}});
+      stats_.num_segments = 1;
+    }
+    Segment& seg = segments_.front();
+    const i64 offset = seg.size;
+    seg.size += bytes;
+    stats_.reserved_bytes += bytes;
+    // Append as a free block (merge with trailing free block if any).
+    if (!seg.blocks.empty() && seg.blocks.back().free) {
+      seg.blocks.back().size += bytes;
+    } else {
+      seg.blocks.push_back({offset, bytes, true});
+    }
+    auto last = std::prev(seg.blocks.end());
+    return carve(0, last, bytes);
+  }
+
+  // Classic mode: request a fresh segment from the device. Small requests
+  // share pooled 2 MiB segments; large requests below kLargeBuffer get a
+  // full 20 MiB segment whose tail is cached for splitting; larger requests
+  // get a segment rounded up to 2 MiB.
+  const bool small = bytes < config_.small_threshold;
+  i64 seg_size;
+  if (small) {
+    seg_size = std::max(config_.small_segment_bytes, bytes);
+  } else if (bytes < config_.large_buffer_bytes) {
+    seg_size = config_.large_buffer_bytes;
+  } else {
+    seg_size = round_up(bytes, config_.segment_round_bytes);
+  }
+  if (stats_.reserved_bytes + seg_size > config_.capacity_bytes) {
+    throw OutOfMemory(
+        "cannot reserve segment of " + std::to_string(seg_size) + "B: " +
+        std::to_string(stats_.reserved_bytes) + "B reserved, " +
+        std::to_string(stats_.reserved_bytes - stats_.allocated_bytes) +
+        "B cached but fragmented (largest free block " +
+        std::to_string(stats_.largest_free_block) + "B)");
+  }
+  segments_.push_back({seg_size, small, {Block{0, seg_size, true}}});
+  stats_.reserved_bytes += seg_size;
+  stats_.num_segments = static_cast<int>(segments_.size());
+  note_peaks();
+  return carve(segments_.size() - 1, segments_.back().blocks.begin(), bytes);
+}
+
+void CachingAllocator::free(BlockId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) throw std::invalid_argument("double free / unknown block");
+  const LiveRef ref = it->second;
+  live_.erase(it);
+  Segment& seg = segments_[ref.seg];
+  for (auto bit = seg.blocks.begin(); bit != seg.blocks.end(); ++bit) {
+    if (bit->offset != ref.offset || bit->free) continue;
+    bit->free = true;
+    stats_.allocated_bytes -= bit->size;
+    // Coalesce with neighbours.
+    if (bit != seg.blocks.begin()) {
+      auto prev = std::prev(bit);
+      if (prev->free) {
+        prev->size += bit->size;
+        seg.blocks.erase(bit);
+        bit = prev;
+      }
+    }
+    auto next = std::next(bit);
+    if (next != seg.blocks.end() && next->free) {
+      bit->size += next->size;
+      seg.blocks.erase(next);
+    }
+    note_peaks();
+    return;
+  }
+  throw std::logic_error("allocator metadata corrupted");
+}
+
+void CachingAllocator::empty_cache() {
+  if (config_.expandable_segments) {
+    if (segments_.empty()) return;
+    Segment& seg = segments_.front();
+    if (!seg.blocks.empty() && seg.blocks.back().free) {
+      stats_.reserved_bytes -= seg.blocks.back().size;
+      seg.size -= seg.blocks.back().size;
+      seg.blocks.pop_back();
+    }
+    note_peaks();
+    return;
+  }
+  // Release fully-free segments; live references index segments by
+  // position, so build an old->new index translation while compacting.
+  std::vector<std::size_t> translation(segments_.size(),
+                                       std::numeric_limits<std::size_t>::max());
+  std::vector<Segment> kept;
+  for (std::size_t si = 0; si < segments_.size(); ++si) {
+    Segment& s = segments_[si];
+    const bool all_free = std::all_of(
+        s.blocks.begin(), s.blocks.end(), [](const Block& b) { return b.free; });
+    if (all_free) {
+      stats_.reserved_bytes -= s.size;
+    } else {
+      translation[si] = kept.size();
+      kept.push_back(std::move(s));
+    }
+  }
+  for (auto& [id, ref] : live_) ref.seg = translation[ref.seg];
+  segments_ = std::move(kept);
+  stats_.num_segments = static_cast<int>(segments_.size());
+  note_peaks();
+}
+
+}  // namespace helix::mem

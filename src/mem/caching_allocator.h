@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+// A behavioural model of the PyTorch CUDA caching allocator, faithful enough
+// to reproduce the fragmentation phenomena the paper discusses: Section
+// 4.4.2's chunked MLP motivation and Section 5.1's
+// PYTORCH_CUDA_ALLOC_CONF=expandable_segments mitigation.
+//
+// Semantics modelled:
+//  * device memory is obtained in segments; freeing a block returns it to
+//    the segment's free list, never to the device;
+//  * blocks are carved best-fit from a segment's free list with splitting
+//    and neighbour coalescing on free;
+//  * classic mode requests a fresh segment sized to the rounded allocation
+//    when no cached block fits (so interleaved odd-sized allocations strand
+//    capacity); expandable-segments mode instead grows one virtual segment,
+//    eliminating stranding at segment granularity.
+namespace helix::mem {
+
+using i64 = std::int64_t;
+
+struct AllocatorConfig {
+  i64 capacity_bytes = i64{80} << 30;  ///< device memory budget
+  bool expandable_segments = false;
+  i64 round_bytes = 512;           ///< allocation granularity
+  i64 small_threshold = i64{1} << 20;  ///< small allocs share pooled segments
+  i64 small_segment_bytes = i64{2} << 20;
+  /// Large requests below this get a segment of exactly this size (PyTorch's
+  /// kLargeBuffer); the excess is cached and split for later requests, which
+  /// is where long-lived stashes strand transient capacity.
+  i64 large_buffer_bytes = i64{20} << 20;
+  i64 segment_round_bytes = i64{2} << 20;
+};
+
+class OutOfMemory : public std::runtime_error {
+ public:
+  explicit OutOfMemory(const std::string& what) : std::runtime_error(what) {}
+};
+
+using BlockId = std::int64_t;
+
+struct AllocatorStats {
+  i64 allocated_bytes = 0;  ///< bytes in live blocks
+  i64 reserved_bytes = 0;   ///< bytes held in segments (allocated + cached)
+  i64 peak_allocated = 0;
+  i64 peak_reserved = 0;
+  int num_segments = 0;
+  i64 largest_free_block = 0;
+
+  /// Fraction of cached memory unusable for a largest-free-block request:
+  /// 0 = no fragmentation, ->1 = free memory shattered.
+  double fragmentation() const {
+    const i64 free_total = reserved_bytes - allocated_bytes;
+    if (free_total <= 0) return 0.0;
+    return 1.0 - static_cast<double>(largest_free_block) /
+                     static_cast<double>(free_total);
+  }
+};
+
+class CachingAllocator {
+ public:
+  explicit CachingAllocator(AllocatorConfig config = {});
+
+  /// Allocate `bytes` (rounded up); throws OutOfMemory when neither a cached
+  /// block nor a new segment fits the capacity.
+  BlockId allocate(i64 bytes);
+  void free(BlockId id);
+
+  /// Return fully-free cached segments to the device (PyTorch's
+  /// empty_cache); expandable segments shrink to their high-water mark of
+  /// live blocks.
+  void empty_cache();
+
+  const AllocatorStats& stats() const noexcept { return stats_; }
+  const AllocatorConfig& config() const noexcept { return config_; }
+  i64 live_block_count() const noexcept { return static_cast<i64>(live_.size()); }
+
+ private:
+  struct Block {
+    i64 offset = 0;
+    i64 size = 0;
+    bool free = true;
+  };
+  struct Segment {
+    i64 size = 0;
+    bool small_pool = false;
+    std::list<Block> blocks;  ///< address-ordered
+  };
+
+  BlockId carve(std::size_t seg_idx, std::list<Block>::iterator it, i64 bytes);
+  bool try_best_fit(i64 bytes, std::size_t* seg_out,
+                    std::list<Block>::iterator* it_out);
+  void note_peaks();
+
+  AllocatorConfig config_;
+  AllocatorStats stats_;
+  std::vector<Segment> segments_;
+  struct LiveRef {
+    std::size_t seg;
+    i64 offset;
+    i64 size;
+  };
+  std::map<BlockId, LiveRef> live_;
+  BlockId next_id_ = 1;
+};
+
+}  // namespace helix::mem

@@ -1,0 +1,91 @@
+#include "mem/workload.h"
+
+#include <vector>
+
+namespace helix::mem {
+
+namespace {
+
+/// One MLP pass (forward or recompute) for one micro batch: all-gather the
+/// sequence, run Linear1 -> GeLU -> Linear2 in `chunks` slices, reduce-
+/// scatter the output. Returns transient blocks it allocated and freed.
+void run_mlp(CachingAllocator& a, const MlpWorkloadParams& p,
+             BlockId ag_pool, BlockId rs_pool) {
+  const i64 B = p.dtype_bytes;
+  const i64 s_full = p.s_local * p.sp;
+  const i64 c = (s_full + p.chunks - 1) / p.chunks;
+
+  BlockId ag = ag_pool;
+  if (ag == 0) ag = a.allocate(s_full * p.b * p.h * B);
+  std::vector<BlockId> outs;
+  for (int k = 0; k < p.chunks; ++k) {
+    const BlockId t1 = a.allocate(c * p.b * 4 * p.h * B);  // Linear 1 out
+    const BlockId t2 = a.allocate(c * p.b * 4 * p.h * B);  // GeLU out
+    outs.push_back(a.allocate(c * p.b * p.h * B));         // Linear 2 out
+    a.free(t1);
+    a.free(t2);
+  }
+  BlockId rs = rs_pool;
+  if (rs == 0) rs = a.allocate(p.s_local * p.b * p.h * B);
+  for (const BlockId o : outs) a.free(o);
+  if (ag_pool == 0) a.free(ag);
+  if (rs_pool == 0) a.free(rs);
+}
+
+}  // namespace
+
+FragmentationReport run_filo_mlp_workload(const AllocatorConfig& config,
+                                          const MlpWorkloadParams& p) {
+  CachingAllocator a(config);
+  FragmentationReport rep;
+  const i64 B = p.dtype_bytes;
+  const i64 stash_bytes = 2 * p.s_local * p.b * p.h * B;
+
+  // stash[layer][mb] = {combo inputs, flash attention in/out}.
+  std::vector<std::vector<std::pair<BlockId, BlockId>>> stash(
+      static_cast<std::size_t>(p.layers),
+      std::vector<std::pair<BlockId, BlockId>>(
+          static_cast<std::size_t>(p.micro_batches)));
+
+  try {
+    BlockId ag_pool = 0, rs_pool = 0;
+    if (p.use_buffer_pool) {
+      // Section 4.4.2: pre-allocate reusable all-gather / reduce-scatter
+      // buffers once, eliminating dynamic allocation churn.
+      ag_pool = a.allocate(p.s_local * p.sp * p.b * p.h * B);
+      rs_pool = a.allocate(p.s_local * p.b * p.h * B);
+    }
+    // Forward sweep of the FILO schedule: stashes accumulate while MLP
+    // transients churn between them.
+    for (int l = 0; l < p.layers; ++l) {
+      for (int mb = 0; mb < p.micro_batches; ++mb) {
+        auto& st = stash[static_cast<std::size_t>(l)][static_cast<std::size_t>(mb)];
+        st.first = a.allocate(stash_bytes);
+        run_mlp(a, p, ag_pool, rs_pool);
+        st.second = a.allocate(stash_bytes);
+      }
+    }
+    // Backward sweep with recomputation: MLP transients recreated per micro
+    // batch, stashes released in reverse order.
+    for (int l = p.layers - 1; l >= 0; --l) {
+      for (int mb = p.micro_batches - 1; mb >= 0; --mb) {
+        auto& st = stash[static_cast<std::size_t>(l)][static_cast<std::size_t>(mb)];
+        run_mlp(a, p, ag_pool, rs_pool);  // recompute forward
+        run_mlp(a, p, ag_pool, rs_pool);  // backward mirrors the chunking
+        a.free(st.second);
+        a.free(st.first);
+      }
+    }
+    if (p.use_buffer_pool) {
+      a.free(ag_pool);
+      a.free(rs_pool);
+    }
+  } catch (const OutOfMemory& oom) {
+    rep.oom = true;
+    rep.oom_what = oom.what();
+  }
+  rep.stats = a.stats();
+  return rep;
+}
+
+}  // namespace helix::mem

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "mem/caching_allocator.h"
+
+// Allocation-trace replay of the HelixPipe memory workload (Section 4.4.2):
+// the two-fold FILO schedule with recomputation-without-attention interleaves
+// long-lived stashes with large, irregular MLP transients, fragmenting the
+// classic caching allocator. Chunked MLP processes the gathered sequence in
+// [c, b, h] slices through pre-allocated reusable communication buffers,
+// keeping transient allocations uniform and small.
+namespace helix::mem {
+
+struct MlpWorkloadParams {
+  i64 s_local = 16384;  ///< sequence shard per GPU (s / sp)
+  i64 b = 1;
+  i64 h = 4096;
+  int sp = 8;              ///< sequence-parallel degree (all-gather factor)
+  int layers = 4;          ///< combos resident on this stage
+  int micro_batches = 16;  ///< stashes accumulated by the FILO schedule
+  int chunks = 1;          ///< 1 = unchunked MLP
+  bool use_buffer_pool = false;  ///< pre-allocated all-gather / RS buffers
+  i64 dtype_bytes = 2;
+};
+
+struct FragmentationReport {
+  AllocatorStats stats;
+  bool oom = false;
+  std::string oom_what;
+
+  /// Reserved-over-allocated overhead at the peak: 1.0 = no waste.
+  double reserved_overhead() const {
+    if (stats.peak_allocated == 0) return 1.0;
+    return static_cast<double>(stats.peak_reserved) /
+           static_cast<double>(stats.peak_allocated);
+  }
+};
+
+/// Replay one training iteration's allocation pattern on `config`'s
+/// allocator and report peak reserved/allocated and fragmentation.
+FragmentationReport run_filo_mlp_workload(const AllocatorConfig& config,
+                                          const MlpWorkloadParams& params);
+
+}  // namespace helix::mem

@@ -1,0 +1,33 @@
+#include "model/analysis.h"
+
+namespace helix::model {
+
+double onef1b_bubble(const PartTimes& t, int p, int L) {
+  return 3.0 * (p - 1) * (t.pre + t.attn + t.post) * L / p;
+}
+
+double zb1p_bubble(const PartTimes& t, int p, int L) {
+  return 1.0 * (p - 1) * (t.pre + 3.0 * t.attn + t.post) * L / p;
+}
+
+double helix_naive_bubble(const PartTimes& t, int p) {
+  return 3.0 * (p - 1) * (t.pre + t.post);
+}
+
+double helix_two_fold_bubble(const PartTimes& t, int p) {
+  return 6.0 * (p - 1) * (t.pre + t.post);
+}
+
+double helix_two_fold_recompute_bubble(const PartTimes& t, int p) {
+  return 8.0 * (p - 1) * (t.pre + t.post);
+}
+
+double helix_naive_recompute_bubble(const PartTimes& t, int p) {
+  return 4.0 * (p - 1) * (t.pre + t.post);
+}
+
+double gpipe_bubble(const PartTimes& t, int p, int L) {
+  return 3.0 * (p - 1) * (t.pre + t.attn + t.post) * L / p;
+}
+
+}  // namespace helix::model

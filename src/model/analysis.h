@@ -1,0 +1,40 @@
+#pragma once
+
+#include "model/dims.h"
+
+// Table 2 closed-form pipeline bubble times. `t_pre`, `t_attn`, `t_post`
+// are the *forward* durations of the three layer parts; the backward-B of
+// attention costs 2x its forward, and pre/post backward-B and backward-W
+// each cost 1x their forward (Table 1 FLOPs ratios).
+namespace helix::model {
+
+struct PartTimes {
+  double pre = 0;
+  double attn = 0;
+  double post = 0;
+  double forward() const noexcept { return pre + attn + post; }
+};
+
+/// T_1F1B = 3(p-1)(t_pre + t_attn + t_post) L/p      (Eq. 1)
+double onef1b_bubble(const PartTimes& t, int p, int L);
+
+/// T_ZB1P = (p-1)(t_pre + 3 t_attn + t_post) L/p     (Eq. 3)
+double zb1p_bubble(const PartTimes& t, int p, int L);
+
+/// HelixPipe naive FILO: 3(p-1)(t_pre + t_post)      (Section 4.5)
+double helix_naive_bubble(const PartTimes& t, int p);
+
+/// HelixPipe two-fold FILO: 6(p-1)(t_pre + t_post)
+double helix_two_fold_bubble(const PartTimes& t, int p);
+
+/// HelixPipe two-fold FILO + recomputation without attention:
+/// 8(p-1)(t_pre + t_post)                            (Table 2)
+double helix_two_fold_recompute_bubble(const PartTimes& t, int p);
+
+/// HelixPipe naive FILO + recomputation: 4(p-1)(t_pre + t_post)
+double helix_naive_recompute_bubble(const PartTimes& t, int p);
+
+/// GPipe: (p-1) * 3 * (full layer) * L/p, all-forward-all-backward.
+double gpipe_bubble(const PartTimes& t, int p, int L);
+
+}  // namespace helix::model

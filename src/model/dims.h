@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+
+// Basic dimension bundles shared by the cost model, the schedule generators
+// and the simulator. Follows the notation of the paper (Section 2.1):
+//   s — sequence length, b — micro batch size, h — hidden size.
+namespace helix::model {
+
+using i64 = std::int64_t;
+
+/// Numeric precision of activations / parameters during training.
+enum class DType : std::uint8_t { kFP16, kBF16, kFP32 };
+
+/// Size in bytes of one element of the given dtype.
+constexpr i64 dtype_bytes(DType dt) noexcept {
+  switch (dt) {
+    case DType::kFP16:
+    case DType::kBF16:
+      return 2;
+    case DType::kFP32:
+      return 4;
+  }
+  return 2;
+}
+
+/// Shape of the activation entering a transformer layer: [s, b, h].
+struct LayerDims {
+  i64 s = 0;  ///< sequence length
+  i64 b = 1;  ///< micro batch size
+  i64 h = 0;  ///< hidden size
+
+  /// Elements in one [s, b, h] activation.
+  constexpr i64 bsh() const noexcept { return s * b * h; }
+
+  friend constexpr bool operator==(const LayerDims&, const LayerDims&) = default;
+};
+
+/// The three parts a transformer layer is split into by HelixPipe (Fig. 1).
+/// Only kAttention is non-parameterized.
+enum class LayerPart : std::uint8_t { kPreAttention, kAttention, kPostAttention };
+
+/// Passes distinguished by the cost model. ZB1P decouples kBackwardB
+/// (gradients w.r.t. input activations) from kBackwardW (gradients w.r.t.
+/// model parameters); see Section 2.3.2.
+enum class Pass : std::uint8_t { kForward, kBackwardB, kBackwardW };
+
+constexpr const char* to_string(LayerPart p) noexcept {
+  switch (p) {
+    case LayerPart::kPreAttention:
+      return "pre-attention";
+    case LayerPart::kAttention:
+      return "attention";
+    case LayerPart::kPostAttention:
+      return "post-attention";
+  }
+  return "?";
+}
+
+constexpr const char* to_string(Pass p) noexcept {
+  switch (p) {
+    case Pass::kForward:
+      return "forward";
+    case Pass::kBackwardB:
+      return "backward-B";
+    case Pass::kBackwardW:
+      return "backward-W";
+  }
+  return "?";
+}
+
+}  // namespace helix::model

@@ -1,0 +1,39 @@
+#include "model/gpu_specs.h"
+
+#include <stdexcept>
+
+namespace helix::model {
+
+namespace {
+constexpr i64 kGiB = i64{1} << 30;
+}
+
+ClusterSpec h20_cluster() {
+  ClusterSpec c;
+  c.name = "H20";
+  c.gpu = {.name = "H20", .dense_tflops = 148.0, .mem_bw_gbps = 4000.0, .mem_bytes = 96 * kGiB};
+  c.gpus_per_node = 8;
+  c.num_hcas = 4;
+  c.hca_gbps = 200.0;  // InfiniBand NDR
+  c.nvlink_gbps = 900.0;
+  return c;
+}
+
+ClusterSpec a800_cluster() {
+  ClusterSpec c;
+  c.name = "A800";
+  c.gpu = {.name = "A800", .dense_tflops = 312.0, .mem_bw_gbps = 2039.0, .mem_bytes = 80 * kGiB};
+  c.gpus_per_node = 8;
+  c.num_hcas = 4;
+  c.hca_gbps = 100.0;  // InfiniBand HDR
+  c.nvlink_gbps = 400.0;
+  return c;
+}
+
+ClusterSpec cluster_by_name(const std::string& name) {
+  if (name == "H20") return h20_cluster();
+  if (name == "A800") return a800_cluster();
+  throw std::invalid_argument("unknown cluster: " + name);
+}
+
+}  // namespace helix::model

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+
+#include "model/dims.h"
+
+namespace helix::model {
+
+/// Hardware description of one GPU. Numbers are public spec-sheet values;
+/// effective rates are derated by the efficiency factors in TimingParams.
+struct GpuSpec {
+  std::string name;
+  double dense_tflops = 0;   ///< dense FP16/BF16 tensor-core TFLOPS
+  double mem_bw_gbps = 0;    ///< HBM bandwidth, GB/s
+  i64 mem_bytes = 0;         ///< HBM capacity
+};
+
+/// One homogeneous training cluster: nodes of `gpus_per_node` GPUs joined by
+/// NVLink inside the node and InfiniBand HCAs across nodes (paper Section
+/// 5.1). Pipeline p2p crosses nodes; sequence-parallel collectives stay on
+/// NVLink.
+struct ClusterSpec {
+  std::string name;
+  GpuSpec gpu;
+  int gpus_per_node = 8;
+  int num_hcas = 4;            ///< InfiniBand host channel adapters per node
+  double hca_gbps = 0;         ///< line rate per HCA port, Gbit/s
+  double nvlink_gbps = 0;      ///< per-GPU NVLink bandwidth, GB/s
+  double wire_efficiency = 0.9;///< NCCL large-message fraction of IB line rate
+  double p2p_latency_s = 20e-6;
+
+  /// Effective inter-node bandwidth available to one pipeline stage
+  /// (all HCAs bonded), bytes/second.
+  double internode_bytes_per_s() const noexcept {
+    return num_hcas * hca_gbps * 1e9 / 8.0 * wire_efficiency;
+  }
+  /// Aggregate dense compute of one node, FLOP/s (before kernel efficiency).
+  double node_flops() const noexcept {
+    return gpus_per_node * gpu.dense_tflops * 1e12;
+  }
+};
+
+/// H20 cluster: 8x H20 per node, 4x InfiniBand NDR 200 Gbps HCAs.
+ClusterSpec h20_cluster();
+/// A800 cluster: 8x A800 per node, 4x InfiniBand HDR 100 Gbps HCAs.
+/// The A800 has roughly double the dense compute of the H20 but half the
+/// inter-node bandwidth (paper Section 5.2).
+ClusterSpec a800_cluster();
+
+ClusterSpec cluster_by_name(const std::string& name);
+
+}  // namespace helix::model

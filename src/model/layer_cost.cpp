@@ -1,0 +1,78 @@
+#include "model/layer_cost.h"
+
+#include <stdexcept>
+
+namespace helix::model {
+
+std::vector<OpCost> layer_op_costs(const LayerDims& d) {
+  const i64 bsh = d.bsh();
+  const i64 bsh2 = bsh * d.h;        // b*s*h^2
+  const i64 bhs2 = d.b * d.h * d.s * d.s;  // b*h*s^2
+  const i64 h2 = d.h * d.h;
+
+  std::vector<OpCost> ops;
+  ops.reserve(8);
+  // Attention module.
+  ops.push_back({"LayerNorm", LayerPart::kPreAttention, 0, 0, 0, 2 * d.h, bsh});
+  ops.push_back({"QKV Linear", LayerPart::kPreAttention, 6 * bsh2, 6 * bsh2,
+                 6 * bsh2, 3 * h2, bsh});
+  ops.push_back({"Attention", LayerPart::kAttention, 4 * bhs2, 8 * bhs2, 0, 0,
+                 3 * bsh});
+  ops.push_back({"O Linear", LayerPart::kPostAttention, 2 * bsh2, 2 * bsh2,
+                 2 * bsh2, h2, bsh});
+  // MLP module.
+  ops.push_back({"LayerNorm", LayerPart::kPostAttention, 0, 0, 0, 2 * d.h, bsh});
+  ops.push_back({"Linear 1", LayerPart::kPostAttention, 8 * bsh2, 8 * bsh2,
+                 8 * bsh2, 4 * h2, bsh});
+  ops.push_back({"GeLU", LayerPart::kPostAttention, 0, 0, 0, 0, 4 * bsh});
+  ops.push_back({"Linear 2", LayerPart::kPostAttention, 8 * bsh2, 8 * bsh2,
+                 8 * bsh2, 4 * h2, 4 * bsh});
+  return ops;
+}
+
+PartCost part_cost(const LayerDims& d, LayerPart part, QkvPlacement qkv) {
+  PartCost total;
+  for (const OpCost& op : layer_op_costs(d)) {
+    LayerPart effective = op.part;
+    if (op.name == "QKV Linear" && qkv == QkvPlacement::kInAttention) {
+      effective = LayerPart::kAttention;
+    }
+    if (effective != part) continue;
+    total.flops[0] += op.forward_flops;
+    total.flops[1] += op.backward_b_flops;
+    total.flops[2] += op.backward_w_flops;
+    total.param_elems += op.param_elems;
+    total.activation_elems += op.activation_elems;
+  }
+  return total;
+}
+
+LayerTotals layer_totals(const LayerDims& d) {
+  LayerTotals t;
+  for (const OpCost& op : layer_op_costs(d)) {
+    t.forward_flops += op.forward_flops;
+    t.backward_b_flops += op.backward_b_flops;
+    t.backward_w_flops += op.backward_w_flops;
+    t.param_elems += op.param_elems;
+    t.activation_elems += op.activation_elems;
+  }
+  return t;
+}
+
+i64 pre_to_attn_boundary_elems(const LayerDims& d, QkvPlacement qkv) {
+  switch (qkv) {
+    case QkvPlacement::kInPreAttention:
+      // Q, K, V (3bsh) + residual input A (bsh).
+      return 4 * d.bsh();
+    case QkvPlacement::kInAttention:
+      // LayerNorm output (bsh) + residual input (bsh) + QKV weights (3h^2).
+      return 2 * d.bsh() + 3 * d.h * d.h;
+  }
+  throw std::invalid_argument("unknown QkvPlacement");
+}
+
+i64 attn_to_post_boundary_elems(const LayerDims& d) { return 2 * d.bsh(); }
+
+i64 recompute_stash_elems(const LayerDims& d) { return 4 * d.bsh(); }
+
+}  // namespace helix::model

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "model/dims.h"
+
+// Implementation of Table 1 of the paper: per-operation FLOPs of the matrix
+// computations and element counts of model states / activations for one
+// GPT-3-style transformer layer. Bias parameters are neglected, attention
+// intermediate data is rounded to 3bsh due to flash attention, dropout is
+// omitted (low-memory dropout).
+namespace helix::model {
+
+/// One row of Table 1.
+struct OpCost {
+  std::string name;
+  LayerPart part;
+  i64 forward_flops = 0;
+  i64 backward_b_flops = 0;
+  i64 backward_w_flops = 0;
+  i64 param_elems = 0;
+  i64 activation_elems = 0;
+};
+
+/// All eight operations of a transformer layer in execution order
+/// (LayerNorm, QKV Linear, Attention, O Linear, LayerNorm, Linear 1,
+/// GeLU, Linear 2).
+std::vector<OpCost> layer_op_costs(const LayerDims& d);
+
+/// Aggregate cost of one of the three layer parts.
+struct PartCost {
+  i64 flops[3] = {0, 0, 0};  ///< indexed by Pass
+  i64 param_elems = 0;
+  i64 activation_elems = 0;
+
+  i64 forward_flops() const noexcept { return flops[0]; }
+  i64 backward_b_flops() const noexcept { return flops[1]; }
+  i64 backward_w_flops() const noexcept { return flops[2]; }
+};
+
+/// Where the QKV linear is executed. HelixPipe moves the QKV linear into the
+/// attention part and ships its weights (3h^2) together with the input A,
+/// reducing the pre-attention -> attention boundary from 4bsh to 2bsh + 3h^2
+/// (Section 4.2).
+enum class QkvPlacement : std::uint8_t { kInPreAttention, kInAttention };
+
+/// Cost of a layer part under the chosen QKV placement.
+PartCost part_cost(const LayerDims& d, LayerPart part,
+                   QkvPlacement qkv = QkvPlacement::kInPreAttention);
+
+/// Totals of Table 1 for one full layer:
+///   forward     4bsh(6h + s)
+///   backward B  4bsh(6h + 2s)
+///   backward W  4bsh(6h)
+///   params      12h^2 + 4h
+///   activations 16bsh
+struct LayerTotals {
+  i64 forward_flops = 0;
+  i64 backward_b_flops = 0;
+  i64 backward_w_flops = 0;
+  i64 param_elems = 0;
+  i64 activation_elems = 0;
+};
+LayerTotals layer_totals(const LayerDims& d);
+
+/// Communication volume in *elements* over the pre-attention -> attention
+/// boundary (Section 4.2): 4bsh when transferring Q, K, V and the residual,
+/// 2bsh + 3h^2 when shipping the QKV weights instead.
+i64 pre_to_attn_boundary_elems(const LayerDims& d, QkvPlacement qkv);
+
+/// Communication volume in elements over the attention -> post-attention
+/// boundary (attention output + residual input): 2bsh.
+i64 attn_to_post_boundary_elems(const LayerDims& d);
+
+/// Activation elements stashed per layer under the recomputation-without-
+/// attention strategy (Section 4.4.1): ~2bsh for flash attention in/out plus
+/// 2bsh for the combined post/pre part = 4bsh.
+i64 recompute_stash_elems(const LayerDims& d);
+
+}  // namespace helix::model

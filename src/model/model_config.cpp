@@ -1,0 +1,24 @@
+#include "model/model_config.h"
+
+#include <stdexcept>
+
+namespace helix::model {
+
+ModelConfig gpt_1p3b() { return {.name = "1.3B", .num_layers = 24, .num_heads = 16, .hidden = 2048}; }
+ModelConfig gpt_3b() { return {.name = "3B", .num_layers = 16, .num_heads = 32, .hidden = 4096}; }
+ModelConfig gpt_7b() { return {.name = "7B", .num_layers = 32, .num_heads = 32, .hidden = 4096}; }
+// GPT-3 13B: 40 layers, 40 heads, hidden 5120 (used for the Fig. 4 memory
+// imbalance analysis).
+ModelConfig gpt_13b() { return {.name = "13B", .num_layers = 40, .num_heads = 40, .hidden = 5120}; }
+
+std::vector<ModelConfig> table3_models() { return {gpt_1p3b(), gpt_3b(), gpt_7b()}; }
+
+ModelConfig model_by_name(const std::string& name) {
+  if (name == "1.3B") return gpt_1p3b();
+  if (name == "3B") return gpt_3b();
+  if (name == "7B") return gpt_7b();
+  if (name == "13B") return gpt_13b();
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+}  // namespace helix::model

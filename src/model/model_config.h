@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/dims.h"
+
+namespace helix::model {
+
+/// A GPT-3-style decoder-only transformer configuration (paper Table 3).
+struct ModelConfig {
+  std::string name;
+  int num_layers = 0;
+  int num_heads = 0;
+  i64 hidden = 0;
+  i64 vocab = 51200;  ///< typical GPT-family padded vocabulary (Section 4.6)
+  i64 max_seq = 131072;
+
+  /// Transformer-layer parameters only: L * (12h^2 + 4h).
+  i64 layer_param_elems() const noexcept {
+    return static_cast<i64>(num_layers) * (12 * hidden * hidden + 4 * hidden);
+  }
+  /// Word + position embeddings (tied LM head not double counted).
+  i64 embedding_param_elems() const noexcept {
+    return (vocab + max_seq) * hidden;
+  }
+  i64 total_param_elems() const noexcept {
+    return layer_param_elems() + embedding_param_elems();
+  }
+};
+
+/// Table 3 configurations (plus the 13B model used in Fig. 4).
+ModelConfig gpt_1p3b();
+ModelConfig gpt_3b();
+ModelConfig gpt_7b();
+ModelConfig gpt_13b();
+
+/// All evaluation model configurations in paper order.
+std::vector<ModelConfig> table3_models();
+
+/// Look up a configuration by name ("1.3B", "3B", "7B", "13B").
+ModelConfig model_by_name(const std::string& name);
+
+}  // namespace helix::model

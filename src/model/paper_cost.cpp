@@ -1,0 +1,56 @@
+#include "model/paper_cost.h"
+
+namespace helix::model {
+
+double PaperCostModel::compute_seconds(const core::Op& op) const {
+  using core::OpKind;
+  const LayerDims& d = dims_;
+  switch (op.kind) {
+    case OpKind::kEmbedFwd:
+      return timing_.embedding_time(d, Pass::kForward);
+    case OpKind::kEmbedBwd:
+      return timing_.embedding_time(d, Pass::kBackwardB);
+    case OpKind::kFwdPre:
+    case OpKind::kRecomputePre:
+      return timing_.part_time(d, LayerPart::kPreAttention, Pass::kForward, qkv_);
+    case OpKind::kFwdAttn:
+    case OpKind::kRecomputeAttn:
+      return timing_.part_time(d, LayerPart::kAttention, Pass::kForward, qkv_);
+    case OpKind::kFwdPost:
+    case OpKind::kRecomputePost:
+      return timing_.part_time(d, LayerPart::kPostAttention, Pass::kForward, qkv_);
+    case OpKind::kBwdAttn:
+      return timing_.part_time(d, LayerPart::kAttention, Pass::kBackwardB, qkv_);
+    case OpKind::kBwdPre: {
+      double t = timing_.part_time(d, LayerPart::kPreAttention, Pass::kBackwardB, qkv_);
+      if (op.combines_w) {
+        t += timing_.part_time(d, LayerPart::kPreAttention, Pass::kBackwardW, qkv_);
+      }
+      return t;
+    }
+    case OpKind::kBwdPost: {
+      double t = timing_.part_time(d, LayerPart::kPostAttention, Pass::kBackwardB, qkv_);
+      if (op.combines_w) {
+        t += timing_.part_time(d, LayerPart::kPostAttention, Pass::kBackwardW, qkv_);
+      }
+      return t;
+    }
+    case OpKind::kBwdWPre:
+      return timing_.part_time(d, LayerPart::kPreAttention, Pass::kBackwardW, qkv_);
+    case OpKind::kBwdWPost:
+      return timing_.part_time(d, LayerPart::kPostAttention, Pass::kBackwardW, qkv_);
+    case OpKind::kLmHeadLoss:
+      // Head forward + loss + dlogits + d(hidden): forward and backward-B
+      // fused because the loss is computed inside the backward pass (4.6).
+      return timing_.lm_head_loss_time(d, model_.vocab, Pass::kForward) +
+             timing_.lm_head_loss_time(d, model_.vocab, Pass::kBackwardB);
+    case OpKind::kOptimStep:
+      return timing_.optimizer_time(model_.layer_param_elems() / pipeline_size_);
+    case OpKind::kSend:
+    case OpKind::kRecv:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace helix::model

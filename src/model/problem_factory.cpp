@@ -1,0 +1,74 @@
+#include "model/problem_factory.h"
+
+#include "model/memory.h"
+
+namespace helix::model {
+
+core::PipelineProblem make_problem(const ModelConfig& model, const TrainSetup& s) {
+  const LayerDims d{.s = s.seq_len, .b = s.micro_batch, .h = model.hidden};
+  const i64 bsh = d.bsh();
+  const i64 bytes = dtype_bytes(s.dtype);
+  // Per-GPU scaling: activations are sharded s-wise across the SP group.
+  const auto gb = [&](i64 elems) { return elems * bytes / s.sp; };
+
+  core::PipelineProblem pr;
+  pr.p = s.pipeline;
+  pr.m = s.micro_batches;
+  pr.L = model.num_layers;
+
+  // Table 1 activation split: pre 2bsh (LayerNorm + QKV input), attention
+  // 3bsh (flash), post 11bsh (O/LN/MLP/GeLU intermediates).
+  pr.act.pre = gb(2 * bsh);
+  pr.act.attn = gb(3 * bsh);
+  pr.act.post = gb(11 * bsh);
+  // Section 4.4.1 recompute stashes: flash in/out ~2bsh; combo inputs 2bsh.
+  pr.act.attn_recompute = gb(2 * bsh);
+  pr.act.post_recompute = gb(2 * bsh);
+  pr.act.recompute_transient = gb(12 * bsh);
+  pr.act.full_layer_recompute_stash = gb(bsh);
+  // Gradients stashed between decoupled backward-B and backward-W.
+  pr.act.w_stash_pre = gb(bsh);
+  pr.act.w_stash_post = gb(2 * bsh);
+
+  pr.comm.boundary = bsh;
+  pr.comm.pre_to_attn = pre_to_attn_boundary_elems(d, s.qkv);
+  pr.comm.attn_to_post = attn_to_post_boundary_elems(d);
+
+  pr.include_lm_head = s.include_lm_head;
+  pr.logits_transient_bytes = d.s * d.b * model.vocab * bytes / s.sp;
+  // ZB1P's deferred LM-head backward-W stashes the fp32 hidden states plus
+  // an fp32 gradient accumulation view (Section 5.4's final-stage spike).
+  pr.head_stash_bytes = d.s * d.b * model.hidden * 4 / s.sp;
+  return pr;
+}
+
+std::vector<i64> layerwise_base_memory(const ModelConfig& model, const TrainSetup& s) {
+  const PipelineShape ps{.p = s.pipeline, .m = s.micro_batches, .L = model.num_layers};
+  std::vector<i64> base(static_cast<std::size_t>(s.pipeline), 0);
+  for (int i = 0; i < s.pipeline; ++i) {
+    base[static_cast<std::size_t>(i)] = stage_model_state_bytes(model, ps, s.sp);
+  }
+  base.front() += embedding_state_bytes(model, s.sp);
+  if (s.include_lm_head) {
+    // Tied LM head: fp32 gradient buffer for the vocabulary projection.
+    base.back() += model.vocab * model.hidden * 4 / s.sp;
+  }
+  return base;
+}
+
+std::vector<i64> helix_base_memory(const ModelConfig& model, const TrainSetup& s) {
+  const PipelineShape ps{.p = s.pipeline, .m = s.micro_batches, .L = model.num_layers};
+  std::vector<i64> base(static_cast<std::size_t>(s.pipeline), 0);
+  for (int i = 0; i < s.pipeline; ++i) {
+    // Round-robin combo ownership: L/p layers' pre+post parameters.
+    base[static_cast<std::size_t>(i)] = stage_model_state_bytes(model, ps, s.sp);
+  }
+  // Both embeddings and LM head live on stage 0 (Section 4.6).
+  base.front() += embedding_state_bytes(model, s.sp);
+  if (s.include_lm_head) {
+    base.front() += model.vocab * model.hidden * 4 / s.sp;
+  }
+  return base;
+}
+
+}  // namespace helix::model

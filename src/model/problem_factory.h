@@ -1,0 +1,35 @@
+#pragma once
+
+#include "core/problem.h"
+#include "model/layer_cost.h"
+#include "model/model_config.h"
+
+// Builds a generator-facing PipelineProblem from a model configuration and
+// a training setup. All activation byte quantities are per GPU (divided by
+// the sequence-parallel degree, since Megatron SP shards activations along
+// the sequence dimension); communication volumes are whole-boundary element
+// counts (the stage's bonded HCAs move the full activation).
+namespace helix::model {
+
+struct TrainSetup {
+  i64 seq_len = 0;
+  i64 micro_batch = 1;
+  int pipeline = 1;       ///< p
+  int micro_batches = 1;  ///< m per iteration
+  int sp = 8;             ///< sequence parallel degree inside a node
+  DType dtype = DType::kBF16;
+  QkvPlacement qkv = QkvPlacement::kInAttention;
+  bool include_lm_head = true;
+};
+
+core::PipelineProblem make_problem(const ModelConfig& model, const TrainSetup& s);
+
+/// Per-GPU model-state bytes for each stage under layer-wise partition
+/// (1F1B / ZB1P / AdaPipe) — used as simulator base memory.
+std::vector<i64> layerwise_base_memory(const ModelConfig& model, const TrainSetup& s);
+
+/// Per-GPU model-state bytes for each stage under HelixPipe's attention
+/// parallel partition (layers round-robin, embeddings and head on stage 0).
+std::vector<i64> helix_base_memory(const ModelConfig& model, const TrainSetup& s);
+
+}  // namespace helix::model

@@ -1,0 +1,133 @@
+#include "model/timing.h"
+
+#include <stdexcept>
+
+namespace helix::model {
+
+namespace {
+
+// Approximate elementwise/LayerNorm HBM traffic per part, in multiples of
+// bsh elements. These ops have zero FLOPs in Table 1 but nonzero wall time;
+// they matter only at short sequence lengths (Fig. 3 left end).
+double elementwise_bsh_factor(LayerPart part, Pass pass) {
+  switch (part) {
+    case LayerPart::kPreAttention:
+      return pass == Pass::kForward ? 2.0 : (pass == Pass::kBackwardB ? 3.0 : 1.0);
+    case LayerPart::kAttention:
+      return 0.0;
+    case LayerPart::kPostAttention:
+      // two residual adds, LayerNorm, GeLU over the 4h MLP width
+      return pass == Pass::kForward ? 16.0 : (pass == Pass::kBackwardB ? 24.0 : 8.0);
+  }
+  return 0.0;
+}
+
+// Number of sequence-parallel collectives (all-gather or reduce-scatter,
+// same ring cost) executed inside each part per pass, following Megatron
+// sequence parallelism with the QKV linear placed per `qkv`.
+int sp_collective_count(LayerPart part, Pass pass, QkvPlacement qkv) {
+  const bool w = pass == Pass::kBackwardW;
+  switch (part) {
+    case LayerPart::kPreAttention:
+      return qkv == QkvPlacement::kInPreAttention ? (w ? 1 : 1) : 0;
+    case LayerPart::kAttention:
+      if (qkv == QkvPlacement::kInAttention) return w ? 0 : 1;
+      return 0;
+    case LayerPart::kPostAttention:
+      return w ? 1 : 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+TimingModel::TimingModel(ClusterSpec cluster, TimingParams params, int sp_degree)
+    : cluster_(std::move(cluster)), params_(params), sp_(sp_degree) {
+  if (sp_ < 1 || sp_ > cluster_.gpus_per_node) {
+    throw std::invalid_argument("sequence parallel size must be in [1, gpus_per_node]");
+  }
+}
+
+double TimingModel::matmul_seconds(i64 flops) const {
+  const double node = cluster_.node_flops() * params_.matmul_efficiency;
+  return static_cast<double>(flops) * (cluster_.gpus_per_node / static_cast<double>(sp_)) / node;
+}
+
+double TimingModel::attention_seconds(i64 flops) const {
+  const double node = cluster_.node_flops() * params_.attention_efficiency;
+  return static_cast<double>(flops) * (cluster_.gpus_per_node / static_cast<double>(sp_)) / node;
+}
+
+double TimingModel::hbm_seconds(i64 elems_moved) const {
+  const double per_gpu = cluster_.gpu.mem_bw_gbps * 1e9 * params_.hbm_efficiency;
+  const double bytes = static_cast<double>(elems_moved) * dtype_bytes(params_.dtype) / sp_;
+  return bytes / per_gpu;
+}
+
+double TimingModel::sp_collective_time(const LayerDims& d) const {
+  if (sp_ == 1) return 0.0;
+  const double bytes = static_cast<double>(d.bsh()) * dtype_bytes(params_.dtype);
+  const double per_gpu_bytes = bytes * (sp_ - 1) / sp_;
+  const double bw = cluster_.nvlink_gbps * 1e9 * params_.nvlink_efficiency;
+  return per_gpu_bytes / bw + (sp_ - 1) * 3e-6;
+}
+
+double TimingModel::part_time(const LayerDims& d, LayerPart part, Pass pass,
+                              QkvPlacement qkv) const {
+  const PartCost cost = part_cost(d, part, qkv);
+  const int pass_idx = static_cast<int>(pass);
+  i64 flops = cost.flops[pass_idx];
+
+  // Separate the quadratic attention kernel from surrounding GEMMs; they
+  // run at different efficiencies.
+  double t = 0.0;
+  if (part == LayerPart::kAttention) {
+    const i64 sdpa = part_cost(d, part, QkvPlacement::kInPreAttention).flops[pass_idx];
+    t += attention_seconds(sdpa);
+    flops -= sdpa;  // remaining QKV GEMM if the linear was moved here
+  }
+  t += matmul_seconds(flops);
+  t += hbm_seconds(static_cast<i64>(elementwise_bsh_factor(part, pass) * d.bsh()));
+  if (params_.include_sp_comm) {
+    t += sp_collective_count(part, pass, qkv) * sp_collective_time(d);
+  }
+  return t + params_.kernel_launch_s;
+}
+
+double TimingModel::layer_forward_time(const LayerDims& d) const {
+  return part_time(d, LayerPart::kPreAttention, Pass::kForward) +
+         part_time(d, LayerPart::kAttention, Pass::kForward) +
+         part_time(d, LayerPart::kPostAttention, Pass::kForward);
+}
+
+double TimingModel::p2p_time(i64 elems) const {
+  const double bytes = static_cast<double>(elems) * dtype_bytes(params_.dtype);
+  return cluster_.p2p_latency_s + bytes / cluster_.internode_bytes_per_s();
+}
+
+double TimingModel::embedding_time(const LayerDims& d, Pass pass) const {
+  const double factor = pass == Pass::kForward ? 3.0 : 2.0;
+  return hbm_seconds(static_cast<i64>(factor * d.bsh())) + params_.kernel_launch_s;
+}
+
+double TimingModel::lm_head_loss_time(const LayerDims& d, i64 vocab, Pass pass) const {
+  const i64 gemm = 2 * d.bsh() * vocab;
+  switch (pass) {
+    case Pass::kForward:
+      return matmul_seconds(gemm) + hbm_seconds(d.s * d.b * vocab) + params_.kernel_launch_s;
+    case Pass::kBackwardB:
+      return matmul_seconds(2 * gemm) + hbm_seconds(2 * d.s * d.b * vocab) + params_.kernel_launch_s;
+    case Pass::kBackwardW:
+      return matmul_seconds(gemm) + params_.kernel_launch_s;
+  }
+  return 0.0;
+}
+
+double TimingModel::optimizer_time(i64 param_elems) const {
+  // Mixed-precision Adam touches ~20 bytes per parameter (fp16 param+grad,
+  // fp32 master + two moments).
+  const double per_gpu = cluster_.gpu.mem_bw_gbps * 1e9 * params_.hbm_efficiency;
+  return static_cast<double>(param_elems) / sp_ * 20.0 / per_gpu;
+}
+
+}  // namespace helix::model

@@ -1,0 +1,68 @@
+#pragma once
+
+#include "model/gpu_specs.h"
+#include "model/layer_cost.h"
+#include "model/model_config.h"
+
+// FLOPs -> seconds translation. One pipeline stage is one 8-GPU node that
+// runs Megatron sequence parallelism internally (paper Section 5.1), so a
+// stage's compute throughput is the node aggregate derated by per-op-class
+// kernel efficiency, and every layer additionally pays the sequence-parallel
+// all-gather / reduce-scatter collectives on NVLink.
+namespace helix::model {
+
+struct TimingParams {
+  double matmul_efficiency = 0.62;     ///< achieved fraction of peak for GEMMs
+  double attention_efficiency = 0.45;  ///< flash-attention at long sequence
+  double hbm_efficiency = 0.70;        ///< elementwise / LayerNorm traffic
+  double nvlink_efficiency = 0.75;     ///< ring collectives on NVLink
+  double kernel_launch_s = 8e-6;       ///< fixed per-part launch overhead
+  DType dtype = DType::kBF16;
+  bool include_sp_comm = true;  ///< fold SP collectives into part durations
+};
+
+class TimingModel {
+ public:
+  TimingModel(ClusterSpec cluster, TimingParams params, int sp_degree);
+
+  const ClusterSpec& cluster() const noexcept { return cluster_; }
+  const TimingParams& params() const noexcept { return params_; }
+  int sp_degree() const noexcept { return sp_; }
+
+  /// Wall time of one layer part for one micro batch on one pipeline stage
+  /// (a full node with `sp_degree`-way sequence parallelism inside).
+  double part_time(const LayerDims& d, LayerPart part, Pass pass,
+                   QkvPlacement qkv = QkvPlacement::kInAttention) const;
+
+  /// Forward time of a full layer (sum of the three parts).
+  double layer_forward_time(const LayerDims& d) const;
+
+  /// Time of one ring all-gather or reduce-scatter of a full [s,b,h]
+  /// activation across the sequence-parallel group on NVLink.
+  double sp_collective_time(const LayerDims& d) const;
+
+  /// Inter-node point-to-point transfer of `elems` dtype elements between
+  /// two pipeline stages over the bonded InfiniBand HCAs.
+  double p2p_time(i64 elems) const;
+
+  /// Input embedding lookup + position embedding for one micro batch.
+  double embedding_time(const LayerDims& d, Pass pass) const;
+
+  /// LM head matmul + softmax cross-entropy for one micro batch
+  /// (executed inside the backward pass, Section 4.6).
+  double lm_head_loss_time(const LayerDims& d, i64 vocab, Pass pass) const;
+
+  /// Optimizer step over `param_elems` parameters (HBM-bandwidth bound).
+  double optimizer_time(i64 param_elems) const;
+
+ private:
+  double matmul_seconds(i64 flops) const;
+  double attention_seconds(i64 flops) const;
+  double hbm_seconds(i64 elems_moved) const;
+
+  ClusterSpec cluster_;
+  TimingParams params_;
+  int sp_;
+};
+
+}  // namespace helix::model

@@ -1,0 +1,264 @@
+#include "nn/parts.h"
+
+namespace helix::nn {
+
+using namespace helix::tensor;
+
+Tensor pre_forward(const Tensor& x, const LayerParams& p, PreStash* stash) {
+  LayerNormStats stats;
+  Tensor ln1 = layernorm_forward(x, p.ln1_g, p.ln1_b, &stats);
+  if (stash != nullptr) {
+    stash->x = x;
+    stash->stats = std::move(stats);
+  }
+  return ln1;
+}
+
+Tensor attn_forward(const Tensor& ln1, const Tensor& wqkv, const MiniGptConfig& cfg,
+                    AttnStash* stash) {
+  const Tensor qkv = matmul(ln1, wqkv);
+  Tensor ctx = attention_forward(qkv, cfg.batch, cfg.seq, cfg.heads);
+  if (stash != nullptr) {
+    stash->ln1 = ln1;
+    stash->wqkv = wqkv;
+  }
+  return ctx;
+}
+
+namespace {
+
+/// MLP forward in `chunks` row slices: a1 = ln2*W1, g = GeLU(a1), out = g*W2.
+/// Writes a1/g1 into the stash when keep is true.
+Tensor mlp_forward(const Tensor& ln2, const LayerParams& p, int chunks,
+                   bool keep, PostStash* stash) {
+  const i64 rows = ln2.rows();
+  const i64 h = ln2.cols();
+  Tensor out({rows, h});
+  if (keep && stash != nullptr) {
+    stash->a1 = Tensor({rows, 4 * h});
+    stash->g1 = Tensor({rows, 4 * h});
+  }
+  const i64 per = (rows + chunks - 1) / chunks;
+  for (i64 r0 = 0; r0 < rows; r0 += per) {
+    const i64 r1 = std::min(rows, r0 + per);
+    Tensor slice({r1 - r0, h});
+    for (i64 r = r0; r < r1; ++r) {
+      for (i64 c = 0; c < h; ++c) slice.at(r - r0, c) = ln2.at(r, c);
+    }
+    const Tensor a1 = matmul(slice, p.w1);
+    const Tensor g1 = gelu_forward(a1);
+    const Tensor o = matmul(g1, p.w2);
+    for (i64 r = r0; r < r1; ++r) {
+      for (i64 c = 0; c < h; ++c) out.at(r, c) = o.at(r - r0, c);
+      if (keep && stash != nullptr) {
+        for (i64 c = 0; c < 4 * h; ++c) {
+          stash->a1.at(r, c) = a1.at(r - r0, c);
+          stash->g1.at(r, c) = g1.at(r - r0, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Chunked MLP backward; accumulates dW1/dW2 and returns dln2.
+Tensor mlp_backward(const Tensor& dout, const PostStash& st, const LayerParams& p,
+                    int chunks, Tensor& dw1, Tensor& dw2) {
+  const i64 rows = dout.rows();
+  const i64 h = dout.cols();
+  Tensor dln2({rows, h});
+  dw1 = Tensor({h, 4 * h});
+  dw2 = Tensor({4 * h, h});
+  const i64 per = (rows + chunks - 1) / chunks;
+  for (i64 r0 = 0; r0 < rows; r0 += per) {
+    const i64 r1 = std::min(rows, r0 + per);
+    const i64 n = r1 - r0;
+    Tensor dslice({n, h}), a1({n, 4 * h}), g1({n, 4 * h}), ln2({n, h});
+    for (i64 r = r0; r < r1; ++r) {
+      for (i64 c = 0; c < h; ++c) {
+        dslice.at(r - r0, c) = dout.at(r, c);
+        ln2.at(r - r0, c) = st.ln2.at(r, c);
+      }
+      for (i64 c = 0; c < 4 * h; ++c) {
+        a1.at(r - r0, c) = st.a1.at(r, c);
+        g1.at(r - r0, c) = st.g1.at(r, c);
+      }
+    }
+    const Tensor dg = matmul_nt(dslice, p.w2);     // [n, 4h]
+    add_inplace(dw2, matmul_tn(g1, dslice));       // [4h, h]
+    const Tensor da1 = gelu_backward(dg, a1);
+    add_inplace(dw1, matmul_tn(ln2, da1));         // [h, 4h]
+    const Tensor dl = matmul_nt(da1, p.w1);        // [n, h]
+    for (i64 r = r0; r < r1; ++r) {
+      for (i64 c = 0; c < h; ++c) dln2.at(r, c) = dl.at(r - r0, c);
+    }
+  }
+  return dln2;
+}
+
+}  // namespace
+
+Tensor post_forward(const Tensor& x, const Tensor& ctx, const LayerParams& p,
+                    int mlp_chunks, bool keep_intermediates, PostStash* stash) {
+  const Tensor o = matmul(ctx, p.wo);
+  Tensor h1 = add(x, o);
+  LayerNormStats st2;
+  Tensor ln2 = layernorm_forward(h1, p.ln2_g, p.ln2_b, &st2);
+  if (stash != nullptr) {
+    stash->x = x;
+    stash->ctx = ctx;
+    stash->intermediates_valid = keep_intermediates;
+    if (keep_intermediates) {
+      stash->h1 = h1;
+      stash->ln2 = ln2;
+      stash->ln2_stats = st2;
+    }
+  }
+  const Tensor mlp = mlp_forward(ln2, p, mlp_chunks,
+                                 keep_intermediates, stash);
+  return add(h1, mlp);
+}
+
+Tensor post_recompute(const LayerParams& p, int mlp_chunks, PostStash& stash) {
+  const Tensor o = matmul(stash.ctx, p.wo);
+  stash.h1 = add(stash.x, o);
+  stash.ln2 = layernorm_forward(stash.h1, p.ln2_g, p.ln2_b, &stash.ln2_stats);
+  const Tensor mlp = mlp_forward(stash.ln2, p, mlp_chunks, true, &stash);
+  stash.intermediates_valid = true;
+  return add(stash.h1, mlp);
+}
+
+PreBackwardResult pre_backward(const Tensor& dln1, const Tensor& dx_pass,
+                               const Tensor& x, const LayerNormStats& stats,
+                               const LayerParams& p) {
+  LayerNormGrads g = layernorm_backward(dln1, x, p.ln1_g, stats);
+  PreBackwardResult r;
+  r.dx = add(g.dx, dx_pass);
+  r.dln1_g = std::move(g.dgamma);
+  r.dln1_b = std::move(g.dbeta);
+  return r;
+}
+
+AttnBackwardResult attn_backward(const Tensor& dctx, const AttnStash& stash,
+                                 const MiniGptConfig& cfg) {
+  // Flash-style: recompute qkv from the stashed input, then the exact
+  // attention backward (which itself recomputes the probabilities).
+  const Tensor qkv = matmul(stash.ln1, stash.wqkv);
+  const Tensor dqkv = attention_backward(dctx, qkv, cfg.batch, cfg.seq, cfg.heads);
+  AttnBackwardResult r;
+  r.dln1 = matmul_nt(dqkv, stash.wqkv);
+  r.dwqkv = matmul_tn(stash.ln1, dqkv);
+  return r;
+}
+
+PostBackwardResult post_backward(const Tensor& dy, const LayerParams& p,
+                                 int mlp_chunks, const PostStash& stash) {
+  if (!stash.intermediates_valid) {
+    throw std::logic_error("post_backward: intermediates not available (run recompute)");
+  }
+  PostBackwardResult r;
+  Tensor dln2 = mlp_backward(dy, stash, p, mlp_chunks, r.dw1, r.dw2);
+  LayerNormGrads g2 = layernorm_backward(dln2, stash.h1, p.ln2_g, stash.ln2_stats);
+  r.dln2_g = std::move(g2.dgamma);
+  r.dln2_b = std::move(g2.dbeta);
+  Tensor dh1 = add(g2.dx, dy);  // residual around the MLP
+  r.dctx = matmul_nt(dh1, p.wo);
+  r.dwo = matmul_tn(stash.ctx, dh1);
+  r.dx = std::move(dh1);  // residual around attention
+  return r;
+}
+
+PostBackwardBResult post_backward_b(const Tensor& dy, const LayerParams& p,
+                                    int mlp_chunks, const PostStash& stash) {
+  if (!stash.intermediates_valid) {
+    throw std::logic_error("post_backward_b: intermediates not available");
+  }
+  (void)mlp_chunks;  // B-only path has no weight-gradient reduction to slice
+  PostBackwardBResult r;
+  // MLP input gradients (no dW1/dW2).
+  const Tensor dg = matmul_nt(dy, p.w2);
+  const Tensor da1 = gelu_backward(dg, stash.a1);
+  const Tensor dln2 = matmul_nt(da1, p.w1);
+  LayerNormGrads g2 = layernorm_backward(dln2, stash.h1, p.ln2_g, stash.ln2_stats);
+  Tensor dh1 = add(g2.dx, dy);
+  r.dctx = matmul_nt(dh1, p.wo);
+  r.w.dy = dy;
+  r.w.da1 = da1;
+  r.w.dln2 = dln2;
+  r.w.dh1 = dh1;
+  r.dx = std::move(dh1);
+  return r;
+}
+
+PostBackwardWResult post_backward_w(const LayerParams& p, const PostStash& stash,
+                                    const PostWStash& w, int mlp_chunks) {
+  (void)p;
+  PostBackwardWResult r;
+  const i64 rows = w.dy.rows();
+  const i64 h = w.dy.cols();
+  r.dw1 = Tensor({h, 4 * h});
+  r.dw2 = Tensor({4 * h, h});
+  // Contract in the same row slices as the chunked MLP so the float
+  // summation order matches the combined backward exactly.
+  const i64 per = (rows + mlp_chunks - 1) / mlp_chunks;
+  for (i64 r0 = 0; r0 < rows; r0 += per) {
+    const i64 r1 = std::min(rows, r0 + per);
+    const i64 n = r1 - r0;
+    Tensor g1({n, 4 * h}), dy({n, h}), ln2({n, h}), da1({n, 4 * h});
+    for (i64 rr = r0; rr < r1; ++rr) {
+      for (i64 c = 0; c < h; ++c) {
+        dy.at(rr - r0, c) = w.dy.at(rr, c);
+        ln2.at(rr - r0, c) = stash.ln2.at(rr, c);
+      }
+      for (i64 c = 0; c < 4 * h; ++c) {
+        g1.at(rr - r0, c) = stash.g1.at(rr, c);
+        da1.at(rr - r0, c) = w.da1.at(rr, c);
+      }
+    }
+    add_inplace(r.dw2, matmul_tn(g1, dy));
+    add_inplace(r.dw1, matmul_tn(ln2, da1));
+  }
+  const LayerNormParamGrads lng =
+      layernorm_param_grads(w.dln2, stash.h1, stash.ln2_stats);
+  r.dln2_g = lng.dgamma;
+  r.dln2_b = lng.dbeta;
+  r.dwo = matmul_tn(stash.ctx, w.dh1);
+  return r;
+}
+
+AttnBackwardBResult attn_backward_b(const Tensor& dctx, const AttnStash& stash,
+                                    const MiniGptConfig& cfg) {
+  const Tensor qkv = matmul(stash.ln1, stash.wqkv);
+  AttnBackwardBResult r;
+  r.dqkv = attention_backward(dctx, qkv, cfg.batch, cfg.seq, cfg.heads);
+  r.dln1 = matmul_nt(r.dqkv, stash.wqkv);
+  return r;
+}
+
+Tensor attn_backward_w(const AttnStash& stash, const Tensor& dqkv) {
+  return matmul_tn(stash.ln1, dqkv);
+}
+
+Tensor pre_backward_b(const Tensor& dln1, const Tensor& dx_pass, const Tensor& x,
+                      const LayerNormStats& stats, const LayerParams& p) {
+  LayerNormGrads g = layernorm_backward(dln1, x, p.ln1_g, stats);
+  return add(g.dx, dx_pass);
+}
+
+LayerNormParamGrads pre_backward_w(const Tensor& dln1, const Tensor& x,
+                                   const LayerNormStats& stats) {
+  return layernorm_param_grads(dln1, x, stats);
+}
+
+HeadResult lm_head_loss(const Tensor& hidden, const Tensor& wlm,
+                        const std::vector<int>& targets) {
+  const Tensor logits = matmul(hidden, wlm);
+  Tensor dlogits;
+  HeadResult r;
+  r.loss = cross_entropy_forward_backward(logits, targets, dlogits);
+  r.dhidden = matmul_nt(dlogits, wlm);
+  r.dwlm = matmul_tn(hidden, dlogits);
+  return r;
+}
+
+}  // namespace helix::nn

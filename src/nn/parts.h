@@ -1,0 +1,136 @@
+#pragma once
+
+#include "nn/model.h"
+
+// The transformer layer split into HelixPipe's three parts (paper Fig. 1):
+//
+//   pre-attention(l):  ln1 = LayerNorm1(x_l)        [QKV weights shipped]
+//   attention(l):      qkv = ln1 * Wqkv; ctx = CausalMHA(qkv)
+//   post-attention(l): h1 = x_l + ctx * Wo; y = h1 + MLP(LayerNorm2(h1))
+//
+// Each part exposes forward, backward and (for pre/post) a recompute path
+// that regenerates the intermediates from the minimal stash of Section
+// 4.4.1. The MLP supports chunked execution (Section 4.4.2); chunked and
+// unchunked paths are numerically identical.
+namespace helix::nn {
+
+// ---------------------------------------------------------------- stashes
+struct PreStash {
+  Tensor x;  ///< layer input (kept only implicitly via the combo stash)
+  tensor::LayerNormStats stats;
+};
+
+struct AttnStash {
+  Tensor ln1;   ///< attention-part input (flash-attention "input" stash)
+  Tensor wqkv;  ///< shipped weights (Section 4.2), needed for backward
+};
+
+struct PostStash {
+  // Minimal (recompute-without-attention) stash: the combo inputs.
+  Tensor x;    ///< residual input of post-attention
+  Tensor ctx;  ///< attention output
+  // Full-stash intermediates (populated by forward or by recompute).
+  Tensor h1, ln2, a1, g1;
+  tensor::LayerNormStats ln2_stats;
+  bool intermediates_valid = false;
+};
+
+// ---------------------------------------------------------------- forward
+/// ln1 = LN1(x); fills `stash` (x and stats) when stash != nullptr.
+Tensor pre_forward(const Tensor& x, const LayerParams& p, PreStash* stash);
+
+/// ctx from shipped {ln1, wqkv}; stashes flash-style input.
+Tensor attn_forward(const Tensor& ln1, const Tensor& wqkv, const MiniGptConfig& cfg,
+                    AttnStash* stash);
+
+/// y = x + ctx*Wo + MLP(LN2(x + ctx*Wo)); `mlp_chunks` >= 1 slices the MLP.
+/// When `keep_intermediates` is false only the minimal {x, ctx} stash is
+/// retained (recomputation-without-attention).
+Tensor post_forward(const Tensor& x, const Tensor& ctx, const LayerParams& p,
+                    int mlp_chunks, bool keep_intermediates, PostStash* stash);
+
+/// Re-run the post-attention forward from the minimal stash, restoring the
+/// intermediates; returns y (the next layer's input).
+Tensor post_recompute(const LayerParams& p, int mlp_chunks, PostStash& stash);
+
+// --------------------------------------------------------------- backward
+struct PreBackwardResult {
+  Tensor dx;  ///< gradient w.r.t. the layer input x_l
+  Tensor dln1_g, dln1_b;
+};
+/// dln1 from the attention stage + the residual-path gradient dx_pass.
+PreBackwardResult pre_backward(const Tensor& dln1, const Tensor& dx_pass,
+                               const Tensor& x, const tensor::LayerNormStats& stats,
+                               const LayerParams& p);
+
+struct AttnBackwardResult {
+  Tensor dln1;
+  Tensor dwqkv;
+};
+/// Flash-style: recomputes qkv and the probabilities from the stash.
+AttnBackwardResult attn_backward(const Tensor& dctx, const AttnStash& stash,
+                                 const MiniGptConfig& cfg);
+
+struct PostBackwardResult {
+  Tensor dx;    ///< gradient of the residual input (flows to the attn stage)
+  Tensor dctx;  ///< gradient of the attention output
+  Tensor dwo, dln2_g, dln2_b, dw1, dw2;
+};
+/// Requires stash.intermediates_valid (from forward or post_recompute).
+PostBackwardResult post_backward(const Tensor& dy, const LayerParams& p,
+                                 int mlp_chunks, const PostStash& stash);
+
+// ------------------------------------------- decoupled backward (ZB1P, 2.3.2)
+// Backward-B computes only input gradients and stashes the output gradients
+// backward-W later contracts with the (still stashed) forward activations.
+struct PostWStash {
+  Tensor dy;    ///< dout of Linear2 (and the MLP residual)
+  Tensor da1;   ///< dout of Linear1
+  Tensor dln2;  ///< dout of LayerNorm2
+  Tensor dh1;   ///< dout of the O linear's output path
+};
+struct PostBackwardBResult {
+  Tensor dx;
+  Tensor dctx;
+  PostWStash w;
+};
+PostBackwardBResult post_backward_b(const Tensor& dy, const LayerParams& p,
+                                    int mlp_chunks, const PostStash& stash);
+struct PostBackwardWResult {
+  Tensor dwo, dln2_g, dln2_b, dw1, dw2;
+};
+/// `mlp_chunks` must match the forward/reference chunking so the weight
+/// gradient summation order (and hence the result bits) is identical.
+PostBackwardWResult post_backward_w(const LayerParams& p, const PostStash& stash,
+                                    const PostWStash& w, int mlp_chunks = 1);
+
+struct AttnBackwardBResult {
+  Tensor dln1;
+  Tensor dqkv;  ///< stashed for the deferred QKV backward-W
+};
+AttnBackwardBResult attn_backward_b(const Tensor& dctx, const AttnStash& stash,
+                                    const MiniGptConfig& cfg);
+/// dWqkv = ln1^T dqkv.
+Tensor attn_backward_w(const AttnStash& stash, const Tensor& dqkv);
+
+struct PreWStash {
+  Tensor dln1;
+};
+/// Input gradient of LayerNorm1 only.
+Tensor pre_backward_b(const Tensor& dln1, const Tensor& dx_pass, const Tensor& x,
+                      const tensor::LayerNormStats& stats, const LayerParams& p);
+tensor::LayerNormParamGrads pre_backward_w(const Tensor& dln1, const Tensor& x,
+                                           const tensor::LayerNormStats& stats);
+
+// ------------------------------------------------------------ LM head+loss
+struct HeadResult {
+  double loss = 0;
+  Tensor dhidden;
+  Tensor dwlm;
+};
+/// Forward + loss + backward of the head in one step (Section 4.6: executed
+/// inside the backward pass so the [s,b,V] logits are transient).
+HeadResult lm_head_loss(const Tensor& hidden, const Tensor& wlm,
+                        const std::vector<int>& targets);
+
+}  // namespace helix::nn

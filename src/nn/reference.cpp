@@ -1,0 +1,92 @@
+#include "nn/reference.h"
+
+namespace helix::nn {
+
+using namespace helix::tensor;
+
+namespace {
+
+struct LayerCtx {
+  PreStash pre;
+  AttnStash attn;
+  PostStash post;
+};
+
+double forward_backward(const ModelParams& params, const Batch& batch, int mb,
+                        int mlp_chunks, GradStore* grads) {
+  const MiniGptConfig& cfg = params.cfg;
+  const auto& tokens = batch.tokens[static_cast<std::size_t>(mb)];
+  const auto& targets = batch.targets[static_cast<std::size_t>(mb)];
+
+  Tensor x = embedding_forward(tokens, params.wte, params.wpe, cfg.batch, cfg.seq);
+  std::vector<LayerCtx> ctxs(static_cast<std::size_t>(cfg.layers));
+  for (int l = 0; l < cfg.layers; ++l) {
+    const LayerParams& p = params.layers[static_cast<std::size_t>(l)];
+    LayerCtx& c = ctxs[static_cast<std::size_t>(l)];
+    const Tensor ln1 = pre_forward(x, p, &c.pre);
+    const Tensor ctx = attn_forward(ln1, p.wqkv, cfg, &c.attn);
+    x = post_forward(x, ctx, p, mlp_chunks, /*keep_intermediates=*/true, &c.post);
+  }
+  const HeadResult head = lm_head_loss(x, params.wlm, targets);
+  if (grads == nullptr) return head.loss;
+
+  grads->accumulate("wlm", mb, head.dwlm);
+  Tensor dy = head.dhidden;
+  for (int l = cfg.layers - 1; l >= 0; --l) {
+    const LayerParams& p = params.layers[static_cast<std::size_t>(l)];
+    LayerCtx& c = ctxs[static_cast<std::size_t>(l)];
+    PostBackwardResult pb = post_backward(dy, p, mlp_chunks, c.post);
+    grads->accumulate(param_name(l, "wo"), mb, std::move(pb.dwo));
+    grads->accumulate(param_name(l, "ln2_g"), mb, std::move(pb.dln2_g));
+    grads->accumulate(param_name(l, "ln2_b"), mb, std::move(pb.dln2_b));
+    grads->accumulate(param_name(l, "w1"), mb, std::move(pb.dw1));
+    grads->accumulate(param_name(l, "w2"), mb, std::move(pb.dw2));
+    AttnBackwardResult ab = attn_backward(pb.dctx, c.attn, cfg);
+    grads->accumulate(param_name(l, "wqkv"), mb, std::move(ab.dwqkv));
+    PreBackwardResult prb =
+        pre_backward(ab.dln1, pb.dx, c.pre.x, c.pre.stats, p);
+    grads->accumulate(param_name(l, "ln1_g"), mb, std::move(prb.dln1_g));
+    grads->accumulate(param_name(l, "ln1_b"), mb, std::move(prb.dln1_b));
+    dy = std::move(prb.dx);
+  }
+  Tensor dwte({cfg.vocab, cfg.hidden});
+  Tensor dwpe({cfg.seq, cfg.hidden});
+  embedding_backward(dy, tokens, dwte, dwpe, cfg.batch, cfg.seq);
+  grads->accumulate("wte", mb, std::move(dwte));
+  grads->accumulate("wpe", mb, std::move(dwpe));
+  return head.loss;
+}
+
+}  // namespace
+
+StepResult reference_train_step(ModelParams& params, const Batch& batch,
+                                int mlp_chunks) {
+  GradStore grads;
+  StepResult res;
+  for (int mb = 0; mb < params.cfg.micro_batches; ++mb) {
+    const double loss = forward_backward(params, batch, mb, mlp_chunks, &grads);
+    res.micro_batch_losses.push_back(loss);
+    res.mean_loss += loss / params.cfg.micro_batches;
+  }
+  sgd_step(params, grads, params.cfg.lr);
+  return res;
+}
+
+StepResult reference_train_step_adam(ModelParams& params, const Batch& batch,
+                                     AdamState& state, int mlp_chunks) {
+  GradStore grads;
+  StepResult res;
+  for (int mb = 0; mb < params.cfg.micro_batches; ++mb) {
+    const double loss = forward_backward(params, batch, mb, mlp_chunks, &grads);
+    res.micro_batch_losses.push_back(loss);
+    res.mean_loss += loss / params.cfg.micro_batches;
+  }
+  adam_step(params, grads, state, params.cfg.lr);
+  return res;
+}
+
+double reference_loss(const ModelParams& params, const Batch& batch, int mb) {
+  return forward_backward(params, batch, mb, 1, nullptr);
+}
+
+}  // namespace helix::nn

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "nn/parts.h"
+
+// Single-device reference trainer: plain forward-everything /
+// backward-everything over the micro batches, no pipeline machinery. The
+// ground truth the schedule interpreters must match exactly (DESIGN.md
+// invariant #4, paper Section 4.1's semantics-preservation claim).
+namespace helix::nn {
+
+struct StepResult {
+  double mean_loss = 0;
+  std::vector<double> micro_batch_losses;
+};
+
+/// One full training iteration (all micro batches + SGD update) in place.
+StepResult reference_train_step(ModelParams& params, const Batch& batch,
+                                int mlp_chunks = 1);
+
+/// As reference_train_step, with Adam (`state` persists across iterations).
+StepResult reference_train_step_adam(ModelParams& params, const Batch& batch,
+                                     AdamState& state, int mlp_chunks = 1);
+
+/// Forward-only loss of micro batch `mb` (no parameter update).
+double reference_loss(const ModelParams& params, const Batch& batch, int mb);
+
+}  // namespace helix::nn

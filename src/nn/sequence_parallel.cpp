@@ -1,0 +1,151 @@
+#include "nn/sequence_parallel.h"
+
+#include <stdexcept>
+
+namespace helix::nn::sp {
+
+using namespace helix::tensor;
+
+namespace {
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  i64 rows = 0;
+  const i64 cols = parts.front().cols();
+  for (const Tensor& p : parts) rows += p.rows();
+  Tensor out({rows, cols});
+  i64 r0 = 0;
+  for (const Tensor& p : parts) {
+    for (i64 r = 0; r < p.rows(); ++r) {
+      for (i64 c = 0; c < cols; ++c) out.at(r0 + r, c) = p.at(r, c);
+    }
+    r0 += p.rows();
+  }
+  return out;
+}
+
+Tensor col_slice(const Tensor& t, i64 c0, i64 c1) {
+  Tensor out({t.rows(), c1 - c0});
+  for (i64 r = 0; r < t.rows(); ++r) {
+    for (i64 c = c0; c < c1; ++c) out.at(r, c - c0) = t.at(r, c);
+  }
+  return out;
+}
+
+Tensor row_slice(const Tensor& t, i64 r0, i64 r1) {
+  Tensor out({r1 - r0, t.cols()});
+  for (i64 r = r0; r < r1; ++r) {
+    for (i64 c = 0; c < t.cols(); ++c) out.at(r - r0, c) = t.at(r, c);
+  }
+  return out;
+}
+
+}  // namespace
+
+SpLayerShard SpLayerShard::shard(const LayerParams& full, int rank, int t, int heads) {
+  const i64 h = full.wo.rows();
+  if (heads % t != 0 || h % t != 0) {
+    throw std::invalid_argument("heads and hidden must divide by sp degree");
+  }
+  const i64 hl = h / t;
+  SpLayerShard s;
+  s.ln1_g = full.ln1_g;
+  s.ln1_b = full.ln1_b;
+  s.ln2_g = full.ln2_g;
+  s.ln2_b = full.ln2_b;
+  // Head-aligned QKV columns: [q_r | k_r | v_r] so the local tensor is
+  // itself a packed qkv over heads/t heads.
+  s.wqkv = Tensor({h, 3 * hl});
+  for (i64 r = 0; r < h; ++r) {
+    for (i64 c = 0; c < hl; ++c) {
+      s.wqkv.at(r, c) = full.wqkv.at(r, rank * hl + c);
+      s.wqkv.at(r, hl + c) = full.wqkv.at(r, h + rank * hl + c);
+      s.wqkv.at(r, 2 * hl + c) = full.wqkv.at(r, 2 * h + rank * hl + c);
+    }
+  }
+  s.wo = row_slice(full.wo, rank * hl, (rank + 1) * hl);
+  s.w1 = col_slice(full.w1, rank * 4 * hl, (rank + 1) * 4 * hl);
+  s.w2 = row_slice(full.w2, rank * 4 * hl, (rank + 1) * 4 * hl);
+  return s;
+}
+
+Tensor sp_layer_forward(const Tensor& x_shard, const SpLayerShard& w,
+                        const MiniGptConfig& cfg, int t, Endpoint& ep,
+                        std::int64_t tag_base, SpForwardCtx* ctx) {
+  if (cfg.batch != 1) {
+    throw std::invalid_argument("sequence parallel rows require batch == 1");
+  }
+  // --- attention block: LN (local) -> AG -> column QKV -> MHA (own heads)
+  //     -> row O -> RS -> residual.
+  LayerNormStats st1;
+  const Tensor ln1_shard = layernorm_forward(x_shard, w.ln1_g, w.ln1_b, &st1);
+  const Tensor full_ln1 = concat_rows(ep.all_gather(ln1_shard, tag_base));
+  const Tensor qkv_local = matmul(full_ln1, w.wqkv);
+  const Tensor ctx_local = attention_forward(qkv_local, 1, full_ln1.rows(),
+                                             cfg.heads / t);
+  const Tensor o_partial = matmul(ctx_local, w.wo);
+  const Tensor o_shard = ep.reduce_scatter_rows(o_partial, tag_base + t);
+  const Tensor h1_shard = add(x_shard, o_shard);
+
+  // --- MLP block: LN (local) -> AG -> column W1 -> GeLU -> row W2 -> RS
+  //     -> residual.
+  LayerNormStats st2;
+  const Tensor ln2_shard = layernorm_forward(h1_shard, w.ln2_g, w.ln2_b, &st2);
+  const Tensor full_ln2 = concat_rows(ep.all_gather(ln2_shard, tag_base + 2 * t));
+  const Tensor a1 = matmul(full_ln2, w.w1);
+  const Tensor g1 = gelu_forward(a1);
+  const Tensor mlp_partial = matmul(g1, w.w2);
+  const Tensor mlp_shard = ep.reduce_scatter_rows(mlp_partial, tag_base + 3 * t);
+  Tensor y_shard = add(h1_shard, mlp_shard);
+
+  if (ctx != nullptr) {
+    ctx->x_shard = x_shard;
+    ctx->ln1_stats = st1;
+    ctx->full_ln1 = full_ln1;
+    ctx->qkv_local = qkv_local;
+    ctx->ctx_local = ctx_local;
+    ctx->h1_shard = h1_shard;
+    ctx->ln2_stats = st2;
+    ctx->full_ln2 = full_ln2;
+    ctx->a1_local = a1;
+    ctx->g1_local = g1;
+  }
+  return y_shard;
+}
+
+SpLayerGrads sp_layer_backward(const Tensor& dy_shard, const SpLayerShard& w,
+                               const MiniGptConfig& cfg, int t, Endpoint& ep,
+                               std::int64_t tag_base, const SpForwardCtx& ctx) {
+  SpLayerGrads g;
+  // --- MLP block backward: RS^-1 = AG of the output-shard gradient.
+  const Tensor dmlp_full = concat_rows(ep.all_gather(dy_shard, tag_base));
+  const Tensor dg1 = matmul_nt(dmlp_full, w.w2);
+  g.dw2 = matmul_tn(ctx.g1_local, dmlp_full);
+  const Tensor da1 = gelu_backward(dg1, ctx.a1_local);
+  g.dw1 = matmul_tn(ctx.full_ln2, da1);
+  const Tensor dln2_partial = matmul_nt(da1, w.w1);
+  // AG^-1 = RS of the full-sequence input gradient.
+  const Tensor dln2_shard = ep.reduce_scatter_rows(dln2_partial, tag_base + t);
+  LayerNormGrads ln2g =
+      layernorm_backward(dln2_shard, ctx.h1_shard, w.ln2_g, ctx.ln2_stats);
+  g.dln2_g = std::move(ln2g.dgamma);
+  g.dln2_b = std::move(ln2g.dbeta);
+  const Tensor dh1_shard = add(ln2g.dx, dy_shard);
+
+  // --- attention block backward.
+  const Tensor do_full = concat_rows(ep.all_gather(dh1_shard, tag_base + 2 * t));
+  const Tensor dctx_local = matmul_nt(do_full, w.wo);
+  g.dwo = matmul_tn(ctx.ctx_local, do_full);
+  const Tensor dqkv_local = attention_backward(dctx_local, ctx.qkv_local, 1,
+                                               ctx.full_ln1.rows(), cfg.heads / t);
+  g.dwqkv = matmul_tn(ctx.full_ln1, dqkv_local);
+  const Tensor dln1_partial = matmul_nt(dqkv_local, w.wqkv);
+  const Tensor dln1_shard = ep.reduce_scatter_rows(dln1_partial, tag_base + 3 * t);
+  LayerNormGrads ln1g =
+      layernorm_backward(dln1_shard, ctx.x_shard, w.ln1_g, ctx.ln1_stats);
+  g.dln1_g = std::move(ln1g.dgamma);
+  g.dln1_b = std::move(ln1g.dbeta);
+  g.dx_shard = add(ln1g.dx, dh1_shard);
+  return g;
+}
+
+}  // namespace helix::nn::sp

@@ -1,0 +1,65 @@
+#pragma once
+
+#include "comm/world.h"
+#include "nn/parts.h"
+
+// Megatron sequence parallelism (Korthikanti et al., MLSys'23; paper
+// Section 2.2), implemented numerically: the intra-layer level every
+// HelixPipe stage runs internally with SP size t = 8.
+//
+// Activations are sharded along the sequence dimension across t ranks;
+// LayerNorms run on local shards, an all-gather recovers the full sequence
+// before each parallel linear block, and a reduce-scatter returns to shards
+// after it. Parameters are sharded Megatron-style: Wqkv and W1 column-
+// parallel (head-aligned for QKV), Wo and W2 row-parallel, LayerNorm
+// parameters replicated. Each layer's forward costs 2 all-gathers + 2
+// reduce-scatters, and the backward mirrors them — the collective pattern
+// the timing model charges via TimingModel::sp_collective_time.
+namespace helix::nn::sp {
+
+using comm::Endpoint;
+
+/// Rank-local parameter shards of one transformer layer.
+struct SpLayerShard {
+  Tensor ln1_g, ln1_b, ln2_g, ln2_b;  ///< replicated
+  Tensor wqkv;                        ///< [h, 3h/t], head-aligned columns
+  Tensor wo;                          ///< [h/t, h], rows
+  Tensor w1;                          ///< [h, 4h/t]
+  Tensor w2;                          ///< [4h/t, h]
+
+  /// Slice the full parameters for `rank` of `t`.
+  static SpLayerShard shard(const LayerParams& full, int rank, int t, int heads);
+};
+
+/// Forward stashes needed by the backward pass.
+struct SpForwardCtx {
+  Tensor x_shard;
+  tensor::LayerNormStats ln1_stats;
+  Tensor full_ln1;   ///< gathered LayerNorm1 output
+  Tensor qkv_local;  ///< this rank's heads, full sequence
+  Tensor ctx_local;
+  Tensor h1_shard;
+  tensor::LayerNormStats ln2_stats;
+  Tensor full_ln2;
+  Tensor a1_local, g1_local;
+};
+
+/// One transformer layer forward on this rank's sequence shard
+/// (rows [rank*n/t, ...) of the full [n, h] activation; batch must be 1 so
+/// contiguous rows are contiguous sequence). `tag_base` must give each call
+/// a disjoint tag range (>= 4t tags).
+Tensor sp_layer_forward(const Tensor& x_shard, const SpLayerShard& w,
+                        const MiniGptConfig& cfg, int t, Endpoint& ep,
+                        std::int64_t tag_base, SpForwardCtx* ctx);
+
+struct SpLayerGrads {
+  Tensor dx_shard;
+  Tensor dln1_g, dln1_b, dln2_g, dln2_b;  ///< rank-partial (sum over ranks)
+  Tensor dwqkv, dwo, dw1, dw2;            ///< gradients of this rank's shards
+};
+
+SpLayerGrads sp_layer_backward(const Tensor& dy_shard, const SpLayerShard& w,
+                               const MiniGptConfig& cfg, int t, Endpoint& ep,
+                               std::int64_t tag_base, const SpForwardCtx& ctx);
+
+}  // namespace helix::nn::sp

@@ -1,0 +1,273 @@
+#include "runtime/interpreter.h"
+
+#include <sstream>
+
+namespace helix::runtime {
+
+using core::DataSlot;
+using core::Op;
+using core::OpKind;
+using nn::param_name;
+
+Interpreter::Interpreter(const core::Schedule& schedule, int rank,
+                         comm::Endpoint& comm, nn::ModelParams& params,
+                         const nn::Batch& batch, InterpreterOptions options)
+    : sched_(schedule), rank_(rank), comm_(comm), params_(params),
+      batch_(batch), opt_(options) {}
+
+comm::Message Interpreter::take_slot(DataSlot slot, int mb, int layer) {
+  const auto key = std::make_tuple(slot, mb, layer);
+  const auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    std::ostringstream os;
+    os << "rank " << rank_ << ": missing value slot " << static_cast<int>(slot)
+       << " mb=" << mb << " layer=" << layer;
+    throw std::logic_error(os.str());
+  }
+  comm::Message msg = std::move(it->second);
+  slots_.erase(it);
+  return msg;
+}
+
+void Interpreter::put_slot(DataSlot slot, int mb, int layer, comm::Message msg) {
+  const auto key = std::make_tuple(slot, mb, layer);
+  if (!slots_.emplace(key, std::move(msg)).second) {
+    throw std::logic_error("value slot written twice");
+  }
+}
+
+void Interpreter::exec(const Op& op) {
+  const int mb = op.mb;
+  const int l = op.layer;
+  const bool rc = opt_.recompute_without_attention;
+  switch (op.kind) {
+    case OpKind::kSend: {
+      comm::Message msg = take_slot(op.slot, mb, l);
+      comm_.send(op.peer, op.tag, std::move(msg));
+      break;
+    }
+    case OpKind::kRecv: {
+      put_slot(op.slot, mb, l, comm_.recv(op.peer, op.tag));
+      break;
+    }
+    case OpKind::kEmbedFwd: {
+      Tensor x = tensor::embedding_forward(
+          batch_.tokens[static_cast<std::size_t>(mb)], params_.wte, params_.wpe,
+          params_.cfg.batch, params_.cfg.seq);
+      if (rc) pre_stash_[{mb, 0}].x = x;  // combo-0 stash (Section 4.4.1)
+      put_slot(DataSlot::kFwdBoundary, mb, 0, {std::move(x)});
+      break;
+    }
+    case OpKind::kFwdPre: {
+      comm::Message in = take_slot(DataSlot::kFwdBoundary, mb, l);
+      Tensor x = std::move(in[0]);
+      const nn::LayerParams& p = params_.layers[static_cast<std::size_t>(l)];
+      nn::PreStash stash;
+      Tensor ln1 = nn::pre_forward(x, p, &stash);
+      if (!rc) pre_stash_[{mb, l}] = std::move(stash);
+      // Ship {residual, LN output, QKV weights} (Section 4.2).
+      put_slot(DataSlot::kPreToAttn, mb, l, {std::move(x), std::move(ln1), p.wqkv});
+      break;
+    }
+    case OpKind::kFwdAttn: {
+      comm::Message in = take_slot(DataSlot::kPreToAttn, mb, l);
+      nn::AttnStash stash;
+      Tensor ctx = nn::attn_forward(in[1], in[2], params_.cfg, &stash);
+      attn_stash_[{mb, l}] = std::move(stash);
+      put_slot(DataSlot::kAttnToPost, mb, l, {std::move(in[0]), std::move(ctx)});
+      break;
+    }
+    case OpKind::kFwdPost: {
+      comm::Message in = take_slot(DataSlot::kAttnToPost, mb, l);
+      const nn::LayerParams& p = params_.layers[static_cast<std::size_t>(l)];
+      nn::PostStash& stash = post_stash_[{mb, l}];
+      Tensor y = nn::post_forward(in[0], in[1], p, opt_.mlp_chunks,
+                                  /*keep_intermediates=*/!rc, &stash);
+      put_slot(DataSlot::kFwdBoundary, mb, l + 1, {std::move(y)});
+      break;
+    }
+    case OpKind::kLmHeadLoss: {
+      comm::Message in = take_slot(DataSlot::kFwdBoundary, mb, sched_.num_layers);
+      const nn::HeadResult head = nn::lm_head_loss(
+          in[0], params_.wlm, batch_.targets[static_cast<std::size_t>(mb)]);
+      if (op.combines_w) {
+        grads_.accumulate("wlm", mb, head.dwlm);
+      } else {
+        // ZB1P: defer the LM-head backward-W, stashing the fp32 inputs
+        // (the Section 5.4 last-stage memory spike).
+        Tensor dlogits;
+        const Tensor logits = tensor::matmul(in[0], params_.wlm);
+        (void)tensor::cross_entropy_forward_backward(
+            logits, batch_.targets[static_cast<std::size_t>(mb)], dlogits);
+        head_w_stash_[mb] = {in[0], std::move(dlogits)};
+      }
+      if (metrics_.micro_batch_losses.size() <
+          static_cast<std::size_t>(sched_.num_micro_batches)) {
+        metrics_.micro_batch_losses.resize(
+            static_cast<std::size_t>(sched_.num_micro_batches), 0.0);
+      }
+      metrics_.micro_batch_losses[static_cast<std::size_t>(mb)] = head.loss;
+      put_slot(DataSlot::kBwdBoundary, mb, sched_.num_layers - 1, {head.dhidden});
+      break;
+    }
+    case OpKind::kRecomputePost: {
+      const nn::LayerParams& p = params_.layers[static_cast<std::size_t>(l)];
+      nn::PostStash& stash = post_stash_.at({mb, l});
+      Tensor y = nn::post_recompute(p, opt_.mlp_chunks, stash);
+      // The recomputed output is the next pre-attention's input.
+      pre_stash_[{mb, l + 1}].x = std::move(y);
+      break;
+    }
+    case OpKind::kRecomputePre: {
+      nn::PreStash& stash = pre_stash_.at({mb, l});
+      const nn::LayerParams& p = params_.layers[static_cast<std::size_t>(l)];
+      (void)tensor::layernorm_forward(stash.x, p.ln1_g, p.ln1_b, &stash.stats);
+      break;
+    }
+    case OpKind::kBwdPost: {
+      comm::Message in = take_slot(DataSlot::kBwdBoundary, mb, l);
+      const nn::LayerParams& p = params_.layers[static_cast<std::size_t>(l)];
+      const auto it = post_stash_.find({mb, l});
+      if (it == post_stash_.end()) throw std::logic_error("missing post stash");
+      if (op.combines_w) {
+        nn::PostBackwardResult r =
+            nn::post_backward(in[0], p, opt_.mlp_chunks, it->second);
+        post_stash_.erase(it);
+        grads_.accumulate(param_name(l, "wo"), mb, std::move(r.dwo));
+        grads_.accumulate(param_name(l, "ln2_g"), mb, std::move(r.dln2_g));
+        grads_.accumulate(param_name(l, "ln2_b"), mb, std::move(r.dln2_b));
+        grads_.accumulate(param_name(l, "w1"), mb, std::move(r.dw1));
+        grads_.accumulate(param_name(l, "w2"), mb, std::move(r.dw2));
+        put_slot(DataSlot::kGradToAttn, mb, l, {std::move(r.dx), std::move(r.dctx)});
+      } else {
+        // Decoupled: input gradients now; forward stash kept for backward-W.
+        nn::PostBackwardBResult r =
+            nn::post_backward_b(in[0], p, opt_.mlp_chunks, it->second);
+        post_w_stash_[{mb, l}] = std::move(r.w);
+        put_slot(DataSlot::kGradToAttn, mb, l, {std::move(r.dx), std::move(r.dctx)});
+      }
+      break;
+    }
+    case OpKind::kBwdAttn: {
+      comm::Message in = take_slot(DataSlot::kGradToAttn, mb, l);
+      const auto it = attn_stash_.find({mb, l});
+      if (it == attn_stash_.end()) throw std::logic_error("missing attn stash");
+      if (op.combines_w) {
+        nn::AttnBackwardResult r = nn::attn_backward(in[1], it->second, params_.cfg);
+        attn_stash_.erase(it);
+        put_slot(DataSlot::kGradToPre, mb, l,
+                 {std::move(in[0]), std::move(r.dln1), std::move(r.dwqkv)});
+      } else {
+        // Decoupled: dqkv kept (with the attention stash) for dWqkv later.
+        nn::AttnBackwardBResult r =
+            nn::attn_backward_b(in[1], it->second, params_.cfg);
+        dqkv_stash_[{mb, l}] = std::move(r.dqkv);
+        // dWqkv placeholder: empty tensor signals "deferred" to BwdPre.
+        put_slot(DataSlot::kGradToPre, mb, l,
+                 {std::move(in[0]), std::move(r.dln1), Tensor{}});
+      }
+      break;
+    }
+    case OpKind::kBwdPre: {
+      comm::Message in = take_slot(DataSlot::kGradToPre, mb, l);
+      const nn::LayerParams& p = params_.layers[static_cast<std::size_t>(l)];
+      const auto it = pre_stash_.find({mb, l});
+      if (it == pre_stash_.end()) throw std::logic_error("missing pre stash");
+      if (op.combines_w) {
+        if (!in[2].empty()) grads_.accumulate(param_name(l, "wqkv"), mb, std::move(in[2]));
+        nn::PreBackwardResult r =
+            nn::pre_backward(in[1], in[0], it->second.x, it->second.stats, p);
+        pre_stash_.erase(it);
+        grads_.accumulate(param_name(l, "ln1_g"), mb, std::move(r.dln1_g));
+        grads_.accumulate(param_name(l, "ln1_b"), mb, std::move(r.dln1_b));
+        put_slot(DataSlot::kBwdBoundary, mb, l - 1, {std::move(r.dx)});
+      } else {
+        // Decoupled: keep dln1 and the pre stash for the backward-W step.
+        Tensor dx = nn::pre_backward_b(in[1], in[0], it->second.x,
+                                       it->second.stats, p);
+        pre_dln1_stash_[{mb, l}] = std::move(in[1]);
+        put_slot(DataSlot::kBwdBoundary, mb, l - 1, {std::move(dx)});
+      }
+      break;
+    }
+    case OpKind::kBwdWPost: {
+      const nn::LayerParams& p = params_.layers[static_cast<std::size_t>(l)];
+      const auto st = post_stash_.find({mb, l});
+      const auto wst = post_w_stash_.find({mb, l});
+      if (st == post_stash_.end() || wst == post_w_stash_.end()) {
+        throw std::logic_error("missing backward-W stash (post)");
+      }
+      nn::PostBackwardWResult r =
+          nn::post_backward_w(p, st->second, wst->second, opt_.mlp_chunks);
+      post_stash_.erase(st);
+      post_w_stash_.erase(wst);
+      grads_.accumulate(param_name(l, "wo"), mb, std::move(r.dwo));
+      grads_.accumulate(param_name(l, "ln2_g"), mb, std::move(r.dln2_g));
+      grads_.accumulate(param_name(l, "ln2_b"), mb, std::move(r.dln2_b));
+      grads_.accumulate(param_name(l, "w1"), mb, std::move(r.dw1));
+      grads_.accumulate(param_name(l, "w2"), mb, std::move(r.dw2));
+      break;
+    }
+    case OpKind::kBwdWPre: {
+      const auto ast = attn_stash_.find({mb, l});
+      const auto dq = dqkv_stash_.find({mb, l});
+      const auto ps = pre_stash_.find({mb, l});
+      const auto dl = pre_dln1_stash_.find({mb, l});
+      if (ast == attn_stash_.end() || dq == dqkv_stash_.end() ||
+          ps == pre_stash_.end() || dl == pre_dln1_stash_.end()) {
+        throw std::logic_error("missing backward-W stash (pre)");
+      }
+      grads_.accumulate(param_name(l, "wqkv"), mb,
+                        nn::attn_backward_w(ast->second, dq->second));
+      const tensor::LayerNormParamGrads lng =
+          nn::pre_backward_w(dl->second, ps->second.x, ps->second.stats);
+      grads_.accumulate(param_name(l, "ln1_g"), mb, lng.dgamma);
+      grads_.accumulate(param_name(l, "ln1_b"), mb, lng.dbeta);
+      attn_stash_.erase(ast);
+      dqkv_stash_.erase(dq);
+      pre_stash_.erase(ps);
+      pre_dln1_stash_.erase(dl);
+      break;
+    }
+    case OpKind::kEmbedBwd: {
+      if (l == sched_.num_layers - 1) {
+        // Deferred LM-head backward-W on the last stage (ZB1P).
+        const auto it = head_w_stash_.find(mb);
+        if (it == head_w_stash_.end()) throw std::logic_error("missing head W stash");
+        grads_.accumulate("wlm", mb,
+                          tensor::matmul_tn(it->second.first, it->second.second));
+        head_w_stash_.erase(it);
+        break;
+      }
+      comm::Message in = take_slot(DataSlot::kBwdBoundary, mb, -1);
+      Tensor dwte({params_.cfg.vocab, params_.cfg.hidden});
+      Tensor dwpe({params_.cfg.seq, params_.cfg.hidden});
+      tensor::embedding_backward(in[0], batch_.tokens[static_cast<std::size_t>(mb)],
+                                 dwte, dwpe, params_.cfg.batch, params_.cfg.seq);
+      grads_.accumulate("wte", mb, std::move(dwte));
+      grads_.accumulate("wpe", mb, std::move(dwpe));
+      break;
+    }
+    case OpKind::kOptimStep: {
+      if (opt_.adam != nullptr) {
+        nn::adam_step(params_, grads_, *opt_.adam, params_.cfg.lr);
+      } else {
+        nn::sgd_step(params_, grads_, params_.cfg.lr);
+      }
+      break;
+    }
+    case OpKind::kRecomputeAttn:
+      throw std::logic_error(
+          "numerical runtime does not implement full-layer recompute "
+          "(AdaPipe is timing-model-only)");
+  }
+}
+
+IterationMetrics Interpreter::run() {
+  for (const Op& op : sched_.stage_ops[static_cast<std::size_t>(rank_)]) {
+    exec(op);
+  }
+  return metrics_;
+}
+
+}  // namespace helix::runtime

@@ -1,0 +1,97 @@
+#pragma once
+
+#include "comm/world.h"
+#include "core/ir.h"
+#include "nn/parts.h"
+
+// Numerical execution of a schedule IR: every rank walks its per-stage op
+// program, moving real tensors through the same Send/Recv pairs the
+// simulator times. One Interpreter instance runs one rank of one iteration;
+// runtime::Trainer wires p of them onto a comm::World.
+//
+// This is the semantics-preservation proof of paper Section 4.1: whatever
+// the schedule (1F1B, GPipe, HelixPipe naive / two-fold, with or without
+// recomputation-without-attention or chunked MLP), gradients and losses
+// match the sequential reference exactly up to float addition order — and
+// bit-exactly here, because gradients are accumulated per micro batch and
+// summed canonically.
+namespace helix::runtime {
+
+using nn::Tensor;
+
+struct InterpreterOptions {
+  int mlp_chunks = 1;
+  /// True for schedules generated with recompute_without_attention: forward
+  /// keeps only the minimal stashes and Recompute ops restore intermediates.
+  bool recompute_without_attention = false;
+  /// When set, OptimStep runs Adam with this rank's persistent state
+  /// (covering the parameters this rank owns) instead of SGD.
+  nn::AdamState* adam = nullptr;
+};
+
+struct IterationMetrics {
+  std::vector<double> micro_batch_losses;  ///< filled by the LM-head rank
+  double mean_loss() const {
+    double s = 0;
+    for (const double l : micro_batch_losses) s += l;
+    return micro_batch_losses.empty() ? 0 : s / static_cast<double>(micro_batch_losses.size());
+  }
+};
+
+class Interpreter {
+ public:
+  /// `params` is this rank's parameter replica; only the parameters whose
+  /// gradients this rank produces are updated at OptimStep (ownership is
+  /// implied by the schedule's op placement). Weight shipping (Section 4.2)
+  /// sends Wqkv inside kPreToAttn messages and returns dWqkv inside
+  /// kGradToPre messages, so attention stages never read the owner's
+  /// parameter storage.
+  Interpreter(const core::Schedule& schedule, int rank, comm::Endpoint& comm,
+              nn::ModelParams& params, const nn::Batch& batch,
+              InterpreterOptions options);
+
+  /// Execute this rank's program for one training iteration.
+  IterationMetrics run();
+
+ private:
+  struct Key {
+    int mb;
+    int layer;
+    bool operator<(const Key& o) const {
+      return mb != o.mb ? mb < o.mb : layer < o.layer;
+    }
+  };
+
+  void exec(const core::Op& op);
+  comm::Message take_slot(core::DataSlot slot, int mb, int layer);
+  void put_slot(core::DataSlot slot, int mb, int layer, comm::Message msg);
+
+  const core::Schedule& sched_;
+  int rank_;
+  comm::Endpoint& comm_;
+  nn::ModelParams& params_;
+  const nn::Batch& batch_;
+  InterpreterOptions opt_;
+
+  // Logical value slots keyed (slot kind, mb, layer); written by producers
+  // or Recv ops, consumed exactly once.
+  std::map<std::tuple<core::DataSlot, int, int>, comm::Message> slots_;
+  // Activation flowing forward / gradient flowing backward, per micro batch.
+  std::map<int, Tensor> combo_y_;
+  std::map<int, Tensor> grad_y_;
+  // Stashes.
+  std::map<Key, nn::PreStash> pre_stash_;
+  std::map<Key, nn::AttnStash> attn_stash_;
+  std::map<Key, nn::PostStash> post_stash_;
+  // Decoupled backward-W stashes (ZB1P): gradients kept between a
+  // backward-B and its deferred backward-W.
+  std::map<Key, nn::PostWStash> post_w_stash_;
+  std::map<Key, Tensor> dqkv_stash_;
+  std::map<Key, Tensor> pre_dln1_stash_;
+  std::map<int, std::pair<Tensor, Tensor>> head_w_stash_;  ///< mb -> (hidden, dlogits)
+
+  nn::GradStore grads_;
+  IterationMetrics metrics_;
+};
+
+}  // namespace helix::runtime

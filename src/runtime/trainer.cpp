@@ -1,0 +1,93 @@
+#include "runtime/trainer.h"
+
+#include <stdexcept>
+
+#include "core/cost.h"
+#include "schedules/interleaved.h"
+#include "schedules/zb1p.h"
+
+namespace helix::runtime {
+
+core::Schedule build_numeric_schedule(const nn::MiniGptConfig& cfg,
+                                      const TrainerOptions& opt) {
+  core::PipelineProblem pr;
+  pr.p = opt.family == ScheduleFamily::kSequential ? 1 : opt.pipeline_stages;
+  pr.m = cfg.micro_batches;
+  pr.L = cfg.layers;
+  // The numerical runtime only needs the dependency structure; sizes are
+  // nominal (the simulator prices the same schedules separately).
+  pr.comm.boundary = cfg.rows() * cfg.hidden;
+  pr.comm.pre_to_attn = 2 * cfg.rows() * cfg.hidden + 3 * cfg.hidden * cfg.hidden;
+  pr.comm.attn_to_post = 2 * cfg.rows() * cfg.hidden;
+  pr.include_lm_head = true;
+
+  switch (opt.family) {
+    case ScheduleFamily::kSequential:
+    case ScheduleFamily::k1F1B:
+      if (opt.recompute_without_attention) {
+        throw std::invalid_argument(
+            "recompute-without-attention is a HelixPipe schedule feature");
+      }
+      return schedules::build_1f1b(pr);
+    case ScheduleFamily::kZb1p: {
+      if (opt.recompute_without_attention) {
+        throw std::invalid_argument(
+            "recompute-without-attention is a HelixPipe schedule feature");
+      }
+      // Macro-step placement only needs relative costs; the 1:3:2 unit
+      // model matches the numerical mini-GPT closely enough.
+      const core::UnitCostModel unit;
+      return schedules::build_zb1p(pr, unit);
+    }
+    case ScheduleFamily::kInterleaved:
+      if (opt.recompute_without_attention) {
+        throw std::invalid_argument(
+            "recompute-without-attention is a HelixPipe schedule feature");
+      }
+      return schedules::build_interleaved_1f1b(pr, {.virtual_chunks = 2});
+    case ScheduleFamily::kGPipe:
+      return schedules::build_gpipe(pr);
+    case ScheduleFamily::kHelixNaive:
+      return core::build_helix_schedule(
+          pr, {.two_fold = false,
+               .recompute_without_attention = opt.recompute_without_attention});
+    case ScheduleFamily::kHelixTwoFold:
+      return core::build_helix_schedule(
+          pr, {.two_fold = true,
+               .recompute_without_attention = opt.recompute_without_attention});
+  }
+  throw std::invalid_argument("unknown schedule family");
+}
+
+Trainer::Trainer(nn::ModelParams& params, TrainerOptions options)
+    : params_(params), opt_(options),
+      sched_(build_numeric_schedule(params.cfg, options)),
+      adam_states_(static_cast<std::size_t>(sched_.num_stages)) {
+  if (params.cfg.layers % sched_.num_stages != 0) {
+    throw std::invalid_argument("layers must divide evenly across stages");
+  }
+}
+
+IterationMetrics Trainer::train_step(const nn::Batch& batch) {
+  comm::World world(sched_.num_stages);
+  std::vector<IterationMetrics> metrics(static_cast<std::size_t>(sched_.num_stages));
+  world.run([&](comm::Endpoint& ep) {
+    Interpreter interp(
+        sched_, ep.rank(), ep, params_, batch,
+        {.mlp_chunks = opt_.mlp_chunks,
+         .recompute_without_attention =
+             opt_.recompute_without_attention &&
+             (opt_.family == ScheduleFamily::kHelixNaive ||
+              opt_.family == ScheduleFamily::kHelixTwoFold),
+         .adam = opt_.optimizer == OptimizerKind::kAdam
+                     ? &adam_states_[static_cast<std::size_t>(ep.rank())]
+                     : nullptr});
+    metrics[static_cast<std::size_t>(ep.rank())] = interp.run();
+  });
+  for (const auto& m : metrics) {
+    if (!m.micro_batch_losses.empty()) return m;
+  }
+  return {};
+}
+
+}  // namespace helix::runtime

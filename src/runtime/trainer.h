@@ -1,0 +1,59 @@
+#pragma once
+
+#include "core/filo.h"
+#include "nn/reference.h"
+#include "runtime/interpreter.h"
+#include "schedules/layerwise.h"
+
+// End-to-end numerical pipeline training: builds the schedule for the chosen
+// parallelism, spawns one thread per pipeline stage, and executes training
+// iterations with real tensors. Used by tests and examples to demonstrate
+// that every schedule trains identically to the sequential reference.
+namespace helix::runtime {
+
+enum class ScheduleFamily {
+  kSequential,  ///< p = 1, plain order (ground truth through the same IR)
+  k1F1B,
+  kZb1p,        ///< decoupled backward-B / backward-W (greedy zero-bubble)
+  kInterleaved, ///< interleaved 1F1B with 2 virtual chunks per stage
+  kGPipe,
+  kHelixNaive,
+  kHelixTwoFold,
+};
+
+enum class OptimizerKind { kSgd, kAdam };
+
+struct TrainerOptions {
+  ScheduleFamily family = ScheduleFamily::kHelixTwoFold;
+  int pipeline_stages = 2;
+  bool recompute_without_attention = false;
+  int mlp_chunks = 1;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+};
+
+class Trainer {
+ public:
+  /// `params` is shared by all stages; stages update disjoint parameter
+  /// subsets (their own combos / layers), mirroring distributed ownership.
+  Trainer(nn::ModelParams& params, TrainerOptions options);
+
+  const core::Schedule& schedule() const noexcept { return sched_; }
+
+  /// Run one training iteration over `batch`; returns per-micro-batch
+  /// losses from the LM-head stage.
+  IterationMetrics train_step(const nn::Batch& batch);
+
+ private:
+  nn::ModelParams& params_;
+  TrainerOptions opt_;
+  core::Schedule sched_;
+  /// Per-rank Adam state, persistent across iterations (ranks own disjoint
+  /// parameter subsets, so states never overlap).
+  std::vector<nn::AdamState> adam_states_;
+};
+
+/// The schedule a Trainer would use, exposed for inspection/validation.
+core::Schedule build_numeric_schedule(const nn::MiniGptConfig& cfg,
+                                      const TrainerOptions& options);
+
+}  // namespace helix::runtime

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost.h"
+#include "schedules/layerwise.h"
+
+// AdaPipe-style adaptive recomputation + adaptive partition (Sun et al.,
+// ASPLOS 2024; paper Section 5.1 baseline). A dynamic program chooses a
+// contiguous layer partition and, per stage, the number of fully recomputed
+// layers, minimizing the bottleneck stage time subject to each stage's
+// memory capacity under the 1F1B outstanding-micro-batch profile. The
+// resulting plan runs the classic 1F1B step order.
+namespace helix::schedules {
+
+struct AdaPipeOptions {
+  /// Memory capacity per stage in bytes (activations + base). Empty: no cap.
+  std::vector<std::int64_t> mem_cap_bytes;
+  /// Resident model-state bytes per layer (added per owned layer) and fixed
+  /// per-stage extras (embeddings on stage 0, LM head on stage p-1).
+  std::int64_t layer_state_bytes = 0;
+  std::int64_t first_stage_extra_bytes = 0;
+  std::int64_t last_stage_extra_bytes = 0;
+};
+
+struct AdaPipeResult {
+  LayerwisePlan plan;
+  bool feasible = true;
+  double bottleneck_seconds = 0;  ///< estimated max per-stage iteration time
+};
+
+AdaPipeResult plan_adapipe(const core::PipelineProblem& problem,
+                           const core::CostModel& cost,
+                           const AdaPipeOptions& options = {});
+
+core::Schedule build_adapipe(const core::PipelineProblem& problem,
+                             const core::CostModel& cost,
+                             const AdaPipeOptions& options = {});
+
+}  // namespace helix::schedules

@@ -1,0 +1,260 @@
+#include "schedules/layerwise.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace helix::schedules {
+
+using core::kNoOp;
+using core::OpId;
+using core::OpKind;
+using core::PipelineProblem;
+using core::Schedule;
+using core::ScheduleBuilder;
+
+std::vector<int> uniform_partition(int L, int p) {
+  if (L % p != 0) throw std::invalid_argument("L must be divisible by p");
+  return std::vector<int>(static_cast<std::size_t>(p), L / p);
+}
+
+namespace {
+
+struct Emitter {
+  const PipelineProblem& pr;
+  const LayerwisePlan& plan;
+  ScheduleBuilder& b;
+  std::vector<int> first_layer;  ///< per stage
+
+  // Data-flow state, per (stage, mb).
+  std::vector<std::vector<ScheduleBuilder::PendingTransfer>> fwd_in, bwd_in;
+  std::vector<std::vector<OpId>> fwd_out;  ///< last fwd op of stage chunk
+
+  Emitter(const PipelineProblem& pr_, const LayerwisePlan& plan_,
+          ScheduleBuilder& b_)
+      : pr(pr_), plan(plan_), b(b_) {
+    const int p = pr.p;
+    first_layer.resize(p, 0);
+    for (int i = 1; i < p; ++i) {
+      first_layer[i] = first_layer[i - 1] + plan.layers_per_stage[i - 1];
+    }
+    fwd_in.assign(p, std::vector<ScheduleBuilder::PendingTransfer>(pr.m));
+    bwd_in.assign(p, std::vector<ScheduleBuilder::PendingTransfer>(pr.m));
+    fwd_out.assign(p, std::vector<OpId>(pr.m, kNoOp));
+  }
+
+  bool is_recomputed(int stage, int layer) const {
+    return layer - first_layer[stage] < plan.recompute_layers[stage];
+  }
+
+  void forward(int i, int mb) {
+    OpId prev;
+    if (i == 0) {
+      prev = b.add(OpKind::kEmbedFwd, i, mb, first_layer[i]);
+    } else {
+      prev = b.add_recv(fwd_in[i][mb]);
+    }
+    const int nl = plan.layers_per_stage[i];
+    for (int l = first_layer[i]; l < first_layer[i] + nl; ++l) {
+      const bool rcl = is_recomputed(i, l);
+      b.add(OpKind::kFwdPre, i, mb, l, {prev});
+      b.with_memory(rcl ? pr.act.full_layer_recompute_stash : pr.act.pre, 0);
+      b.add(OpKind::kFwdAttn, i, mb, l);
+      b.with_memory(rcl ? 0 : pr.act.attn, 0);
+      prev = b.add(OpKind::kFwdPost, i, mb, l);
+      b.with_memory(rcl ? 0 : pr.act.post, 0);
+    }
+    fwd_out[i][mb] = prev;
+    if (i + 1 < pr.p) {
+      // The payload is the input of the next stage's first layer.
+      fwd_in[i + 1][mb] =
+          b.add_send(i, i + 1, pr.comm.boundary, prev, mb,
+                     first_layer[i] + nl, core::DataSlot::kFwdBoundary);
+    }
+  }
+
+  void backward(int i, int mb) {
+    const bool dw = plan.decouple_w;
+    OpId gin;
+    if (i == pr.p - 1) {
+      if (pr.include_lm_head) {
+        gin = b.add(OpKind::kLmHeadLoss, i, mb, pr.L - 1, {fwd_out[i][mb]});
+        b.with_memory(dw ? pr.head_stash_bytes : 0, 0,
+                      pr.logits_transient_bytes);
+        if (dw) b.decoupled();  // LM-head backward-W deferred (Section 5.4)
+      } else {
+        gin = fwd_out[i][mb];
+      }
+    } else {
+      gin = b.add_recv(bwd_in[i][mb]);
+    }
+    const int nl = plan.layers_per_stage[i];
+    OpId prev = gin;
+    for (int l = first_layer[i] + nl - 1; l >= first_layer[i]; --l) {
+      const bool rcl = is_recomputed(i, l);
+      if (rcl) {
+        // Full activation recomputation: re-run the layer forward from the
+        // stashed boundary input, restoring all intermediate stashes.
+        b.add(OpKind::kRecomputePre, i, mb, l);
+        b.with_memory(pr.act.pre, 0);
+        b.add(OpKind::kRecomputeAttn, i, mb, l);
+        b.with_memory(pr.act.attn, 0);
+        b.add(OpKind::kRecomputePost, i, mb, l);
+        b.with_memory(pr.act.post, 0);
+      }
+      prev = b.add(OpKind::kBwdPost, i, mb, l, {prev});
+      if (dw) {
+        b.with_memory(pr.act.w_stash_post, 0).decoupled();
+      } else {
+        b.with_memory(0, pr.act.post);
+      }
+      prev = b.add(OpKind::kBwdAttn, i, mb, l, {prev});
+      b.with_memory(0, dw ? 0 : pr.act.attn);
+      if (dw) b.decoupled();  // dWqkv deferred to the backward-W step
+      prev = b.add(OpKind::kBwdPre, i, mb, l, {prev});
+      if (dw) {
+        b.with_memory(pr.act.w_stash_pre, 0).decoupled();
+      } else {
+        b.with_memory(0, pr.act.pre +
+                             (rcl ? pr.act.full_layer_recompute_stash : 0));
+      }
+    }
+    if (i > 0) {
+      // The payload is the gradient consumed by BwdPost(first_layer - 1).
+      bwd_in[i - 1][mb] =
+          b.add_send(i, i - 1, pr.comm.boundary, prev, mb, first_layer[i] - 1,
+                     core::DataSlot::kBwdBoundary);
+    } else {
+      b.add(OpKind::kEmbedBwd, i, mb, 0, {prev});
+    }
+  }
+
+  void backward_w(int i, int mb) {
+    const int nl = plan.layers_per_stage[i];
+    for (int l = first_layer[i] + nl - 1; l >= first_layer[i]; --l) {
+      b.add(OpKind::kBwdWPost, i, mb, l);
+      b.with_memory(0, pr.act.post + pr.act.w_stash_post);
+      b.add(OpKind::kBwdWPre, i, mb, l);
+      b.with_memory(0, pr.act.pre + pr.act.attn + pr.act.w_stash_pre);
+    }
+    if (i == pr.p - 1 && pr.include_lm_head) {
+      // Deferred LM-head / embedding backward-W releases the fp32 gradient
+      // stash (the ZB1P final-stage spike, Section 5.4).
+      b.add(OpKind::kEmbedBwd, i, mb, pr.L - 1);
+      b.with_memory(0, pr.head_stash_bytes);
+    }
+  }
+};
+
+}  // namespace
+
+Schedule emit_layerwise(const PipelineProblem& pr, const LayerwisePlan& plan) {
+  const int p = pr.p;
+  if (static_cast<int>(plan.layers_per_stage.size()) != p ||
+      static_cast<int>(plan.steps.size()) != p) {
+    throw std::invalid_argument("plan shape does not match problem");
+  }
+  if (std::accumulate(plan.layers_per_stage.begin(), plan.layers_per_stage.end(), 0) != pr.L) {
+    throw std::invalid_argument("partition does not cover all layers");
+  }
+
+  ScheduleBuilder b(plan.name, p, pr.m, pr.L);
+  Emitter em(pr, plan, b);
+
+  // Emit macro steps in a global order that respects pipeline data flow, so
+  // that each Recv is appended at its receiver's program position after the
+  // matching Send exists.
+  std::vector<std::size_t> next(static_cast<std::size_t>(p), 0);
+  std::vector<std::vector<bool>> f_done(p, std::vector<bool>(pr.m, false));
+  std::vector<std::vector<bool>> b_done(p, std::vector<bool>(pr.m, false));
+
+  bool progress = true;
+  std::size_t remaining = 0;
+  for (const auto& s : plan.steps) remaining += s.size();
+  while (remaining > 0) {
+    if (!progress) {
+      throw std::logic_error("layer-wise plan has a data-flow cycle");
+    }
+    progress = false;
+    for (int i = 0; i < p; ++i) {
+      while (next[i] < plan.steps[i].size()) {
+        const MacroStep st = plan.steps[i][next[i]];
+        bool ready = false;
+        switch (st.kind) {
+          case StepKind::kForward:
+            ready = i == 0 || f_done[i - 1][st.mb];
+            break;
+          case StepKind::kBackward:
+            ready = f_done[i][st.mb] && (i == p - 1 || b_done[i + 1][st.mb]);
+            break;
+          case StepKind::kBackwardW:
+            ready = b_done[i][st.mb];
+            break;
+        }
+        if (!ready) break;
+        switch (st.kind) {
+          case StepKind::kForward:
+            em.forward(i, st.mb);
+            f_done[i][st.mb] = true;
+            break;
+          case StepKind::kBackward:
+            em.backward(i, st.mb);
+            b_done[i][st.mb] = true;
+            break;
+          case StepKind::kBackwardW:
+            em.backward_w(i, st.mb);
+            break;
+        }
+        ++next[i];
+        --remaining;
+        progress = true;
+      }
+    }
+  }
+  for (int s = 0; s < p; ++s) b.add(OpKind::kOptimStep, s, -1, -1);
+  return std::move(b).finish();
+}
+
+LayerwisePlan plan_1f1b(const PipelineProblem& pr) {
+  LayerwisePlan plan;
+  plan.name = "1F1B";
+  plan.layers_per_stage = uniform_partition(pr.L, pr.p);
+  plan.recompute_layers.assign(pr.p, 0);
+  plan.steps.resize(pr.p);
+  for (int i = 0; i < pr.p; ++i) {
+    const int warmup = std::min(pr.p - 1 - i, pr.m);
+    auto& s = plan.steps[i];
+    for (int j = 0; j < warmup; ++j) s.push_back({StepKind::kForward, j});
+    for (int j = 0; j < pr.m - warmup; ++j) {
+      s.push_back({StepKind::kForward, warmup + j});
+      s.push_back({StepKind::kBackward, j});
+    }
+    for (int j = pr.m - warmup; j < pr.m; ++j) {
+      s.push_back({StepKind::kBackward, j});
+    }
+  }
+  return plan;
+}
+
+core::Schedule build_1f1b(const PipelineProblem& pr) {
+  return emit_layerwise(pr, plan_1f1b(pr));
+}
+
+LayerwisePlan plan_gpipe(const PipelineProblem& pr) {
+  LayerwisePlan plan;
+  plan.name = "GPipe";
+  plan.layers_per_stage = uniform_partition(pr.L, pr.p);
+  plan.recompute_layers.assign(pr.p, 0);
+  plan.steps.resize(pr.p);
+  for (int i = 0; i < pr.p; ++i) {
+    auto& s = plan.steps[i];
+    for (int j = 0; j < pr.m; ++j) s.push_back({StepKind::kForward, j});
+    for (int j = pr.m - 1; j >= 0; --j) s.push_back({StepKind::kBackward, j});
+  }
+  return plan;
+}
+
+core::Schedule build_gpipe(const PipelineProblem& pr) {
+  return emit_layerwise(pr, plan_gpipe(pr));
+}
+
+}  // namespace helix::schedules

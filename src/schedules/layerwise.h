@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ir.h"
+#include "core/problem.h"
+
+// Layer-wise pipeline parallelism baselines (paper Section 2.3): the model is
+// partitioned into consecutive layer chunks, one chunk per stage, and micro
+// batches flow through stages with boundary-activation p2p transfers. 1F1B,
+// GPipe, ZB1P and AdaPipe all share this emission machinery and differ only
+// in their per-stage macro-step order, partition and recompute choices.
+namespace helix::schedules {
+
+enum class StepKind : std::uint8_t {
+  kForward,    ///< forward of all owned layers for one micro batch
+  kBackward,   ///< backward (B, and W unless decoupled) of all owned layers
+  kBackwardW,  ///< deferred backward-W of all owned layers (ZB1P)
+};
+
+struct MacroStep {
+  StepKind kind;
+  int mb;
+};
+
+/// A fully decided layer-wise schedule, ready for IR emission.
+struct LayerwisePlan {
+  std::string name;
+  std::vector<int> layers_per_stage;  ///< size p, sums to L
+  /// Number of layers (from the front of each stage's chunk) trained with
+  /// full activation recomputation (AdaPipe's adaptive recomputation).
+  std::vector<int> recompute_layers;
+  bool decouple_w = false;  ///< ZB1P: backward-B and backward-W are separate
+  std::vector<std::vector<MacroStep>> steps;  ///< per-stage program order
+};
+
+/// Lower a plan to schedule IR. Emission walks all stages in data-flow order
+/// so that every Recv lands at its receiver's program position.
+core::Schedule emit_layerwise(const core::PipelineProblem& problem,
+                              const LayerwisePlan& plan);
+
+/// Classic one-forward-one-backward schedule (PipeDream / DAPPLE / Megatron).
+LayerwisePlan plan_1f1b(const core::PipelineProblem& problem);
+core::Schedule build_1f1b(const core::PipelineProblem& problem);
+
+/// GPipe: all forwards, then all backwards in reverse (layer-wise FILO).
+LayerwisePlan plan_gpipe(const core::PipelineProblem& problem);
+core::Schedule build_gpipe(const core::PipelineProblem& problem);
+
+/// Uniform L/p partition helper.
+std::vector<int> uniform_partition(int L, int p);
+
+}  // namespace helix::schedules

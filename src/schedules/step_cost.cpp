@@ -1,0 +1,52 @@
+#include "schedules/step_cost.h"
+
+namespace helix::schedules {
+
+using core::Op;
+using core::OpKind;
+
+namespace {
+double op_seconds(const core::CostModel& cost, OpKind kind, int stage,
+                  bool combines_w = true) {
+  Op op;
+  op.kind = kind;
+  op.stage = static_cast<std::int16_t>(stage);
+  op.mb = 0;
+  op.layer = 0;
+  op.combines_w = combines_w;
+  return cost.compute_seconds(op);
+}
+}  // namespace
+
+double macro_step_seconds(const core::PipelineProblem& /*problem*/,
+                          const core::CostModel& cost, StepKind kind,
+                          const StepCostQuery& q) {
+  double t = 0;
+  switch (kind) {
+    case StepKind::kForward:
+      if (q.first_stage) t += op_seconds(cost, OpKind::kEmbedFwd, q.stage);
+      t += q.num_layers * (op_seconds(cost, OpKind::kFwdPre, q.stage) +
+                           op_seconds(cost, OpKind::kFwdAttn, q.stage) +
+                           op_seconds(cost, OpKind::kFwdPost, q.stage));
+      break;
+    case StepKind::kBackward:
+      if (q.last_stage) t += op_seconds(cost, OpKind::kLmHeadLoss, q.stage);
+      t += q.recompute_layers *
+           (op_seconds(cost, OpKind::kRecomputePre, q.stage) +
+            op_seconds(cost, OpKind::kRecomputeAttn, q.stage) +
+            op_seconds(cost, OpKind::kRecomputePost, q.stage));
+      t += q.num_layers *
+           (op_seconds(cost, OpKind::kBwdPost, q.stage, !q.decouple_w) +
+            op_seconds(cost, OpKind::kBwdAttn, q.stage) +
+            op_seconds(cost, OpKind::kBwdPre, q.stage, !q.decouple_w));
+      if (q.first_stage) t += op_seconds(cost, OpKind::kEmbedBwd, q.stage);
+      break;
+    case StepKind::kBackwardW:
+      t += q.num_layers * (op_seconds(cost, OpKind::kBwdWPost, q.stage) +
+                           op_seconds(cost, OpKind::kBwdWPre, q.stage));
+      break;
+  }
+  return t;
+}
+
+}  // namespace helix::schedules

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "core/cost.h"
+#include "core/problem.h"
+#include "schedules/layerwise.h"
+
+// Macro-step duration estimation used by the online schedule builders
+// (ZB1P's greedy filler, AdaPipe's partition search). Prices a whole
+// forward / backward / backward-W step of one stage by summing the cost
+// model over the ops the emitter would generate.
+namespace helix::schedules {
+
+struct StepCostQuery {
+  int stage = 0;
+  int num_layers = 1;
+  int recompute_layers = 0;
+  bool decouple_w = false;
+  bool first_stage = false;  ///< includes embedding work
+  bool last_stage = false;   ///< includes LM head + loss work
+};
+
+double macro_step_seconds(const core::PipelineProblem& problem,
+                          const core::CostModel& cost, StepKind kind,
+                          const StepCostQuery& q);
+
+}  // namespace helix::schedules

@@ -1,0 +1,149 @@
+#include "schedules/zb1p.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "schedules/step_cost.h"
+
+namespace helix::schedules {
+
+using core::PipelineProblem;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+LayerwisePlan plan_zb1p(const PipelineProblem& pr, const core::CostModel& cost,
+                        const Zb1pOptions& opt) {
+  const int p = pr.p;
+  const int m = pr.m;
+  const int cap = opt.max_outstanding > 0 ? opt.max_outstanding
+                                          : std::min(p, m);
+
+  LayerwisePlan plan;
+  plan.name = "ZB1P";
+  plan.layers_per_stage = uniform_partition(pr.L, pr.p);
+  plan.recompute_layers.assign(p, 0);
+  plan.decouple_w = true;
+  plan.steps.resize(p);
+
+  // Per-stage macro-step durations.
+  std::vector<double> fdur(p), bdur(p), wdur(p);
+  for (int i = 0; i < p; ++i) {
+    StepCostQuery q{.stage = i,
+                    .num_layers = plan.layers_per_stage[i],
+                    .recompute_layers = 0,
+                    .decouple_w = true,
+                    .first_stage = i == 0,
+                    .last_stage = i == p - 1};
+    fdur[i] = macro_step_seconds(pr, cost, StepKind::kForward, q);
+    bdur[i] = macro_step_seconds(pr, cost, StepKind::kBackward, q);
+    wdur[i] = macro_step_seconds(pr, cost, StepKind::kBackwardW, q);
+  }
+  const double comm = cost.transfer_seconds(pr.comm.boundary);
+
+  // Greedy event-driven construction (Section 2.3.2's heuristic): at each
+  // decision point run backward-B if its gradient has arrived, otherwise a
+  // forward if its input has arrived and the memory cap allows, otherwise
+  // fill the idle gap with a deferred backward-W when the gap fits one.
+  std::vector<double> now(p, 0.0);          // stage free time
+  std::vector<int> fnext(p, 0), bnext(p, 0), wnext(p, 0);
+  std::vector<std::vector<double>> fend(p, std::vector<double>(m, kInf));
+  std::vector<std::vector<double>> bend(p, std::vector<double>(m, kInf));
+
+  int remaining = 3 * p * m;
+  int stall_guard = 0;
+  while (remaining > 0) {
+    if (++stall_guard > 64 * 3 * p * m) {
+      throw std::logic_error("ZB1P greedy scheduler stalled");
+    }
+    // Pick the stage able to start its earliest next action.
+    int best_stage = -1;
+    StepKind best_kind = StepKind::kForward;
+    double best_start = kInf;
+    for (int i = 0; i < p; ++i) {
+      // Candidate availability times (kInf if not currently possible).
+      double avail_b = kInf;
+      if (bnext[i] < m) {
+        const int mb = bnext[i];
+        const double own_f = fend[i][mb];
+        const double grad = i == p - 1 ? own_f : bend[i + 1][mb] + comm;
+        if (own_f < kInf && grad < kInf) avail_b = std::max(own_f, grad);
+      }
+      double avail_f = kInf;
+      if (fnext[i] < m && fnext[i] - wnext[i] < cap) {
+        avail_f = i == 0 ? 0.0 : fend[i - 1][fnext[i]] + comm;
+      }
+      const bool w_ready = wnext[i] < bnext[i];  // W needs its B done
+
+      const double tb = std::max(now[i], avail_b);
+      const double tf = std::max(now[i], avail_f);
+      double start;
+      StepKind kind;
+      if (avail_b <= now[i]) {
+        start = tb;
+        kind = StepKind::kBackward;
+      } else if (avail_f <= now[i]) {
+        start = tf;
+        kind = StepKind::kForward;
+      } else if (w_ready &&
+                 std::min(tb, tf) - now[i] >= wdur[i] - 1e-12) {
+        // Idle gap fits one backward-W.
+        start = now[i];
+        kind = StepKind::kBackwardW;
+      } else if (tb <= tf && avail_b < kInf) {
+        start = tb;
+        kind = StepKind::kBackward;
+      } else if (avail_f < kInf) {
+        start = tf;
+        kind = StepKind::kForward;
+      } else if (w_ready) {
+        start = now[i];
+        kind = StepKind::kBackwardW;
+      } else {
+        continue;  // nothing schedulable on this stage yet
+      }
+      if (start < best_start) {
+        best_start = start;
+        best_stage = i;
+        best_kind = kind;
+      }
+    }
+    if (best_stage < 0) throw std::logic_error("ZB1P scheduler deadlock");
+
+    const int i = best_stage;
+    switch (best_kind) {
+      case StepKind::kForward: {
+        const int mb = fnext[i]++;
+        now[i] = best_start + fdur[i];
+        fend[i][mb] = now[i];
+        plan.steps[i].push_back({StepKind::kForward, mb});
+        break;
+      }
+      case StepKind::kBackward: {
+        const int mb = bnext[i]++;
+        now[i] = best_start + bdur[i];
+        bend[i][mb] = now[i];
+        plan.steps[i].push_back({StepKind::kBackward, mb});
+        break;
+      }
+      case StepKind::kBackwardW: {
+        const int mb = wnext[i]++;
+        now[i] = best_start + wdur[i];
+        plan.steps[i].push_back({StepKind::kBackwardW, mb});
+        break;
+      }
+    }
+    --remaining;
+  }
+  return plan;
+}
+
+core::Schedule build_zb1p(const PipelineProblem& pr, const core::CostModel& cost,
+                          const Zb1pOptions& opt) {
+  return emit_layerwise(pr, plan_zb1p(pr, cost, opt));
+}
+
+}  // namespace helix::schedules

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "core/cost.h"
+#include "schedules/layerwise.h"
+
+// ZB1P zero-bubble pipeline parallelism (Qi et al., ICLR 2024; paper Section
+// 2.3.2). The backward pass is decoupled into backward-B (input gradients,
+// on the critical path) and backward-W (parameter gradients, reorderable).
+// A greedy online scheduler mirrors the paper's heuristic: run backward-B as
+// soon as its gradient arrives, keep the pipeline fed with forwards subject
+// to the 1F1B-equivalent memory cap, and fill idle gaps with deferred
+// backward-W steps when the gap is large enough to hide one.
+namespace helix::schedules {
+
+struct Zb1pOptions {
+  /// Maximum micro batches with live stashes per stage; 0 selects min(p, m),
+  /// the worst-case 1F1B peak (paper Eq. 4).
+  int max_outstanding = 0;
+};
+
+LayerwisePlan plan_zb1p(const core::PipelineProblem& problem,
+                        const core::CostModel& cost,
+                        const Zb1pOptions& options = {});
+
+core::Schedule build_zb1p(const core::PipelineProblem& problem,
+                          const core::CostModel& cost,
+                          const Zb1pOptions& options = {});
+
+}  // namespace helix::schedules

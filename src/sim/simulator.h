@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/ir.h"
+
+// Discrete-event execution of a schedule IR under a cost model.
+//
+// Each stage owns two in-order streams, mirroring a GPU with a compute
+// stream and a dedicated NCCL communication stream:
+//   * compute ops start at max(previous compute op end, all dependency ends);
+//   * a Send starts at max(previous comm op end, producer end) and occupies
+//     the comm stream for the transfer duration; data arrives at its end;
+//   * a Recv starts when it reaches the head of the comm stream and completes
+//     when the data has arrived (blocking wait, zero intrinsic cost).
+// Sends are eager (buffered), so rendezvous deadlocks are impossible; a
+// pending Recv can still head-of-line-block later comm ops on the same
+// stage, which is exactly the naive-FILO bottleneck of paper Fig. 6a.
+//
+// Memory: alloc_bytes and transient_bytes are charged at op start,
+// free_bytes and transient_bytes credited at op end; the simulator reports
+// the running peak per stage on top of a caller-provided base (model states).
+namespace helix::sim {
+
+struct OpTime {
+  double start = 0;
+  double end = 0;
+};
+
+struct StageStats {
+  double compute_busy = 0;   ///< total compute-op time
+  double comm_busy = 0;      ///< total send time (transfer occupancy)
+  double bubble = 0;         ///< makespan - compute_busy
+  double recv_wait = 0;      ///< time Recvs spent blocked waiting for data
+  std::int64_t peak_memory = 0;   ///< includes base_memory
+  std::int64_t final_memory = 0;  ///< leak detector: should equal base
+};
+
+struct SimResult {
+  double makespan = 0;
+  std::vector<OpTime> op_times;  ///< indexed by op id
+  std::vector<StageStats> stages;
+
+  double total_bubble() const {
+    double t = 0;
+    for (const auto& s : stages) t += s.bubble;
+    return t;
+  }
+  std::int64_t max_peak_memory() const {
+    std::int64_t m = 0;
+    for (const auto& s : stages) m = std::max(m, s.peak_memory);
+    return m;
+  }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const core::CostModel& cost) : cost_(cost) {}
+
+  /// Execute `sched`; `base_memory_bytes` (optional, per stage) is the
+  /// resident model-state footprint added to every activation measurement.
+  /// Throws std::logic_error on a dependency cycle (schedule bug).
+  SimResult run(const core::Schedule& sched,
+                const std::vector<std::int64_t>& base_memory_bytes = {}) const;
+
+ private:
+  const core::CostModel& cost_;
+};
+
+}  // namespace helix::sim

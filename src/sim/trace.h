@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "core/ir.h"
+#include "sim/simulator.h"
+
+// Schedule visualisation: fixed-width ASCII timelines (the medium of the
+// paper's Figs. 2, 5, 6, 7) and Chrome trace-event JSON for chrome://tracing.
+namespace helix::sim {
+
+struct TimelineOptions {
+  double time_per_col = 1.0;  ///< seconds represented by one character column
+  int max_cols = 200;
+  bool show_comm = true;  ///< add a second row per stage for the comm stream
+};
+
+/// Render per-stage rows; compute ops show the micro batch digit (hex) with
+/// distinct fills: forward = digit, backward = shaded digit, attention ops
+/// uppercase markers, recompute 'r', W 'w', idle '.'.
+std::string render_ascii_timeline(const core::Schedule& sched,
+                                  const SimResult& result,
+                                  const TimelineOptions& options = {});
+
+/// Chrome trace-event JSON (one row per stage compute / comm stream).
+std::string to_chrome_trace(const core::Schedule& sched, const SimResult& result);
+
+/// One line per op, sorted by start time: for debugging generators.
+std::string dump_op_log(const core::Schedule& sched, const SimResult& result);
+
+}  // namespace helix::sim

@@ -1,0 +1,47 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace helix::tensor {
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    os << (i ? ", " : "") << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+namespace {
+/// splitmix64: full-avalanche counter hash.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+double unit(std::uint64_t seed, std::uint64_t i) {
+  return static_cast<double>(mix(seed ^ mix(i)) >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+void fill_uniform(Tensor& t, std::uint64_t seed, float lo, float hi) {
+  for (i64 i = 0; i < t.numel(); ++i) {
+    t[i] = lo + static_cast<float>(unit(seed, static_cast<std::uint64_t>(i))) * (hi - lo);
+  }
+}
+
+void fill_normal_like(Tensor& t, std::uint64_t seed, float stddev) {
+  // Box-Muller over counter-hashed uniforms.
+  for (i64 i = 0; i < t.numel(); ++i) {
+    const double u1 = std::max(unit(seed, 2 * static_cast<std::uint64_t>(i)), 1e-12);
+    const double u2 = unit(seed, 2 * static_cast<std::uint64_t>(i) + 1);
+    t[i] = static_cast<float>(std::sqrt(-2.0 * std::log(u1)) *
+                              std::cos(2.0 * M_PI * u2) * stddev);
+  }
+}
+
+}  // namespace helix::tensor

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+// Minimal dense fp32 tensor used by the numerical runtime. Deliberately
+// simple: contiguous row-major storage, 1-3 dimensions, no views. GEMMs and
+// reductions accumulate in double so results are independent of operation
+// order, letting pipeline executions match the sequential reference to very
+// tight tolerances.
+namespace helix::tensor {
+
+using i64 = std::int64_t;
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<i64> shape) : shape_(std::move(shape)) {
+    i64 n = 1;
+    for (const i64 d : shape_) {
+      if (d <= 0) throw std::invalid_argument("non-positive dimension");
+      n *= d;
+    }
+    data_.assign(static_cast<std::size_t>(n), 0.0f);
+  }
+  Tensor(std::initializer_list<i64> shape) : Tensor(std::vector<i64>(shape)) {}
+
+  static Tensor zeros(std::vector<i64> shape) { return Tensor(std::move(shape)); }
+
+  const std::vector<i64>& shape() const noexcept { return shape_; }
+  i64 dim(int i) const { return shape_.at(static_cast<std::size_t>(i)); }
+  int ndim() const noexcept { return static_cast<int>(shape_.size()); }
+  i64 numel() const noexcept { return static_cast<i64>(data_.size()); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  float& operator[](i64 i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](i64 i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// 2D accessor for [rows, cols] tensors.
+  float& at(i64 r, i64 c) { return data_[static_cast<std::size_t>(r * shape_[1] + c)]; }
+  float at(i64 r, i64 c) const { return data_[static_cast<std::size_t>(r * shape_[1] + c)]; }
+
+  i64 rows() const { return shape_.at(0); }
+  i64 cols() const { return shape_.at(1); }
+
+  bool same_shape(const Tensor& o) const { return shape_ == o.shape_; }
+  std::string shape_str() const;
+
+ private:
+  std::vector<i64> shape_;
+  std::vector<float> data_;
+};
+
+/// Counter-based deterministic pseudo-random fill (split-mix style), in the
+/// spirit of the paper's counter-based RNG citation [33]: the value at index
+/// i depends only on (seed, i), so initialization is reproducible regardless
+/// of execution order or partitioning.
+void fill_uniform(Tensor& t, std::uint64_t seed, float lo = -1.0f, float hi = 1.0f);
+void fill_normal_like(Tensor& t, std::uint64_t seed, float stddev);
+
+}  // namespace helix::tensor

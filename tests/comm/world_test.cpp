@@ -1,0 +1,123 @@
+// Message-passing substrate: p2p ordering, barriers, ring collectives,
+// error propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "comm/world.h"
+#include "tensor/ops.h"
+
+namespace helix::comm {
+namespace {
+
+using tensor::Tensor;
+
+Tensor constant(float v, tensor::i64 n = 4) {
+  Tensor t({n});
+  for (tensor::i64 i = 0; i < n; ++i) t[i] = v;
+  return t;
+}
+
+TEST(World, PingPong) {
+  World w(2);
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send(1, 7, {constant(3.5f)});
+      const Message back = ep.recv(1, 8);
+      EXPECT_FLOAT_EQ(back[0][0], 4.5f);
+    } else {
+      Message m = ep.recv(0, 7);
+      m[0][0] += 1.0f;
+      for (tensor::i64 i = 1; i < m[0].numel(); ++i) m[0][i] += 1.0f;
+      ep.send(0, 8, std::move(m));
+    }
+  });
+}
+
+TEST(World, TagsKeepMessagesApart) {
+  World w(2);
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      // Send out of tag order; receiver picks by tag.
+      ep.send(1, 2, {constant(2.0f)});
+      ep.send(1, 1, {constant(1.0f)});
+    } else {
+      EXPECT_FLOAT_EQ(ep.recv(0, 1)[0][0], 1.0f);
+      EXPECT_FLOAT_EQ(ep.recv(0, 2)[0][0], 2.0f);
+    }
+  });
+}
+
+TEST(World, SameTagIsFifo) {
+  World w(2);
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      for (int i = 0; i < 5; ++i) ep.send(1, 9, {constant(static_cast<float>(i))});
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        EXPECT_FLOAT_EQ(ep.recv(0, 9)[0][0], static_cast<float>(i));
+      }
+    }
+  });
+}
+
+TEST(World, BarrierSynchronizes) {
+  World w(4);
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  w.run([&](Endpoint& ep) {
+    before.fetch_add(1);
+    ep.barrier();
+    if (before.load() != 4) violated.store(true);
+    ep.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(World, AllReduceSums) {
+  for (const int n : {1, 2, 3, 5}) {
+    World w(n);
+    w.run([&](Endpoint& ep) {
+      const Tensor total =
+          ep.all_reduce_sum(constant(static_cast<float>(ep.rank() + 1)), 100);
+      const float expected = static_cast<float>(n * (n + 1) / 2);
+      for (tensor::i64 i = 0; i < total.numel(); ++i) {
+        EXPECT_FLOAT_EQ(total[i], expected) << "world " << n;
+      }
+    });
+  }
+}
+
+TEST(World, AllGatherOrdersByRank) {
+  World w(3);
+  w.run([](Endpoint& ep) {
+    const auto all = ep.all_gather(constant(static_cast<float>(ep.rank() * 10)), 200);
+    ASSERT_EQ(all.size(), 3u);
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_FLOAT_EQ(all[static_cast<std::size_t>(r)][0], static_cast<float>(r * 10));
+    }
+  });
+}
+
+TEST(World, PropagatesRankExceptions) {
+  World w(2);
+  EXPECT_THROW(w.run([](Endpoint& ep) {
+    if (ep.rank() == 1) throw std::runtime_error("boom");
+    // Rank 0 must not deadlock waiting: it does no recv.
+  }),
+               std::runtime_error);
+}
+
+TEST(World, RejectsBadRanks) {
+  World w(2);
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      EXPECT_THROW(ep.send(5, 1, {}), std::out_of_range);
+      EXPECT_THROW(ep.recv(-1, 1), std::out_of_range);
+    }
+  });
+  EXPECT_THROW(World(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace helix::comm

@@ -1,0 +1,112 @@
+// Table 3 model configurations, Eq. 2 / Eq. 4 / Table 2 memory accounting,
+// and hardware spec sanity (the relations Section 5.2 relies on).
+#include <gtest/gtest.h>
+
+#include "model/gpu_specs.h"
+#include "model/memory.h"
+#include "model/model_config.h"
+
+namespace helix::model {
+namespace {
+
+TEST(ModelConfig, Table3Parameters) {
+  const auto check = [](const ModelConfig& m, double billions) {
+    EXPECT_NEAR(static_cast<double>(m.layer_param_elems()), billions * 1e9,
+                0.08 * billions * 1e9)
+        << m.name;
+  };
+  check(gpt_1p3b(), 1.2);  // 12 * 24 * 2048^2
+  check(gpt_3b(), 3.2);
+  check(gpt_7b(), 6.4);
+  check(gpt_13b(), 12.6);
+  EXPECT_EQ(gpt_7b().num_layers, 32);
+  EXPECT_EQ(gpt_7b().num_heads, 32);
+  EXPECT_EQ(gpt_7b().hidden, 4096);
+  EXPECT_EQ(gpt_1p3b().num_layers, 24);
+  EXPECT_EQ(gpt_1p3b().hidden, 2048);
+  EXPECT_EQ(gpt_3b().num_layers, 16);
+  EXPECT_EQ(gpt_3b().hidden, 4096);
+  EXPECT_EQ(table3_models().size(), 3u);
+  EXPECT_THROW(model_by_name("70B"), std::invalid_argument);
+}
+
+TEST(GpuSpecs, PaperHardwareRelations) {
+  const ClusterSpec h20 = h20_cluster();
+  const ClusterSpec a800 = a800_cluster();
+  // "A800 GPU has double computation power compared to H20" (Section 5.2).
+  EXPECT_NEAR(a800.gpu.dense_tflops / h20.gpu.dense_tflops, 2.0, 0.15);
+  // "A800 cluster only has half communication bandwidth than H20 cluster".
+  EXPECT_NEAR(h20.internode_bytes_per_s() / a800.internode_bytes_per_s(), 2.0, 0.01);
+  EXPECT_EQ(h20.gpus_per_node, 8);
+  EXPECT_EQ(h20.num_hcas, 4);
+  EXPECT_EQ(h20.hca_gbps, 200.0);  // NDR
+  EXPECT_EQ(a800.hca_gbps, 100.0); // HDR
+}
+
+class MemoryFormulas : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MemoryFormulas, OneF1BImbalance) {
+  const auto [p, Lmult] = GetParam();
+  const int L = p * Lmult;
+  const LayerDims d{.s = 131072, .b = 1, .h = 5120};
+  const PipelineShape ps{.p = p, .m = 2 * p, .L = L};
+  // Eq. 2: stage 0 stashes p outstanding micro batches; decreasing with i.
+  i64 prev = onef1b_stage_activation_bytes(d, ps, 0);
+  EXPECT_EQ(prev, 16 * d.bsh() * p * (L / p) * 2);
+  // Stage 0's footprint is 16bshL regardless of p.
+  EXPECT_EQ(prev, 16 * d.bsh() * L * 2);
+  for (int i = 1; i < p; ++i) {
+    const i64 cur = onef1b_stage_activation_bytes(d, ps, i);
+    EXPECT_LT(cur, prev) << "stage " << i;
+    prev = cur;
+  }
+  // Eq. 4: ZB1P worst case equals 1F1B stage 0 everywhere.
+  EXPECT_EQ(zb1p_stage_activation_bytes(d, ps), 16 * d.bsh() * L * 2);
+}
+
+TEST_P(MemoryFormulas, HelixBalancedAndFourTimesSmaller) {
+  const auto [p, Lmult] = GetParam();
+  const int L = p * Lmult;
+  const LayerDims d{.s = 65536, .b = 1, .h = 4096};
+  const PipelineShape ps{.p = p, .m = 2 * p, .L = L};
+  const i64 with_rc = helix_stage_activation_bytes(d, ps, true);
+  const i64 without_rc = helix_stage_activation_bytes(d, ps, false);
+  // Table 2: 4bsh m L/p vs 16bsh m L/p — exactly 4x.
+  EXPECT_EQ(without_rc, 4 * with_rc);
+  EXPECT_EQ(with_rc, 4 * d.bsh() * ps.m * (L / p) * 2);
+  // FILO stashes all m micro batches, like GPipe.
+  EXPECT_EQ(gpipe_stage_activation_bytes(d, ps), without_rc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MemoryFormulas,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values(1, 2, 5)));
+
+TEST(MemoryFormulas, Fig4ThirteenBExceedsCapacityAt128k) {
+  // Fig. 4: 13B model, 8 stages, 1F1B, fp16: at 128k the first stages
+  // exceed 80 GB per GPU (activations sharded 8-way by sequence parallel).
+  const ModelConfig m = gpt_13b();
+  const LayerDims d{.s = 131072, .b = 1, .h = m.hidden};
+  const PipelineShape ps{.p = 8, .m = 16, .L = m.num_layers};
+  const double cap = 80.0 * (1ull << 30);
+  const int sp = 8;
+  const double s0 = static_cast<double>(onef1b_stage_activation_bytes(d, ps, 0)) / sp;
+  const double s1 = static_cast<double>(onef1b_stage_activation_bytes(d, ps, 1)) / sp;
+  const double s2 = static_cast<double>(onef1b_stage_activation_bytes(d, ps, 2)) / sp;
+  const double s7 = static_cast<double>(onef1b_stage_activation_bytes(d, ps, 7)) / sp;
+  EXPECT_GT(s0, cap);
+  EXPECT_GT(s1, cap);
+  EXPECT_LE(s2, cap * 1.05);
+  EXPECT_LT(s7, cap / 4);  // later stages leave large spare memory
+}
+
+TEST(MemoryFormulas, ShapeValidation) {
+  const LayerDims d{.s = 1024, .b = 1, .h = 64};
+  EXPECT_THROW(onef1b_stage_activation_bytes(d, {.p = 3, .m = 3, .L = 8}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(onef1b_stage_activation_bytes(d, {.p = 2, .m = 2, .L = 4}, 5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace helix::model

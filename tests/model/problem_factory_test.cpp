@@ -1,0 +1,66 @@
+// TrainSetup -> PipelineProblem translation and base-memory accounting.
+#include <gtest/gtest.h>
+
+#include "model/memory.h"
+#include "model/problem_factory.h"
+
+namespace helix::model {
+namespace {
+
+TEST(ProblemFactory, PerGpuActivationScaling) {
+  const ModelConfig mc = gpt_7b();
+  const TrainSetup s{.seq_len = 131072, .micro_batch = 1, .pipeline = 8,
+                     .micro_batches = 16, .sp = 8};
+  const auto pr = make_problem(mc, s);
+  const i64 bsh = s.seq_len * s.micro_batch * mc.hidden;
+  const i64 bytes_per_gpu = 2 / 1;  // bf16, before sp division
+  // Table 1 split: 2/3/11 x bsh, divided by the 8-way sequence parallel.
+  EXPECT_EQ(pr.act.pre, 2 * bsh * bytes_per_gpu / 8);
+  EXPECT_EQ(pr.act.attn, 3 * bsh * bytes_per_gpu / 8);
+  EXPECT_EQ(pr.act.post, 11 * bsh * bytes_per_gpu / 8);
+  EXPECT_EQ(pr.act.pre + pr.act.attn + pr.act.post, 16 * bsh * 2 / 8);
+  // Recompute stash: 4bsh per layer (Section 4.4.1).
+  EXPECT_EQ(pr.act.attn_recompute + pr.act.post_recompute, 4 * bsh * 2 / 8);
+  // Communication is whole-boundary (the node's bonded HCAs move it).
+  EXPECT_EQ(pr.comm.boundary, bsh);
+  EXPECT_EQ(pr.comm.pre_to_attn, 2 * bsh + 3 * mc.hidden * mc.hidden);
+  EXPECT_EQ(pr.comm.attn_to_post, 2 * bsh);
+  EXPECT_EQ(pr.p, 8);
+  EXPECT_EQ(pr.m, 16);
+  EXPECT_EQ(pr.L, mc.num_layers);
+}
+
+TEST(ProblemFactory, BaseMemoryPlacesEmbeddings) {
+  const ModelConfig mc = gpt_3b();
+  const TrainSetup s{.seq_len = 32768, .micro_batch = 1, .pipeline = 4,
+                     .micro_batches = 8, .sp = 8};
+  const auto lw = layerwise_base_memory(mc, s);
+  const auto hx = helix_base_memory(mc, s);
+  ASSERT_EQ(lw.size(), 4u);
+  ASSERT_EQ(hx.size(), 4u);
+  // Layer-wise: embeddings on stage 0, LM-head gradient buffer on stage p-1.
+  EXPECT_GT(lw[0], lw[1]);
+  EXPECT_GT(lw[3], lw[1]);
+  EXPECT_EQ(lw[1], lw[2]);
+  // Helix: both ends live on stage 0 (Section 4.6).
+  EXPECT_GT(hx[0], hx[1]);
+  EXPECT_EQ(hx[1], hx[2]);
+  EXPECT_EQ(hx[2], hx[3]);
+  EXPECT_GT(hx[0], lw[0]) << "helix stage 0 also hosts the LM head";
+  // Mixed-precision model states: 16 bytes/param for layers, sharded by sp.
+  const i64 per_layer = (12 * mc.hidden * mc.hidden + 4 * mc.hidden) *
+                        kMixedPrecisionBytesPerParam / 8;
+  EXPECT_EQ(lw[1], per_layer * (mc.num_layers / 4));
+}
+
+TEST(ProblemFactory, HeadStashIsFp32Hidden) {
+  const ModelConfig mc = gpt_3b();
+  const TrainSetup s{.seq_len = 131072, .micro_batch = 1, .pipeline = 8,
+                     .micro_batches = 16, .sp = 8};
+  const auto pr = make_problem(mc, s);
+  EXPECT_EQ(pr.head_stash_bytes, 131072 * mc.hidden * 4 / 8);
+  EXPECT_EQ(pr.logits_transient_bytes, 131072 * mc.vocab * 2 / 8);
+}
+
+}  // namespace
+}  // namespace helix::model

@@ -1,0 +1,155 @@
+// Layer-part correctness: finite-difference checks through the full layer
+// decomposition, recompute-path equivalence, and chunked-MLP bit-exactness
+// (DESIGN.md invariant #5).
+#include <gtest/gtest.h>
+
+#include "nn/parts.h"
+#include "nn/reference.h"
+
+namespace helix::nn {
+namespace {
+
+using tensor::fill_uniform;
+using tensor::max_abs_diff;
+using tensor::Tensor;
+
+MiniGptConfig tiny() {
+  return {.layers = 2, .hidden = 16, .heads = 2, .seq = 8, .batch = 1,
+          .vocab = 32, .micro_batches = 2, .lr = 0.05f};
+}
+
+TEST(Parts, ChunkedMlpIsBitExact) {
+  const MiniGptConfig cfg = tiny();
+  const ModelParams params = ModelParams::init(cfg, 99);
+  Tensor x({cfg.rows(), cfg.hidden}), ctx({cfg.rows(), cfg.hidden});
+  fill_uniform(x, 1);
+  fill_uniform(ctx, 2);
+  const LayerParams& p = params.layers[0];
+  PostStash s1, s2, s4;
+  const Tensor y1 = post_forward(x, ctx, p, 1, true, &s1);
+  const Tensor y2 = post_forward(x, ctx, p, 2, true, &s2);
+  const Tensor y4 = post_forward(x, ctx, p, 4, true, &s4);
+  EXPECT_EQ(max_abs_diff(y1, y2), 0.0);
+  EXPECT_EQ(max_abs_diff(y1, y4), 0.0);
+
+  Tensor dy({cfg.rows(), cfg.hidden});
+  fill_uniform(dy, 3);
+  const PostBackwardResult b1 = post_backward(dy, p, 1, s1);
+  const PostBackwardResult b4 = post_backward(dy, p, 4, s4);
+  EXPECT_EQ(max_abs_diff(b1.dx, b4.dx), 0.0);
+  EXPECT_EQ(max_abs_diff(b1.dctx, b4.dctx), 0.0);
+  // Weight gradients reduce over rows *across* chunks; the partial sums are
+  // stored in float between chunks, so they agree to the last ulp only.
+  EXPECT_LT(max_abs_diff(b1.dw1, b4.dw1), 1e-6);
+  EXPECT_LT(max_abs_diff(b1.dw2, b4.dw2), 1e-6);
+  EXPECT_EQ(max_abs_diff(b1.dwo, b4.dwo), 0.0);
+}
+
+TEST(Parts, RecomputeMatchesFullStash) {
+  const MiniGptConfig cfg = tiny();
+  const ModelParams params = ModelParams::init(cfg, 7);
+  const LayerParams& p = params.layers[0];
+  Tensor x({cfg.rows(), cfg.hidden}), ctx({cfg.rows(), cfg.hidden});
+  fill_uniform(x, 4);
+  fill_uniform(ctx, 5);
+
+  PostStash full, minimal;
+  const Tensor y_full = post_forward(x, ctx, p, 1, true, &full);
+  const Tensor y_min = post_forward(x, ctx, p, 1, false, &minimal);
+  EXPECT_EQ(max_abs_diff(y_full, y_min), 0.0);
+  EXPECT_FALSE(minimal.intermediates_valid);
+
+  Tensor dy({cfg.rows(), cfg.hidden});
+  fill_uniform(dy, 6);
+  EXPECT_THROW(post_backward(dy, p, 1, minimal), std::logic_error);
+  const Tensor y_rc = post_recompute(p, 1, minimal);
+  EXPECT_EQ(max_abs_diff(y_rc, y_full), 0.0);
+  const PostBackwardResult a = post_backward(dy, p, 1, full);
+  const PostBackwardResult b = post_backward(dy, p, 1, minimal);
+  EXPECT_EQ(max_abs_diff(a.dx, b.dx), 0.0);
+  EXPECT_EQ(max_abs_diff(a.dctx, b.dctx), 0.0);
+  EXPECT_EQ(max_abs_diff(a.dwo, b.dwo), 0.0);
+}
+
+TEST(Parts, FullLayerFiniteDifference) {
+  // End-to-end through pre -> attention -> post against finite differences
+  // on a scalar projection of y.
+  const MiniGptConfig cfg = tiny();
+  ModelParams params = ModelParams::init(cfg, 21);
+  LayerParams& p = params.layers[0];
+  Tensor x({cfg.rows(), cfg.hidden});
+  fill_uniform(x, 8, -0.5f, 0.5f);
+  Tensor w({cfg.rows(), cfg.hidden});
+  fill_uniform(w, 9);
+
+  const auto forward = [&]() -> double {
+    const Tensor ln1 = pre_forward(x, p, nullptr);
+    AttnStash as;
+    const Tensor ctx = attn_forward(ln1, p.wqkv, cfg, &as);
+    const Tensor y = post_forward(x, ctx, p, 1, false, nullptr);
+    double s = 0;
+    for (tensor::i64 i = 0; i < y.numel(); ++i) s += static_cast<double>(y[i]) * w[i];
+    return s;
+  };
+
+  // Analytic gradients via the part backwards.
+  PreStash ps;
+  const Tensor ln1 = pre_forward(x, p, &ps);
+  AttnStash as;
+  const Tensor ctx = attn_forward(ln1, p.wqkv, cfg, &as);
+  PostStash post;
+  (void)post_forward(x, ctx, p, 1, true, &post);
+  const PostBackwardResult pb = post_backward(w, p, 1, post);
+  const AttnBackwardResult ab = attn_backward(pb.dctx, as, cfg);
+  const PreBackwardResult prb = pre_backward(ab.dln1, pb.dx, ps.x, ps.stats, p);
+
+  const auto fd = [&](Tensor& t, tensor::i64 i) {
+    const float saved = t[i];
+    const double eps = 1e-3;
+    t[i] = static_cast<float>(saved + eps);
+    const double hi = forward();
+    t[i] = static_cast<float>(saved - eps);
+    const double lo = forward();
+    t[i] = saved;
+    return (hi - lo) / (2 * eps);
+  };
+  for (tensor::i64 i = 0; i < x.numel(); i += 11) {
+    EXPECT_NEAR(prb.dx[i], fd(x, i), 1e-2) << "dx " << i;
+  }
+  for (tensor::i64 i = 0; i < p.wqkv.numel(); i += 97) {
+    EXPECT_NEAR(ab.dwqkv[i], fd(p.wqkv, i), 1e-2) << "dwqkv " << i;
+  }
+  for (tensor::i64 i = 0; i < p.w1.numel(); i += 127) {
+    EXPECT_NEAR(pb.dw1[i], fd(p.w1, i), 1e-2) << "dw1 " << i;
+  }
+}
+
+TEST(Reference, LossDecreasesOverIterations) {
+  MiniGptConfig cfg = tiny();
+  cfg.micro_batches = 2;
+  ModelParams params = ModelParams::init(cfg, 3);
+  const Batch batch = Batch::random(cfg, 17);
+  const double first = reference_train_step(params, batch).mean_loss;
+  double last = first;
+  for (int it = 0; it < 8; ++it) {
+    last = reference_train_step(params, batch).mean_loss;
+  }
+  EXPECT_LT(last, first) << "SGD on a fixed batch must reduce the loss";
+}
+
+TEST(Reference, ChunkedTrainingIdentical) {
+  const MiniGptConfig cfg = tiny();
+  ModelParams a = ModelParams::init(cfg, 3);
+  ModelParams b = ModelParams::init(cfg, 3);
+  const Batch batch = Batch::random(cfg, 17);
+  for (int it = 0; it < 3; ++it) {
+    const auto ra = reference_train_step(a, batch, /*mlp_chunks=*/1);
+    const auto rb = reference_train_step(b, batch, /*mlp_chunks=*/4);
+    EXPECT_NEAR(ra.mean_loss, rb.mean_loss, 1e-6);
+  }
+  // Chunk-count only perturbs weight-gradient summation order (last ulp).
+  EXPECT_LT(a.max_diff(b), 1e-5);
+}
+
+}  // namespace
+}  // namespace helix::nn

@@ -1,0 +1,78 @@
+// Rendering / export sanity: ASCII timelines cover the makespan, Chrome
+// traces are structurally valid JSON event lists.
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/filo.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace helix::sim {
+namespace {
+
+core::Schedule tiny_helix() {
+  core::PipelineProblem pr;
+  pr.p = 2;
+  pr.m = 2;
+  pr.L = 4;
+  pr.comm.boundary = 1;
+  pr.comm.pre_to_attn = 1;
+  pr.comm.attn_to_post = 1;
+  pr.include_lm_head = false;
+  return core::build_helix_schedule(
+      pr, {.two_fold = false, .recompute_without_attention = false});
+}
+
+TEST(Trace, AsciiTimelineShape) {
+  const auto sched = tiny_helix();
+  const core::UnitCostModel cost;
+  const auto res = Simulator(cost).run(sched);
+  const std::string art =
+      render_ascii_timeline(sched, res, {.time_per_col = 1.0, .max_cols = 300,
+                                         .show_comm = true});
+  // Two stages, each with a compute and a comm row.
+  EXPECT_NE(art.find("P0 |"), std::string::npos);
+  EXPECT_NE(art.find("P1 |"), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  // Micro batch digits appear; idle is dotted.
+  EXPECT_NE(art.find('0'), std::string::npos);
+  EXPECT_NE(art.find('1'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(Trace, ChromeTraceContainsEveryOp) {
+  const auto sched = tiny_helix();
+  const core::UnitCostModel cost;
+  const auto res = Simulator(cost).run(sched);
+  const std::string json = to_chrome_trace(sched, res);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  std::size_t events = 0;
+  for (std::size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos;
+       ++pos) {
+    ++events;
+  }
+  EXPECT_EQ(events, sched.total_ops());
+}
+
+TEST(Trace, OpLogSortedByStart) {
+  const auto sched = tiny_helix();
+  const core::UnitCostModel cost;
+  const auto res = Simulator(cost).run(sched);
+  const std::string log = dump_op_log(sched, res);
+  double prev = -1;
+  std::size_t lines = 0;
+  for (std::size_t pos = 0; pos < log.size();) {
+    const std::size_t nl = log.find('\n', pos);
+    if (nl == std::string::npos) break;
+    const double start = std::stod(log.substr(pos + 1));
+    EXPECT_GE(start, prev);
+    prev = start;
+    pos = nl + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, sched.total_ops());
+}
+
+}  // namespace
+}  // namespace helix::sim

@@ -1,0 +1,152 @@
+// Finite-difference verification of every numerical primitive's backward.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/ops.h"
+
+namespace helix::tensor {
+namespace {
+
+/// Central-difference derivative of scalar(f) w.r.t. t[i].
+double fd(Tensor& t, i64 i, const std::function<double()>& f, double eps = 1e-3) {
+  const float saved = t[i];
+  t[i] = static_cast<float>(saved + eps);
+  const double hi = f();
+  t[i] = static_cast<float>(saved - eps);
+  const double lo = f();
+  t[i] = saved;
+  return (hi - lo) / (2 * eps);
+}
+
+/// Scalar projection: sum(w .* y) with fixed pseudo-random weights makes
+/// every output element contribute to the scalar.
+Tensor weights_like(const Tensor& y, std::uint64_t seed) {
+  Tensor w(y.shape());
+  fill_uniform(w, seed, -1.0f, 1.0f);
+  return w;
+}
+double dot(const Tensor& a, const Tensor& b) {
+  double s = 0;
+  for (i64 i = 0; i < a.numel(); ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+TEST(OpsGrad, Matmul) {
+  Tensor a({5, 4}), b({4, 3});
+  fill_uniform(a, 1);
+  fill_uniform(b, 2);
+  const Tensor w = weights_like(matmul(a, b), 3);
+  const auto f = [&] { return dot(matmul(a, b), w); };
+  const Tensor da = matmul_nt(w, b);   // dL/dA = W B^T
+  const Tensor db = matmul_tn(a, w);   // dL/dB = A^T W
+  for (i64 i = 0; i < a.numel(); i += 3) EXPECT_NEAR(da[i], fd(a, i, f), 2e-3);
+  for (i64 i = 0; i < b.numel(); i += 2) EXPECT_NEAR(db[i], fd(b, i, f), 2e-3);
+}
+
+TEST(OpsGrad, LayerNorm) {
+  Tensor x({6, 8}), gamma({8}), beta({8});
+  fill_uniform(x, 4, -2.0f, 2.0f);
+  fill_uniform(gamma, 5, 0.5f, 1.5f);
+  fill_uniform(beta, 6, -0.5f, 0.5f);
+  LayerNormStats stats;
+  const Tensor w = weights_like(layernorm_forward(x, gamma, beta, &stats), 7);
+  const auto f = [&] {
+    LayerNormStats st;
+    return dot(layernorm_forward(x, gamma, beta, &st), w);
+  };
+  const LayerNormGrads g = layernorm_backward(w, x, gamma, stats);
+  for (i64 i = 0; i < x.numel(); i += 5) EXPECT_NEAR(g.dx[i], fd(x, i, f), 5e-3);
+  for (i64 i = 0; i < 8; ++i) {
+    EXPECT_NEAR(g.dgamma[i], fd(gamma, i, f), 5e-3);
+    EXPECT_NEAR(g.dbeta[i], fd(beta, i, f), 5e-3);
+  }
+}
+
+TEST(OpsGrad, Gelu) {
+  Tensor x({4, 6});
+  fill_uniform(x, 8, -3.0f, 3.0f);
+  const Tensor w = weights_like(x, 9);
+  const auto f = [&] { return dot(gelu_forward(x), w); };
+  const Tensor dx = gelu_backward(w, x);
+  for (i64 i = 0; i < x.numel(); ++i) EXPECT_NEAR(dx[i], fd(x, i, f), 2e-3);
+}
+
+class AttentionGrad : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(AttentionGrad, MatchesFiniteDifference) {
+  const auto [batch, seq, heads] = GetParam();
+  const i64 h = 8;
+  Tensor qkv({batch * seq, 3 * h});
+  fill_uniform(qkv, 10, -1.0f, 1.0f);
+  const Tensor w = weights_like(attention_forward(qkv, batch, seq, heads), 11);
+  const auto f = [&] { return dot(attention_forward(qkv, batch, seq, heads), w); };
+  const Tensor dqkv = attention_backward(w, qkv, batch, seq, heads);
+  for (i64 i = 0; i < qkv.numel(); i += 7) {
+    EXPECT_NEAR(dqkv[i], fd(qkv, i, f), 5e-3) << "elem " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AttentionGrad,
+                         ::testing::Values(std::make_tuple(1, 4, 1),
+                                           std::make_tuple(1, 6, 2),
+                                           std::make_tuple(2, 5, 4)));
+
+TEST(OpsGrad, AttentionIsCausal) {
+  const i64 seq = 6, h = 8;
+  Tensor qkv({seq, 3 * h});
+  fill_uniform(qkv, 12);
+  const Tensor base = attention_forward(qkv, 1, seq, 2);
+  // Perturb the last position's K/V: earlier outputs must not change.
+  for (i64 c = h; c < 3 * h; ++c) qkv.at(seq - 1, c) += 1.0f;
+  const Tensor out = attention_forward(qkv, 1, seq, 2);
+  for (i64 i = 0; i < seq - 1; ++i) {
+    for (i64 c = 0; c < h; ++c) {
+      EXPECT_FLOAT_EQ(out.at(i, c), base.at(i, c)) << "pos " << i;
+    }
+  }
+}
+
+TEST(OpsGrad, CrossEntropy) {
+  Tensor logits({5, 7});
+  fill_uniform(logits, 13, -2.0f, 2.0f);
+  const std::vector<int> targets{0, 3, 6, 2, 1};
+  Tensor dlogits;
+  (void)cross_entropy_forward_backward(logits, targets, dlogits);
+  const auto f = [&] {
+    Tensor d;
+    return cross_entropy_forward_backward(logits, targets, d);
+  };
+  for (i64 i = 0; i < logits.numel(); ++i) {
+    EXPECT_NEAR(dlogits[i], fd(logits, i, f), 2e-3);
+  }
+}
+
+TEST(OpsGrad, EmbeddingRoundTrip) {
+  const i64 vocab = 10, h = 4, seq = 3, batch = 2;
+  Tensor wte({vocab, h}), wpe({seq, h});
+  fill_uniform(wte, 14);
+  fill_uniform(wpe, 15);
+  const std::vector<int> tokens{1, 5, 9, 0, 5, 2};
+  const Tensor x = embedding_forward(tokens, wte, wpe, batch, seq);
+  EXPECT_FLOAT_EQ(x.at(0, 0), wte.at(1, 0) + wpe.at(0, 0));
+  EXPECT_FLOAT_EQ(x.at(4, 2), wte.at(5, 2) + wpe.at(1, 2));
+  Tensor dwte({vocab, h}), dwpe({seq, h});
+  Tensor dx({batch * seq, h});
+  fill_uniform(dx, 16);
+  embedding_backward(dx, tokens, dwte, dwpe, batch, seq);
+  // Token 5 appears at rows 1 and 4: its gradient is their sum.
+  EXPECT_FLOAT_EQ(dwte.at(5, 0), dx.at(1, 0) + dx.at(4, 0));
+  EXPECT_FLOAT_EQ(dwpe.at(0, 0), dx.at(0, 0) + dx.at(3, 0));
+}
+
+TEST(Ops, ShapeChecks) {
+  Tensor a({2, 3}), b({4, 5});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(Tensor({0, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace helix::tensor
