@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chunked_mlp.dir/bench_ablation_chunked_mlp.cpp.o"
+  "CMakeFiles/bench_ablation_chunked_mlp.dir/bench_ablation_chunked_mlp.cpp.o.d"
+  "bench_ablation_chunked_mlp"
+  "bench_ablation_chunked_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunked_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

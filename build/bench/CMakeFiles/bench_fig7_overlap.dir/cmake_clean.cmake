@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_overlap.dir/bench_fig7_overlap.cpp.o"
+  "CMakeFiles/bench_fig7_overlap.dir/bench_fig7_overlap.cpp.o.d"
+  "bench_fig7_overlap"
+  "bench_fig7_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

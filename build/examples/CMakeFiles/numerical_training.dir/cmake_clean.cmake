@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numerical_training.dir/numerical_training.cpp.o"
+  "CMakeFiles/numerical_training.dir/numerical_training.cpp.o.d"
+  "numerical_training"
+  "numerical_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numerical_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

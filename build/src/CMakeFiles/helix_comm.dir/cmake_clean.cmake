@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helix_comm.dir/comm/world.cpp.o"
+  "CMakeFiles/helix_comm.dir/comm/world.cpp.o.d"
+  "libhelix_comm.a"
+  "libhelix_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helix_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

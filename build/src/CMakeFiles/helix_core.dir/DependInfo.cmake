@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/filo.cpp" "src/CMakeFiles/helix_core.dir/core/filo.cpp.o" "gcc" "src/CMakeFiles/helix_core.dir/core/filo.cpp.o.d"
+  "/root/repo/src/core/ir.cpp" "src/CMakeFiles/helix_core.dir/core/ir.cpp.o" "gcc" "src/CMakeFiles/helix_core.dir/core/ir.cpp.o.d"
+  "/root/repo/src/core/reorder.cpp" "src/CMakeFiles/helix_core.dir/core/reorder.cpp.o" "gcc" "src/CMakeFiles/helix_core.dir/core/reorder.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/CMakeFiles/helix_core.dir/core/validator.cpp.o" "gcc" "src/CMakeFiles/helix_core.dir/core/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helix_core.dir/core/filo.cpp.o"
+  "CMakeFiles/helix_core.dir/core/filo.cpp.o.d"
+  "CMakeFiles/helix_core.dir/core/ir.cpp.o"
+  "CMakeFiles/helix_core.dir/core/ir.cpp.o.d"
+  "CMakeFiles/helix_core.dir/core/reorder.cpp.o"
+  "CMakeFiles/helix_core.dir/core/reorder.cpp.o.d"
+  "CMakeFiles/helix_core.dir/core/validator.cpp.o"
+  "CMakeFiles/helix_core.dir/core/validator.cpp.o.d"
+  "libhelix_core.a"
+  "libhelix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

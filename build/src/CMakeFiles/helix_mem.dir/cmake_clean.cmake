@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helix_mem.dir/mem/caching_allocator.cpp.o"
+  "CMakeFiles/helix_mem.dir/mem/caching_allocator.cpp.o.d"
+  "CMakeFiles/helix_mem.dir/mem/workload.cpp.o"
+  "CMakeFiles/helix_mem.dir/mem/workload.cpp.o.d"
+  "libhelix_mem.a"
+  "libhelix_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helix_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/analysis.cpp" "src/CMakeFiles/helix_model.dir/model/analysis.cpp.o" "gcc" "src/CMakeFiles/helix_model.dir/model/analysis.cpp.o.d"
+  "/root/repo/src/model/gpu_specs.cpp" "src/CMakeFiles/helix_model.dir/model/gpu_specs.cpp.o" "gcc" "src/CMakeFiles/helix_model.dir/model/gpu_specs.cpp.o.d"
+  "/root/repo/src/model/layer_cost.cpp" "src/CMakeFiles/helix_model.dir/model/layer_cost.cpp.o" "gcc" "src/CMakeFiles/helix_model.dir/model/layer_cost.cpp.o.d"
+  "/root/repo/src/model/memory.cpp" "src/CMakeFiles/helix_model.dir/model/memory.cpp.o" "gcc" "src/CMakeFiles/helix_model.dir/model/memory.cpp.o.d"
+  "/root/repo/src/model/model_config.cpp" "src/CMakeFiles/helix_model.dir/model/model_config.cpp.o" "gcc" "src/CMakeFiles/helix_model.dir/model/model_config.cpp.o.d"
+  "/root/repo/src/model/paper_cost.cpp" "src/CMakeFiles/helix_model.dir/model/paper_cost.cpp.o" "gcc" "src/CMakeFiles/helix_model.dir/model/paper_cost.cpp.o.d"
+  "/root/repo/src/model/problem_factory.cpp" "src/CMakeFiles/helix_model.dir/model/problem_factory.cpp.o" "gcc" "src/CMakeFiles/helix_model.dir/model/problem_factory.cpp.o.d"
+  "/root/repo/src/model/timing.cpp" "src/CMakeFiles/helix_model.dir/model/timing.cpp.o" "gcc" "src/CMakeFiles/helix_model.dir/model/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/helix_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helix_model.dir/model/analysis.cpp.o"
+  "CMakeFiles/helix_model.dir/model/analysis.cpp.o.d"
+  "CMakeFiles/helix_model.dir/model/gpu_specs.cpp.o"
+  "CMakeFiles/helix_model.dir/model/gpu_specs.cpp.o.d"
+  "CMakeFiles/helix_model.dir/model/layer_cost.cpp.o"
+  "CMakeFiles/helix_model.dir/model/layer_cost.cpp.o.d"
+  "CMakeFiles/helix_model.dir/model/memory.cpp.o"
+  "CMakeFiles/helix_model.dir/model/memory.cpp.o.d"
+  "CMakeFiles/helix_model.dir/model/model_config.cpp.o"
+  "CMakeFiles/helix_model.dir/model/model_config.cpp.o.d"
+  "CMakeFiles/helix_model.dir/model/paper_cost.cpp.o"
+  "CMakeFiles/helix_model.dir/model/paper_cost.cpp.o.d"
+  "CMakeFiles/helix_model.dir/model/problem_factory.cpp.o"
+  "CMakeFiles/helix_model.dir/model/problem_factory.cpp.o.d"
+  "CMakeFiles/helix_model.dir/model/timing.cpp.o"
+  "CMakeFiles/helix_model.dir/model/timing.cpp.o.d"
+  "libhelix_model.a"
+  "libhelix_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helix_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

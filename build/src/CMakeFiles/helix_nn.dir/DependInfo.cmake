@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/model.cpp" "src/CMakeFiles/helix_nn.dir/nn/model.cpp.o" "gcc" "src/CMakeFiles/helix_nn.dir/nn/model.cpp.o.d"
+  "/root/repo/src/nn/parts.cpp" "src/CMakeFiles/helix_nn.dir/nn/parts.cpp.o" "gcc" "src/CMakeFiles/helix_nn.dir/nn/parts.cpp.o.d"
+  "/root/repo/src/nn/reference.cpp" "src/CMakeFiles/helix_nn.dir/nn/reference.cpp.o" "gcc" "src/CMakeFiles/helix_nn.dir/nn/reference.cpp.o.d"
+  "/root/repo/src/nn/sequence_parallel.cpp" "src/CMakeFiles/helix_nn.dir/nn/sequence_parallel.cpp.o" "gcc" "src/CMakeFiles/helix_nn.dir/nn/sequence_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/helix_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/helix_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helix_nn.dir/nn/model.cpp.o"
+  "CMakeFiles/helix_nn.dir/nn/model.cpp.o.d"
+  "CMakeFiles/helix_nn.dir/nn/parts.cpp.o"
+  "CMakeFiles/helix_nn.dir/nn/parts.cpp.o.d"
+  "CMakeFiles/helix_nn.dir/nn/reference.cpp.o"
+  "CMakeFiles/helix_nn.dir/nn/reference.cpp.o.d"
+  "CMakeFiles/helix_nn.dir/nn/sequence_parallel.cpp.o"
+  "CMakeFiles/helix_nn.dir/nn/sequence_parallel.cpp.o.d"
+  "libhelix_nn.a"
+  "libhelix_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helix_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helix_runtime.dir/runtime/interpreter.cpp.o"
+  "CMakeFiles/helix_runtime.dir/runtime/interpreter.cpp.o.d"
+  "CMakeFiles/helix_runtime.dir/runtime/trainer.cpp.o"
+  "CMakeFiles/helix_runtime.dir/runtime/trainer.cpp.o.d"
+  "libhelix_runtime.a"
+  "libhelix_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helix_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

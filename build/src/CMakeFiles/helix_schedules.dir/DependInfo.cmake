@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedules/adapipe.cpp" "src/CMakeFiles/helix_schedules.dir/schedules/adapipe.cpp.o" "gcc" "src/CMakeFiles/helix_schedules.dir/schedules/adapipe.cpp.o.d"
+  "/root/repo/src/schedules/interleaved.cpp" "src/CMakeFiles/helix_schedules.dir/schedules/interleaved.cpp.o" "gcc" "src/CMakeFiles/helix_schedules.dir/schedules/interleaved.cpp.o.d"
+  "/root/repo/src/schedules/layerwise.cpp" "src/CMakeFiles/helix_schedules.dir/schedules/layerwise.cpp.o" "gcc" "src/CMakeFiles/helix_schedules.dir/schedules/layerwise.cpp.o.d"
+  "/root/repo/src/schedules/step_cost.cpp" "src/CMakeFiles/helix_schedules.dir/schedules/step_cost.cpp.o" "gcc" "src/CMakeFiles/helix_schedules.dir/schedules/step_cost.cpp.o.d"
+  "/root/repo/src/schedules/zb1p.cpp" "src/CMakeFiles/helix_schedules.dir/schedules/zb1p.cpp.o" "gcc" "src/CMakeFiles/helix_schedules.dir/schedules/zb1p.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/helix_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

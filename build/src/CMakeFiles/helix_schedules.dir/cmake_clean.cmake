@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helix_schedules.dir/schedules/adapipe.cpp.o"
+  "CMakeFiles/helix_schedules.dir/schedules/adapipe.cpp.o.d"
+  "CMakeFiles/helix_schedules.dir/schedules/interleaved.cpp.o"
+  "CMakeFiles/helix_schedules.dir/schedules/interleaved.cpp.o.d"
+  "CMakeFiles/helix_schedules.dir/schedules/layerwise.cpp.o"
+  "CMakeFiles/helix_schedules.dir/schedules/layerwise.cpp.o.d"
+  "CMakeFiles/helix_schedules.dir/schedules/step_cost.cpp.o"
+  "CMakeFiles/helix_schedules.dir/schedules/step_cost.cpp.o.d"
+  "CMakeFiles/helix_schedules.dir/schedules/zb1p.cpp.o"
+  "CMakeFiles/helix_schedules.dir/schedules/zb1p.cpp.o.d"
+  "libhelix_schedules.a"
+  "libhelix_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helix_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

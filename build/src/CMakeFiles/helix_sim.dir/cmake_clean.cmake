@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helix_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/helix_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/helix_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/helix_sim.dir/sim/trace.cpp.o.d"
+  "libhelix_sim.a"
+  "libhelix_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helix_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

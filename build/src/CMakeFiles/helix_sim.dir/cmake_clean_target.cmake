@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhelix_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helix_tensor.dir/tensor/ops.cpp.o"
+  "CMakeFiles/helix_tensor.dir/tensor/ops.cpp.o.d"
+  "CMakeFiles/helix_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/helix_tensor.dir/tensor/tensor.cpp.o.d"
+  "libhelix_tensor.a"
+  "libhelix_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helix_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_world_test.dir/comm/world_test.cpp.o"
+  "CMakeFiles/comm_world_test.dir/comm/world_test.cpp.o.d"
+  "comm_world_test"
+  "comm_world_test.pdb"
+  "comm_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

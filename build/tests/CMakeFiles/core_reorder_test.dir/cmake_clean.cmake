@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_reorder_test.dir/core/reorder_test.cpp.o"
+  "CMakeFiles/core_reorder_test.dir/core/reorder_test.cpp.o.d"
+  "core_reorder_test"
+  "core_reorder_test.pdb"
+  "core_reorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_reorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_validator_negative_test.dir/core/validator_negative_test.cpp.o"
+  "CMakeFiles/core_validator_negative_test.dir/core/validator_negative_test.cpp.o.d"
+  "core_validator_negative_test"
+  "core_validator_negative_test.pdb"
+  "core_validator_negative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_validator_negative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_caching_allocator_test.dir/mem/caching_allocator_test.cpp.o"
+  "CMakeFiles/mem_caching_allocator_test.dir/mem/caching_allocator_test.cpp.o.d"
+  "mem_caching_allocator_test"
+  "mem_caching_allocator_test.pdb"
+  "mem_caching_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_caching_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_and_memory_test.dir/model/model_and_memory_test.cpp.o"
+  "CMakeFiles/model_and_memory_test.dir/model/model_and_memory_test.cpp.o.d"
+  "model_and_memory_test"
+  "model_and_memory_test.pdb"
+  "model_and_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_and_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_layer_cost_test.dir/model/layer_cost_test.cpp.o"
+  "CMakeFiles/model_layer_cost_test.dir/model/layer_cost_test.cpp.o.d"
+  "model_layer_cost_test"
+  "model_layer_cost_test.pdb"
+  "model_layer_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_layer_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

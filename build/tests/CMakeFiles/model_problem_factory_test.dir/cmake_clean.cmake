@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_problem_factory_test.dir/model/problem_factory_test.cpp.o"
+  "CMakeFiles/model_problem_factory_test.dir/model/problem_factory_test.cpp.o.d"
+  "model_problem_factory_test"
+  "model_problem_factory_test.pdb"
+  "model_problem_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_problem_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

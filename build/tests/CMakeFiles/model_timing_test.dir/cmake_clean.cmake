@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_timing_test.dir/model/timing_test.cpp.o"
+  "CMakeFiles/model_timing_test.dir/model/timing_test.cpp.o.d"
+  "model_timing_test"
+  "model_timing_test.pdb"
+  "model_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_parts_test.dir/nn/parts_test.cpp.o"
+  "CMakeFiles/nn_parts_test.dir/nn/parts_test.cpp.o.d"
+  "nn_parts_test"
+  "nn_parts_test.pdb"
+  "nn_parts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_parts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

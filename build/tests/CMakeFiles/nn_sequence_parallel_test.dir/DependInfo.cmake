@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/sequence_parallel_test.cpp" "tests/CMakeFiles/nn_sequence_parallel_test.dir/nn/sequence_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/nn_sequence_parallel_test.dir/nn/sequence_parallel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/helix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/helix_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/helix_schedules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/helix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/helix_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/helix_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/helix_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/helix_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/helix_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_sequence_parallel_test.dir/nn/sequence_parallel_test.cpp.o"
+  "CMakeFiles/nn_sequence_parallel_test.dir/nn/sequence_parallel_test.cpp.o.d"
+  "nn_sequence_parallel_test"
+  "nn_sequence_parallel_test.pdb"
+  "nn_sequence_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_sequence_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

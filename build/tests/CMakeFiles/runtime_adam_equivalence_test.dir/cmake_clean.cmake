@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_adam_equivalence_test.dir/runtime/adam_equivalence_test.cpp.o"
+  "CMakeFiles/runtime_adam_equivalence_test.dir/runtime/adam_equivalence_test.cpp.o.d"
+  "runtime_adam_equivalence_test"
+  "runtime_adam_equivalence_test.pdb"
+  "runtime_adam_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_adam_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

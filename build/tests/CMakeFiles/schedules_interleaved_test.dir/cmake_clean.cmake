@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedules_interleaved_test.dir/schedules/interleaved_test.cpp.o"
+  "CMakeFiles/schedules_interleaved_test.dir/schedules/interleaved_test.cpp.o.d"
+  "schedules_interleaved_test"
+  "schedules_interleaved_test.pdb"
+  "schedules_interleaved_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedules_interleaved_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

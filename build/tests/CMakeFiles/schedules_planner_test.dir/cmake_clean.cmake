@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedules_planner_test.dir/schedules/planner_test.cpp.o"
+  "CMakeFiles/schedules_planner_test.dir/schedules/planner_test.cpp.o.d"
+  "schedules_planner_test"
+  "schedules_planner_test.pdb"
+  "schedules_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedules_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_bubble_formula_test.dir/sim/bubble_formula_test.cpp.o"
+  "CMakeFiles/sim_bubble_formula_test.dir/sim/bubble_formula_test.cpp.o.d"
+  "sim_bubble_formula_test"
+  "sim_bubble_formula_test.pdb"
+  "sim_bubble_formula_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_bubble_formula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

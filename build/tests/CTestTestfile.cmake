@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_schedule_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_bubble_formula_test[1]_include.cmake")
+include("/root/repo/build/tests/model_layer_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/model_and_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/model_timing_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_memory_peak_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_caching_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_ops_grad_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_parts_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_world_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_adam_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/core_reorder_test[1]_include.cmake")
+include("/root/repo/build/tests/schedules_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/model_problem_factory_test[1]_include.cmake")
+include("/root/repo/build/tests/core_validator_negative_test[1]_include.cmake")
+include("/root/repo/build/tests/schedules_interleaved_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_sequence_parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/core_schedule_fuzz_test[1]_include.cmake")
