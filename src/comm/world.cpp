@@ -4,9 +4,41 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/clock.h"
 #include "tensor/ops.h"
 
 namespace helix::comm {
+
+std::int64_t message_bytes(const Message& msg) noexcept {
+  std::int64_t bytes = 0;
+  for (const Tensor& t : msg) {
+    bytes += t.numel() * static_cast<std::int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+namespace {
+
+/// RAII timer adding the scope's wall time to a counter; no-op when the
+/// counter is null (observability detached).
+class ScopedNsTimer {
+ public:
+  ScopedNsTimer(obs::Counter* total, obs::Counter* calls) noexcept
+      : total_(total), calls_(calls), start_(total ? obs::now_ns() : 0) {}
+  ~ScopedNsTimer() {
+    if (total_ != nullptr) total_->add(obs::now_ns() - start_);
+    if (calls_ != nullptr) calls_->inc();
+  }
+  ScopedNsTimer(const ScopedNsTimer&) = delete;
+  ScopedNsTimer& operator=(const ScopedNsTimer&) = delete;
+
+ private:
+  obs::Counter* total_;
+  obs::Counter* calls_;
+  std::int64_t start_;
+};
+
+}  // namespace
 
 World::World(int num_ranks) : num_ranks_(num_ranks), mailboxes_(static_cast<std::size_t>(num_ranks)) {
   if (num_ranks < 1) throw std::invalid_argument("world size must be >= 1");
@@ -17,6 +49,11 @@ void World::deliver(int dst, int src, std::int64_t tag, Message msg) {
   {
     std::lock_guard<std::mutex> lock(box.mu);
     box.slots[{src, tag}].push(std::move(msg));
+    ++box.queued;
+    if (metrics_ != nullptr) {
+      // dst's shard, but written under dst's mailbox lock (see metrics.h).
+      metrics_[dst].mailbox_depth.set(static_cast<std::int64_t>(box.queued));
+    }
   }
   box.cv.notify_all();
 }
@@ -25,21 +62,47 @@ Message World::await(int dst, int src, std::int64_t tag) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mu);
   const auto key = std::make_pair(src, tag);
-  box.cv.wait(lock, [&] {
+  const auto arrived = [&] {
     const auto it = box.slots.find(key);
     return it != box.slots.end() && !it->second.empty();
-  });
+  };
+  if (metrics_ != nullptr && !arrived()) {
+    // Only a genuinely blocked recv counts as wait: data already queued is a
+    // zero-wait hit, mirroring the simulator's recv_wait accounting.
+    const std::int64_t t0 = obs::now_ns();
+    box.cv.wait(lock, arrived);
+    const std::int64_t waited = obs::now_ns() - t0;
+    metrics_[dst].recv_wait_ns.add(waited);
+    metrics_[dst].recv_wait_hist.record(waited);
+  } else {
+    box.cv.wait(lock, arrived);
+    if (metrics_ != nullptr) metrics_[dst].recv_wait_hist.record(0);
+  }
   auto it = box.slots.find(key);
   Message msg = std::move(it->second.front());
   it->second.pop();
   if (it->second.empty()) box.slots.erase(it);
+  --box.queued;
+  if (metrics_ != nullptr) {
+    metrics_[dst].mailbox_depth.set(static_cast<std::int64_t>(box.queued));
+    metrics_[dst].messages_received.inc();
+    metrics_[dst].bytes_received.add(message_bytes(msg));
+  }
   return msg;
 }
 
 int Endpoint::size() const noexcept { return world_->size(); }
 
+obs::CommMetrics* Endpoint::metrics() const noexcept {
+  return world_->metrics_ == nullptr ? nullptr : world_->metrics_ + rank_;
+}
+
 void Endpoint::send(int dst, std::int64_t tag, Message msg) {
   if (dst < 0 || dst >= world_->size()) throw std::out_of_range("bad dst rank");
+  if (obs::CommMetrics* m = metrics()) {
+    m->messages_sent.inc();
+    m->bytes_sent.add(message_bytes(msg));
+  }
   world_->deliver(dst, rank_, tag, std::move(msg));
 }
 
@@ -49,18 +112,26 @@ Message Endpoint::recv(int src, std::int64_t tag) {
 }
 
 void Endpoint::barrier() {
-  std::unique_lock<std::mutex> lock(world_->barrier_mu_);
-  const int gen = world_->barrier_generation_;
-  if (++world_->barrier_count_ == world_->size()) {
-    world_->barrier_count_ = 0;
-    ++world_->barrier_generation_;
-    world_->barrier_cv_.notify_all();
-  } else {
-    world_->barrier_cv_.wait(lock, [&] { return world_->barrier_generation_ != gen; });
+  obs::CommMetrics* m = metrics();
+  const std::int64_t t0 = m != nullptr ? obs::now_ns() : 0;
+  {
+    std::unique_lock<std::mutex> lock(world_->barrier_mu_);
+    const int gen = world_->barrier_generation_;
+    if (++world_->barrier_count_ == world_->size()) {
+      world_->barrier_count_ = 0;
+      ++world_->barrier_generation_;
+      world_->barrier_cv_.notify_all();
+    } else {
+      world_->barrier_cv_.wait(lock, [&] { return world_->barrier_generation_ != gen; });
+    }
   }
+  if (m != nullptr) m->barrier_wait_ns.add(obs::now_ns() - t0);
 }
 
 Tensor Endpoint::all_reduce_sum(const Tensor& local, std::int64_t tag_base) {
+  obs::CommMetrics* m = metrics();
+  ScopedNsTimer timer(m != nullptr ? &m->collective_ns : nullptr,
+                      m != nullptr ? &m->collectives : nullptr);
   // Simple ring: pass partial sums around, then broadcast the total.
   const int n = size();
   if (n == 1) return local;
@@ -93,6 +164,9 @@ Tensor Endpoint::all_reduce_sum(const Tensor& local, std::int64_t tag_base) {
 }
 
 std::vector<Tensor> Endpoint::all_gather(const Tensor& local, std::int64_t tag_base) {
+  obs::CommMetrics* m = metrics();
+  ScopedNsTimer timer(m != nullptr ? &m->collective_ns : nullptr,
+                      m != nullptr ? &m->collectives : nullptr);
   const int n = size();
   std::vector<Tensor> out(static_cast<std::size_t>(n));
   out[static_cast<std::size_t>(rank_)] = local;
@@ -109,6 +183,9 @@ std::vector<Tensor> Endpoint::all_gather(const Tensor& local, std::int64_t tag_b
 }
 
 Tensor Endpoint::reduce_scatter_rows(const Tensor& partial, std::int64_t tag_base) {
+  obs::CommMetrics* m = metrics();
+  ScopedNsTimer timer(m != nullptr ? &m->collective_ns : nullptr,
+                      m != nullptr ? &m->collectives : nullptr);
   const int n = size();
   if (partial.ndim() != 2 || partial.rows() % n != 0) {
     throw std::invalid_argument("reduce_scatter_rows: rows must divide by world size");

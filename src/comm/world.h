@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "tensor/tensor.h"
 
 // Thread-per-rank message passing: each simulated device is a thread with a
@@ -20,6 +21,10 @@ using tensor::Tensor;
 /// A message: an ordered bundle of tensors.
 using Message = std::vector<Tensor>;
 
+/// Payload size of a message (tensor elements * sizeof(float)), the unit the
+/// byte counters account in.
+std::int64_t message_bytes(const Message& msg) noexcept;
+
 class World;
 
 /// Per-rank communication endpoint handed to the rank function.
@@ -28,8 +33,14 @@ class Endpoint {
   int rank() const noexcept { return rank_; }
   int size() const noexcept;
 
-  /// Copy `msg` into dst's mailbox under `tag`. Tags must be unique per
-  /// (src, dst) pair while in flight or matched FIFO.
+  /// Copy `msg` into dst's mailbox under `tag`.
+  ///
+  /// Tag matching: a mailbox keys queued messages by (src, tag), each key
+  /// holding a FIFO queue. Reusing a tag for a (src, dst) pair while an
+  /// earlier message with the same tag is still in flight is therefore
+  /// well-defined — recvs match sends in send order (FIFO), never out of
+  /// order. Schedule generators still allocate unique tags per transfer so
+  /// that traces and the simulator's rendezvous edges stay unambiguous.
   void send(int dst, std::int64_t tag, Message msg);
   /// Block until a message with `tag` from `src` arrives.
   Message recv(int src, std::int64_t tag);
@@ -49,6 +60,9 @@ class Endpoint {
  private:
   friend class World;
   Endpoint(World* w, int rank) : world_(w), rank_(rank) {}
+  /// This rank's metrics shard, or nullptr when observability is off.
+  obs::CommMetrics* metrics() const noexcept;
+
   World* world_;
   int rank_;
 };
@@ -56,6 +70,13 @@ class Endpoint {
 class World {
  public:
   explicit World(int num_ranks);
+
+  /// Attach per-rank communication metrics shards (an array of `size()`
+  /// CommMetrics, e.g. obs::TraceCollector::comm_shards(); caller keeps
+  /// ownership and must outlive run()). Pass nullptr to detach. When
+  /// detached — the default — the comm layer records nothing and takes no
+  /// instrumentation branches beyond a pointer test.
+  void set_metrics(obs::CommMetrics* shards) noexcept { metrics_ = shards; }
 
   /// Run `fn(endpoint)` on every rank concurrently; rethrows the first
   /// exception any rank raised.
@@ -69,12 +90,16 @@ class World {
     std::mutex mu;
     std::condition_variable cv;
     std::map<std::pair<int, std::int64_t>, std::queue<Message>> slots;
+    /// Total queued messages across all slots; feeds the queue-depth
+    /// high-water gauge (always updated under `mu`).
+    std::size_t queued = 0;
   };
   void deliver(int dst, int src, std::int64_t tag, Message msg);
   Message await(int dst, int src, std::int64_t tag);
 
   int num_ranks_;
   std::vector<Mailbox> mailboxes_;
+  obs::CommMetrics* metrics_ = nullptr;  ///< per-rank shards, not owned
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;

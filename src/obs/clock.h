@@ -1,0 +1,16 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+// Monotonic nanosecond clock shared by every instrumentation site, so spans
+// recorded by different rank threads live on one comparable timeline.
+namespace helix::obs {
+
+inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace helix::obs

@@ -1,0 +1,269 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace helix::obs {
+
+namespace {
+
+/// Identity of a compute op within one stage's single-iteration program.
+using OpIdentity = std::tuple<core::OpKind, int, int>;  // (kind, mb, layer)
+
+std::string span_event_name(const Span& s) {
+  core::Op op;
+  op.kind = s.kind;
+  op.mb = s.mb;
+  op.layer = s.layer;
+  op.stage = s.stage;
+  return sim::op_event_name(op);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const TraceCollector& trace) {
+  std::vector<sim::ChromeEvent> events;
+  const std::int64_t epoch = trace.epoch_ns();
+  for (int r = 0; r < trace.num_ranks(); ++r) {
+    for (const Span& s : trace.recorder(r).spans()) {
+      events.push_back(
+          {span_event_name(s), s.stage,
+           core::is_comm(s.kind) ? sim::kChromeCommTid : sim::kChromeComputeTid,
+           static_cast<double>(s.start_ns - epoch) / 1e3,
+           static_cast<double>(s.duration_ns()) / 1e3});
+    }
+  }
+  return sim::chrome_trace_json(events);
+}
+
+MeasuredRun measured_stats(const TraceCollector& trace) {
+  MeasuredRun run;
+  run.stages.resize(static_cast<std::size_t>(trace.num_ranks()));
+  std::int64_t first_start = 0;
+  std::int64_t last_end = 0;
+  bool any = false;
+  for (int r = 0; r < trace.num_ranks(); ++r) {
+    auto& st = run.stages[static_cast<std::size_t>(r)];
+    for (const Span& s : trace.recorder(r).spans()) {
+      if (!any || s.start_ns < first_start) first_start = s.start_ns;
+      if (!any || s.end_ns > last_end) last_end = s.end_ns;
+      any = true;
+      if (s.kind == core::OpKind::kSend) {
+        st.send_busy_s += static_cast<double>(s.duration_ns()) / 1e9;
+      } else if (s.kind != core::OpKind::kRecv) {
+        st.compute_busy_s += static_cast<double>(s.duration_ns()) / 1e9;
+      }
+    }
+    const CommMetrics& cm = trace.comm(r);
+    st.recv_wait_s = static_cast<double>(cm.recv_wait_ns.value) / 1e9;
+    st.bytes_sent = cm.bytes_sent.value;
+    st.bytes_received = cm.bytes_received.value;
+    st.mailbox_depth_peak = cm.mailbox_depth.high_water;
+    st.live_peak_bytes = trace.runtime(r).live_tensor_bytes.high_water;
+  }
+  run.makespan_s = any ? static_cast<double>(last_end - first_start) / 1e9 : 0.0;
+  for (auto& st : run.stages) {
+    st.bubble_s = std::max(0.0, run.makespan_s - st.compute_busy_s);
+  }
+  return run;
+}
+
+ReconciliationReport reconcile(const core::Schedule& sched,
+                               const sim::SimResult& predicted,
+                               const TraceCollector& trace) {
+  ReconciliationReport report;
+  report.predicted_makespan_s = predicted.makespan;
+  const MeasuredRun measured = measured_stats(trace);
+  report.measured_makespan_s = measured.makespan_s;
+
+  for (int s = 0; s < sched.num_stages; ++s) {
+    StageReconciliation rec;
+    rec.stage = s;
+
+    // IR program order of the stage's compute ops, and the simulator's
+    // predicted execution order (sorted by predicted start; simulators and
+    // runtimes both honour per-stage program order, so these should agree).
+    std::vector<OpIdentity> ir_order;
+    std::vector<std::pair<double, OpIdentity>> sim_starts;
+    for (const core::Op& op : sched.stage_ops[static_cast<std::size_t>(s)]) {
+      if (core::is_comm(op.kind)) continue;
+      const OpIdentity id{op.kind, op.mb, op.layer};
+      ir_order.push_back(id);
+      sim_starts.push_back(
+          {predicted.op_times[static_cast<std::size_t>(op.id)].start, id});
+    }
+    std::stable_sort(sim_starts.begin(), sim_starts.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    rec.compute_ops = static_cast<int>(ir_order.size());
+
+    std::vector<OpIdentity> measured_order;
+    if (s < trace.num_ranks()) {
+      for (const Span& sp : trace.recorder(s).spans()) {
+        if (core::is_comm(sp.kind)) continue;
+        measured_order.push_back({sp.kind, sp.mb, sp.layer});
+      }
+    }
+    rec.order_matches_ir = measured_order == ir_order;
+
+    // Spearman rank correlation of measured position vs predicted position.
+    std::map<OpIdentity, int> sim_pos;
+    for (std::size_t i = 0; i < sim_starts.size(); ++i) {
+      sim_pos.emplace(sim_starts[i].second, static_cast<int>(i));
+    }
+    double d2 = 0;
+    int n = 0;
+    bool all_found = true;
+    for (std::size_t i = 0; i < measured_order.size(); ++i) {
+      const auto it = sim_pos.find(measured_order[i]);
+      if (it == sim_pos.end()) {
+        all_found = false;
+        continue;
+      }
+      const double d = static_cast<double>(i) - static_cast<double>(it->second);
+      d2 += d * d;
+      ++n;
+    }
+    if (n >= 2) {
+      rec.order_rank_correlation =
+          1.0 - 6.0 * d2 / (static_cast<double>(n) *
+                            (static_cast<double>(n) * static_cast<double>(n) - 1.0));
+    } else {
+      rec.order_rank_correlation = (n >= 1 && all_found && d2 == 0) ? 1.0 : 0.0;
+    }
+
+    const double pm = report.predicted_makespan_s;
+    const double mm = report.measured_makespan_s;
+    if (pm > 0) {
+      const auto& ps = predicted.stages[static_cast<std::size_t>(s)];
+      rec.predicted_busy_frac = ps.compute_busy / pm;
+      rec.predicted_bubble_frac = ps.bubble / pm;
+    }
+    if (mm > 0 && s < static_cast<int>(measured.stages.size())) {
+      const auto& ms = measured.stages[static_cast<std::size_t>(s)];
+      rec.measured_busy_frac = ms.compute_busy_s / mm;
+      rec.measured_bubble_frac = ms.bubble_s / mm;
+    }
+    report.stages.push_back(rec);
+  }
+  return report;
+}
+
+std::string render_reconciliation(const ReconciliationReport& report) {
+  std::ostringstream os;
+  os << "sim-vs-measured reconciliation (fractions of each makespan)\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  predicted makespan %.6g s (modeled)  |  measured %.6g s (wall)\n",
+                report.predicted_makespan_s, report.measured_makespan_s);
+  os << line;
+  os << "  stage  ops   busy% pred / meas   bubble% pred / meas   order\n";
+  for (const auto& s : report.stages) {
+    std::snprintf(line, sizeof(line),
+                  "  P%-4d %5d   %8.1f / %-8.1f %8.1f / %-8.1f  %s (rho=%.3f)\n",
+                  s.stage, s.compute_ops, 100 * s.predicted_busy_frac,
+                  100 * s.measured_busy_frac, 100 * s.predicted_bubble_frac,
+                  100 * s.measured_bubble_frac,
+                  s.order_matches_ir ? "== IR" : "DIVERGED", s.order_rank_correlation);
+    os << line;
+  }
+  os << (report.all_orders_match_ir()
+             ? "  every stage executed its IR program order (same-IR claim holds)\n"
+             : "  WARNING: some stage diverged from its IR program order\n");
+  return os.str();
+}
+
+// ------------------------------------------------------------- JSON parsing
+
+namespace {
+
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("chrome trace parse error at byte " +
+                             std::to_string(i) + ": " + what);
+  }
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  char peek() {
+    skip_ws();
+    if (i >= s.size()) fail("unexpected end of input");
+    return s[i];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" + s[i] + "'");
+    ++i;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') fail("escape sequences are not used by the exporters");
+      out.push_back(s[i++]);
+    }
+    if (i >= s.size()) fail("unterminated string");
+    ++i;  // closing quote
+    return out;
+  }
+  std::string parse_number() {
+    const std::size_t start = i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
+            s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+    }
+    if (i == start) fail("expected a number");
+    // Validate it round-trips as a double.
+    try {
+      std::size_t used = 0;
+      (void)std::stod(s.substr(start, i - start), &used);
+      if (used != i - start) fail("malformed number");
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return s.substr(start, i - start);
+  }
+};
+
+}  // namespace
+
+std::vector<ParsedEvent> parse_chrome_trace(const std::string& json) {
+  Cursor c{json};
+  std::vector<ParsedEvent> events;
+  c.expect('[');
+  if (c.peek() == ']') {
+    ++c.i;
+    return events;
+  }
+  while (true) {
+    c.expect('{');
+    ParsedEvent ev;
+    if (c.peek() != '}') {
+      while (true) {
+        const std::string key = c.parse_string();
+        c.expect(':');
+        const char v = c.peek();
+        std::string value = (v == '"') ? c.parse_string() : c.parse_number();
+        if (!ev.emplace(key, std::move(value)).second) c.fail("duplicate key " + key);
+        if (c.peek() != ',') break;
+        ++c.i;
+      }
+    }
+    c.expect('}');
+    events.push_back(std::move(ev));
+    if (c.peek() != ',') break;
+    ++c.i;
+  }
+  c.expect(']');
+  c.skip_ws();
+  if (c.i != json.size()) c.fail("trailing content after array");
+  return events;
+}
+
+}  // namespace helix::obs

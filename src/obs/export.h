@@ -1,0 +1,96 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ir.h"
+#include "obs/recorder.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+// Exporters for measured (wall-clock) execution traces, and the
+// reconciliation of a measured run against the simulator's prediction for
+// the same schedule IR. The Chrome trace uses the exact event vocabulary of
+// sim::to_chrome_trace (shared helpers in sim/trace.h), so a simulated and a
+// measured trace of the same schedule diff cleanly in chrome://tracing or
+// Perfetto.
+namespace helix::obs {
+
+/// Chrome trace-event JSON of the recorded spans: pid = stage/rank, tid 0 =
+/// compute stream, tid 1 = comm ops, timestamps µs since the collector's
+/// epoch. Same field names and event naming as sim::to_chrome_trace.
+std::string to_chrome_trace(const TraceCollector& trace);
+
+/// Per-stage aggregates of one measured iteration, the runtime analogue of
+/// sim::StageStats (seconds are wall-clock here, modeled time there).
+struct MeasuredStageStats {
+  double compute_busy_s = 0;  ///< total wall time of non-comm op spans
+  double send_busy_s = 0;     ///< total wall time of Send op spans
+  double recv_wait_s = 0;     ///< total blocked time inside Recv ops
+  double bubble_s = 0;        ///< makespan - compute_busy_s
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+  std::int64_t live_peak_bytes = 0;      ///< interpreter slot/stash high water
+  std::int64_t mailbox_depth_peak = 0;   ///< queued-message high water
+};
+
+struct MeasuredRun {
+  double makespan_s = 0;  ///< global last span end - first span start
+  std::vector<MeasuredStageStats> stages;
+};
+
+MeasuredRun measured_stats(const TraceCollector& trace);
+
+/// Sim-vs-measured comparison for one pipeline stage. Fractions are of the
+/// respective makespan, so modeled and wall-clock units compare directly.
+struct StageReconciliation {
+  int stage = 0;
+  int compute_ops = 0;  ///< compute ops in the stage's IR program
+  double predicted_busy_frac = 0;
+  double measured_busy_frac = 0;
+  double predicted_bubble_frac = 0;
+  double measured_bubble_frac = 0;
+  /// Spearman rank correlation between the simulator's predicted start order
+  /// and the measured execution order of this stage's compute ops (1.0 when
+  /// both executed the IR program order, as the shared-IR claim requires).
+  double order_rank_correlation = 0;
+  /// Measured compute-op sequence (kind, mb, layer) equals the stage's IR
+  /// program order exactly.
+  bool order_matches_ir = false;
+};
+
+struct ReconciliationReport {
+  double predicted_makespan_s = 0;  ///< modeled seconds (simulator units)
+  double measured_makespan_s = 0;   ///< wall-clock seconds
+  std::vector<StageReconciliation> stages;
+
+  bool all_orders_match_ir() const noexcept {
+    for (const auto& s : stages) {
+      if (!s.order_matches_ir) return false;
+    }
+    return !stages.empty();
+  }
+};
+
+/// Reconcile one measured iteration of `sched` (recorded in `trace`) against
+/// the simulator's prediction `predicted` for the same schedule. Assumes the
+/// collector holds exactly one iteration (Trainer calls begin_iteration()
+/// per train_step).
+ReconciliationReport reconcile(const core::Schedule& sched,
+                               const sim::SimResult& predicted,
+                               const TraceCollector& trace);
+
+/// Fixed-width side-by-side table of the report, for terminals and logs.
+std::string render_reconciliation(const ReconciliationReport& report);
+
+/// A parsed trace event: raw field -> value token (strings unquoted).
+using ParsedEvent = std::map<std::string, std::string>;
+
+/// Strict parser for the flat-object JSON arrays chrome_trace_json emits
+/// (also accepts any JSON array of flat objects with string/number values).
+/// Throws std::runtime_error with a position on malformed input — used by
+/// tests to prove exported traces are well-formed.
+std::vector<ParsedEvent> parse_chrome_trace(const std::string& json);
+
+}  // namespace helix::obs

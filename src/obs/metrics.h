@@ -1,0 +1,148 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+// Metrics primitives for the threaded runtime, header-only so `src/comm` can
+// use them without a link dependency on the obs library.
+//
+// Threading model: metrics are sharded per rank (one CommMetrics /
+// RuntimeMetrics per rank thread). A shard is written only by its owner
+// thread — with two deliberate exceptions that piggyback on locks the comm
+// layer already holds:
+//   * `CommMetrics::mailbox_depth` of rank r is updated by sender threads,
+//     but only under r's mailbox mutex (delivery is serialized anyway);
+//   * `CommMetrics::barrier_wait_ns` is updated under the barrier mutex.
+// Shards are merged after `comm::World::run` joins every thread, so readers
+// never race writers. No atomics on the hot path: recording a value is a
+// plain add, which is the "lock-cheap" requirement of the span recorder.
+namespace helix::obs {
+
+struct Counter {
+  std::int64_t value = 0;
+  void add(std::int64_t v) noexcept { value += v; }
+  void inc() noexcept { ++value; }
+};
+
+/// Gauge with a high-water mark (e.g. live tensor bytes, queue depth).
+struct Gauge {
+  std::int64_t value = 0;
+  std::int64_t high_water = 0;
+  void set(std::int64_t v) noexcept {
+    value = v;
+    high_water = std::max(high_water, v);
+  }
+  void add(std::int64_t v) noexcept { set(value + v); }
+};
+
+/// Power-of-two-bucketed duration histogram (nanoseconds). Bucket i counts
+/// durations in [2^i, 2^(i+1)); bucket 0 also absorbs 0ns. 48 buckets cover
+/// ~78 hours, far beyond any iteration.
+struct DurationHistogram {
+  static constexpr int kBuckets = 48;
+  std::array<std::int64_t, kBuckets> buckets{};
+  std::int64_t count = 0;
+  std::int64_t sum_ns = 0;
+  std::int64_t max_ns = 0;
+
+  void record(std::int64_t ns) noexcept {
+    if (ns < 0) ns = 0;
+    int b = 0;
+    while (b + 1 < kBuckets && (std::int64_t{1} << (b + 1)) <= ns) ++b;
+    ++buckets[static_cast<std::size_t>(b)];
+    ++count;
+    sum_ns += ns;
+    max_ns = std::max(max_ns, ns);
+  }
+
+  double mean_ns() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum_ns) / static_cast<double>(count);
+  }
+
+  /// Upper bound of the bucket containing the p-quantile (p in [0,1]).
+  std::int64_t quantile_upper_bound_ns(double p) const noexcept {
+    if (count == 0) return 0;
+    const double target = p * static_cast<double>(count);
+    std::int64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets[static_cast<std::size_t>(b)];
+      if (static_cast<double>(seen) >= target) return std::int64_t{1} << (b + 1);
+    }
+    return max_ns;
+  }
+
+  void merge(const DurationHistogram& o) noexcept {
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets[static_cast<std::size_t>(b)] += o.buckets[static_cast<std::size_t>(b)];
+    }
+    count += o.count;
+    sum_ns += o.sum_ns;
+    max_ns = std::max(max_ns, o.max_ns);
+  }
+};
+
+/// Per-rank communication metrics shard, filled by comm::World/Endpoint when
+/// attached via World::set_metrics. alignas(64) keeps shards on separate
+/// cache lines so rank threads never false-share.
+struct alignas(64) CommMetrics {
+  Counter bytes_sent;
+  Counter bytes_received;
+  Counter messages_sent;
+  Counter messages_received;
+  /// Time recvs spent blocked waiting for data that had not arrived yet
+  /// (the runtime analogue of sim::StageStats::recv_wait).
+  Counter recv_wait_ns;
+  Counter barrier_wait_ns;
+  /// Wall time spent inside collectives (all_reduce / all_gather /
+  /// reduce_scatter), and how many ran.
+  Counter collective_ns;
+  Counter collectives;
+  /// Total queued messages in this rank's mailbox; high_water is the
+  /// backlog peak (head-of-line pressure indicator).
+  Gauge mailbox_depth;
+  DurationHistogram recv_wait_hist;
+};
+
+/// Per-rank runtime (interpreter) metrics shard.
+struct alignas(64) RuntimeMetrics {
+  Counter ops_executed;
+  Counter compute_ns;  ///< total wall time of non-comm ops
+  Counter comm_op_ns;  ///< total wall time of Send/Recv ops (incl. wait)
+  /// Bytes held in the interpreter's value slots and stashes (activations in
+  /// flight); high_water is the live-tensor peak for the iteration.
+  Gauge live_tensor_bytes;
+};
+
+/// One rank's iteration in a nutshell: the comm and runtime shards merged
+/// into the flat record runtime::IterationMetrics carries back to callers.
+struct RankSummary {
+  int rank = -1;
+  std::int64_t ops_executed = 0;
+  std::int64_t busy_ns = 0;       ///< compute-op wall time
+  std::int64_t comm_op_ns = 0;    ///< Send/Recv op wall time (incl. waits)
+  std::int64_t recv_wait_ns = 0;  ///< blocked portion of the recvs
+  std::int64_t barrier_wait_ns = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+  std::int64_t live_peak_bytes = 0;     ///< slot/stash high water
+  std::int64_t mailbox_depth_peak = 0;  ///< queued-message high water
+};
+
+inline RankSummary summarize(int rank, const CommMetrics& comm,
+                             const RuntimeMetrics& runtime) noexcept {
+  RankSummary s;
+  s.rank = rank;
+  s.ops_executed = runtime.ops_executed.value;
+  s.busy_ns = runtime.compute_ns.value;
+  s.comm_op_ns = runtime.comm_op_ns.value;
+  s.recv_wait_ns = comm.recv_wait_ns.value;
+  s.barrier_wait_ns = comm.barrier_wait_ns.value;
+  s.bytes_sent = comm.bytes_sent.value;
+  s.bytes_received = comm.bytes_received.value;
+  s.live_peak_bytes = runtime.live_tensor_bytes.high_water;
+  s.mailbox_depth_peak = comm.mailbox_depth.high_water;
+  return s;
+}
+
+}  // namespace helix::obs

@@ -1,0 +1,29 @@
+#include "obs/recorder.h"
+
+#include <stdexcept>
+
+namespace helix::obs {
+
+TraceCollector::TraceCollector(int num_ranks)
+    : spans_(static_cast<std::size_t>(num_ranks)),
+      comm_(static_cast<std::size_t>(num_ranks)),
+      runtime_(static_cast<std::size_t>(num_ranks)),
+      epoch_ns_(now_ns()) {
+  if (num_ranks < 1) throw std::invalid_argument("collector needs >= 1 rank");
+}
+
+void TraceCollector::begin_iteration() {
+  for (auto& r : spans_) r.clear();
+  for (auto& c : comm_) c = CommMetrics{};
+  for (auto& m : runtime_) m = RuntimeMetrics{};
+  epoch_ns_ = now_ns();
+}
+
+bool TraceCollector::has_spans() const noexcept {
+  for (const auto& r : spans_) {
+    if (!r.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace helix::obs

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "core/ir.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+// Span recording for the threaded runtime: one SpanRecorder per rank, owned
+// and written exclusively by that rank's thread (append to a local vector —
+// no locks, no atomics). A TraceCollector bundles the per-rank recorder and
+// metric shards for one training iteration; merging/exporting happens after
+// comm::World::run has joined every thread.
+//
+// Disabling: every instrumentation site is gated on a nullable pointer, and
+// NullRecorder provides the same interface as SpanRecorder with empty inline
+// bodies for call sites that prefer a compile-time-erased recorder. The
+// static_asserts below make "zero state, zero work" a compile-time contract.
+namespace helix::obs {
+
+/// One executed op on one rank: what ran, where, and when (wall clock).
+struct Span {
+  core::OpKind kind = core::OpKind::kFwdPre;
+  std::int16_t stage = 0;
+  std::int16_t mb = -1;
+  std::int16_t layer = -1;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  /// For kRecv: the portion of [start, end) spent blocked waiting for data.
+  std::int64_t wait_ns = 0;
+  /// OS thread id hash of the executing rank thread.
+  std::uint64_t tid = 0;
+
+  std::int64_t duration_ns() const noexcept { return end_ns - start_ns; }
+};
+
+/// Per-rank span sink. Not thread-safe by design: exactly one thread writes.
+class SpanRecorder {
+ public:
+  void reserve(std::size_t n) { spans_.reserve(n); }
+  void record(const Span& s) { spans_.push_back(s); }
+  void clear() noexcept { spans_.clear(); }
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  bool empty() const noexcept { return spans_.empty(); }
+
+ private:
+  std::vector<Span> spans_;
+};
+
+/// Drop-in no-op recorder: same surface, no state, nothing emitted.
+struct NullRecorder {
+  void reserve(std::size_t) const noexcept {}
+  void record(const Span&) const noexcept {}
+  void clear() const noexcept {}
+  bool empty() const noexcept { return true; }
+};
+static_assert(std::is_empty_v<NullRecorder>,
+              "NullRecorder must carry no state (zero-cost when disabled)");
+static_assert(std::is_trivially_destructible_v<NullRecorder>,
+              "NullRecorder must compile away entirely");
+
+/// All observability state for one World::run: per-rank span recorders plus
+/// comm and runtime metric shards, and the epoch the trace is rebased to.
+class TraceCollector {
+ public:
+  explicit TraceCollector(int num_ranks);
+
+  int num_ranks() const noexcept { return static_cast<int>(spans_.size()); }
+
+  SpanRecorder& recorder(int rank) { return spans_[static_cast<std::size_t>(rank)]; }
+  const SpanRecorder& recorder(int rank) const {
+    return spans_[static_cast<std::size_t>(rank)];
+  }
+  CommMetrics& comm(int rank) { return comm_[static_cast<std::size_t>(rank)]; }
+  const CommMetrics& comm(int rank) const { return comm_[static_cast<std::size_t>(rank)]; }
+  RuntimeMetrics& runtime(int rank) { return runtime_[static_cast<std::size_t>(rank)]; }
+  const RuntimeMetrics& runtime(int rank) const {
+    return runtime_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Contiguous shard array for comm::World::set_metrics.
+  CommMetrics* comm_shards() noexcept { return comm_.data(); }
+
+  /// Wall-clock ns all exported timestamps are measured relative to. Set by
+  /// begin_iteration(); a fresh collector uses its construction time.
+  std::int64_t epoch_ns() const noexcept { return epoch_ns_; }
+
+  /// Reset every shard and re-stamp the epoch: one collector can be reused
+  /// across train_steps, with each iteration starting a fresh trace.
+  void begin_iteration();
+
+  /// True once any rank recorded a span.
+  bool has_spans() const noexcept;
+
+ private:
+  std::vector<SpanRecorder> spans_;
+  std::vector<CommMetrics> comm_;
+  std::vector<RuntimeMetrics> runtime_;
+  std::int64_t epoch_ns_ = 0;
+};
+
+}  // namespace helix::obs

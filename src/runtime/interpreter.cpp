@@ -1,6 +1,10 @@
 #include "runtime/interpreter.h"
 
+#include <functional>
 #include <sstream>
+#include <thread>
+
+#include "obs/clock.h"
 
 namespace helix::runtime {
 
@@ -263,10 +267,82 @@ void Interpreter::exec(const Op& op) {
   }
 }
 
-IterationMetrics Interpreter::run() {
-  for (const Op& op : sched_.stage_ops[static_cast<std::size_t>(rank_)]) {
-    exec(op);
+namespace {
+
+std::int64_t tensor_bytes(const Tensor& t) noexcept {
+  return t.numel() * static_cast<std::int64_t>(sizeof(float));
+}
+
+std::int64_t stats_bytes(const tensor::LayerNormStats& s) noexcept {
+  return tensor_bytes(s.mean) + tensor_bytes(s.rstd);
+}
+
+}  // namespace
+
+std::int64_t Interpreter::live_bytes() const {
+  std::int64_t b = 0;
+  for (const auto& [key, msg] : slots_) b += comm::message_bytes(msg);
+  for (const auto& [mb, t] : combo_y_) b += tensor_bytes(t);
+  for (const auto& [mb, t] : grad_y_) b += tensor_bytes(t);
+  for (const auto& [key, s] : pre_stash_) b += tensor_bytes(s.x) + stats_bytes(s.stats);
+  for (const auto& [key, s] : attn_stash_) b += tensor_bytes(s.ln1) + tensor_bytes(s.wqkv);
+  for (const auto& [key, s] : post_stash_) {
+    b += tensor_bytes(s.x) + tensor_bytes(s.ctx) + tensor_bytes(s.h1) +
+         tensor_bytes(s.ln2) + tensor_bytes(s.a1) + tensor_bytes(s.g1) +
+         stats_bytes(s.ln2_stats);
   }
+  for (const auto& [key, s] : post_w_stash_) {
+    b += tensor_bytes(s.dy) + tensor_bytes(s.da1) + tensor_bytes(s.dln2) +
+         tensor_bytes(s.dh1);
+  }
+  for (const auto& [key, t] : dqkv_stash_) b += tensor_bytes(t);
+  for (const auto& [key, t] : pre_dln1_stash_) b += tensor_bytes(t);
+  for (const auto& [mb, p] : head_w_stash_) {
+    b += tensor_bytes(p.first) + tensor_bytes(p.second);
+  }
+  return b;
+}
+
+void Interpreter::exec_traced(const Op& op, std::uint64_t tid) {
+  // Recv blocked-wait is measured by the comm layer; snapshot its counter
+  // around the op so the span carries exactly this op's blocked portion.
+  const std::int64_t wait_before =
+      opt_.comm_metrics != nullptr ? opt_.comm_metrics->recv_wait_ns.value : 0;
+  const std::int64_t t0 = obs::now_ns();
+  exec(op);
+  const std::int64_t t1 = obs::now_ns();
+
+  obs::Span span;
+  span.kind = op.kind;
+  span.stage = static_cast<std::int16_t>(rank_);
+  span.mb = op.mb;
+  span.layer = op.layer;
+  span.start_ns = t0;
+  span.end_ns = t1;
+  span.wait_ns = opt_.comm_metrics != nullptr
+                     ? opt_.comm_metrics->recv_wait_ns.value - wait_before
+                     : 0;
+  span.tid = tid;
+  if (opt_.spans != nullptr) opt_.spans->record(span);
+
+  if (opt_.runtime_metrics != nullptr) {
+    opt_.runtime_metrics->ops_executed.inc();
+    (core::is_comm(op.kind) ? opt_.runtime_metrics->comm_op_ns
+                            : opt_.runtime_metrics->compute_ns)
+        .add(t1 - t0);
+    opt_.runtime_metrics->live_tensor_bytes.set(live_bytes());
+  }
+}
+
+IterationMetrics Interpreter::run() {
+  const auto& program = sched_.stage_ops[static_cast<std::size_t>(rank_)];
+  if (opt_.spans == nullptr && opt_.runtime_metrics == nullptr) {
+    for (const Op& op : program) exec(op);
+    return metrics_;
+  }
+  const std::uint64_t tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  if (opt_.spans != nullptr) opt_.spans->reserve(program.size());
+  for (const Op& op : program) exec_traced(op, tid);
   return metrics_;
 }
 

@@ -3,6 +3,7 @@
 #include "comm/world.h"
 #include "core/ir.h"
 #include "nn/parts.h"
+#include "obs/recorder.h"
 
 // Numerical execution of a schedule IR: every rank walks its per-stage op
 // program, moving real tensors through the same Send/Recv pairs the
@@ -27,10 +28,29 @@ struct InterpreterOptions {
   /// When set, OptimStep runs Adam with this rank's persistent state
   /// (covering the parameters this rank owns) instead of SGD.
   nn::AdamState* adam = nullptr;
+
+  // Observability sinks (normally wired by runtime::Trainer from one
+  // obs::TraceCollector). All optional and independent; when null — the
+  // default — the corresponding instrumentation is skipped behind a single
+  // pointer test and the interpreter does no extra work. Instrumentation
+  // only reads clocks and counters, never tensor data, so results are
+  // bit-identical with it on or off.
+  /// Wall-clock span per executed op (this rank's shard, owner-thread only).
+  obs::SpanRecorder* spans = nullptr;
+  /// Per-op aggregates + live-tensor-bytes gauge from slot/stash accounting.
+  /// Note: updating the gauge walks the live slots/stashes after every op
+  /// (O(live state)); acceptable for observed runs, skipped when null.
+  obs::RuntimeMetrics* runtime_metrics = nullptr;
+  /// This rank's comm shard, read to attribute recv blocked-wait to the
+  /// enclosing op span (the comm layer fills it via World::set_metrics).
+  const obs::CommMetrics* comm_metrics = nullptr;
 };
 
 struct IterationMetrics {
   std::vector<double> micro_batch_losses;  ///< filled by the LM-head rank
+  /// One entry per rank (busy/wait/bytes/live-peak), filled by Trainer when
+  /// a TraceCollector is attached; empty otherwise.
+  std::vector<obs::RankSummary> rank_summaries;
   double mean_loss() const {
     double s = 0;
     for (const double l : micro_batch_losses) s += l;
@@ -63,6 +83,9 @@ class Interpreter {
   };
 
   void exec(const core::Op& op);
+  void exec_traced(const core::Op& op, std::uint64_t tid);
+  /// Bytes currently held in value slots and stashes (live activations).
+  std::int64_t live_bytes() const;
   comm::Message take_slot(core::DataSlot slot, int mb, int layer);
   void put_slot(core::DataSlot slot, int mb, int layer, comm::Message msg);
 

@@ -66,28 +66,52 @@ Trainer::Trainer(nn::ModelParams& params, TrainerOptions options)
   if (params.cfg.layers % sched_.num_stages != 0) {
     throw std::invalid_argument("layers must divide evenly across stages");
   }
+  if (opt_.trace != nullptr && opt_.trace->num_ranks() != sched_.num_stages) {
+    throw std::invalid_argument("trace collector must have one shard per stage");
+  }
 }
 
 IterationMetrics Trainer::train_step(const nn::Batch& batch) {
   comm::World world(sched_.num_stages);
+  obs::TraceCollector* trace = opt_.trace;
+  if (trace != nullptr) {
+    trace->begin_iteration();  // each train_step is one fresh trace
+    world.set_metrics(trace->comm_shards());
+  }
   std::vector<IterationMetrics> metrics(static_cast<std::size_t>(sched_.num_stages));
   world.run([&](comm::Endpoint& ep) {
+    const int r = ep.rank();
     Interpreter interp(
-        sched_, ep.rank(), ep, params_, batch,
+        sched_, r, ep, params_, batch,
         {.mlp_chunks = opt_.mlp_chunks,
          .recompute_without_attention =
              opt_.recompute_without_attention &&
              (opt_.family == ScheduleFamily::kHelixNaive ||
               opt_.family == ScheduleFamily::kHelixTwoFold),
          .adam = opt_.optimizer == OptimizerKind::kAdam
-                     ? &adam_states_[static_cast<std::size_t>(ep.rank())]
-                     : nullptr});
-    metrics[static_cast<std::size_t>(ep.rank())] = interp.run();
+                     ? &adam_states_[static_cast<std::size_t>(r)]
+                     : nullptr,
+         .spans = trace != nullptr ? &trace->recorder(r) : nullptr,
+         .runtime_metrics = trace != nullptr ? &trace->runtime(r) : nullptr,
+         .comm_metrics = trace != nullptr ? &trace->comm(r) : nullptr});
+    metrics[static_cast<std::size_t>(r)] = interp.run();
   });
-  for (const auto& m : metrics) {
-    if (!m.micro_batch_losses.empty()) return m;
+  IterationMetrics out;
+  for (auto& m : metrics) {
+    if (!m.micro_batch_losses.empty()) {
+      out = std::move(m);
+      break;
+    }
   }
-  return {};
+  if (trace != nullptr) {
+    // Threads are joined: shards are quiescent, merge them into the result.
+    out.rank_summaries.reserve(static_cast<std::size_t>(sched_.num_stages));
+    for (int r = 0; r < sched_.num_stages; ++r) {
+      out.rank_summaries.push_back(
+          obs::summarize(r, trace->comm(r), trace->runtime(r)));
+    }
+  }
+  return out;
 }
 
 }  // namespace helix::runtime

@@ -29,6 +29,13 @@ struct TrainerOptions {
   bool recompute_without_attention = false;
   int mlp_chunks = 1;
   OptimizerKind optimizer = OptimizerKind::kSgd;
+  /// Optional observability sink (caller-owned, must outlive the Trainer).
+  /// When set, every train_step records per-op wall-clock spans, comm
+  /// counters and live-memory gauges into it (resetting it first via
+  /// begin_iteration), and IterationMetrics::rank_summaries is filled.
+  /// Must have one shard per pipeline stage. When null (the default) no
+  /// instrumentation runs and execution is untouched.
+  obs::TraceCollector* trace = nullptr;
 };
 
 class Trainer {

@@ -78,24 +78,39 @@ std::string render_ascii_timeline(const core::Schedule& sched,
   return os.str();
 }
 
-std::string to_chrome_trace(const core::Schedule& sched, const SimResult& result) {
+std::string op_event_name(const core::Op& op) {
+  std::ostringstream os;
+  os << core::to_string(op.kind) << " mb" << op.mb << " l" << op.layer;
+  return os.str();
+}
+
+std::string chrome_trace_json(const std::vector<ChromeEvent>& events) {
   std::ostringstream os;
   os << "[";
   bool first = true;
-  for (const auto& stage : sched.stage_ops) {
-    for (const Op& op : stage) {
-      const auto& t = result.op_times[static_cast<std::size_t>(op.id)];
-      if (!first) os << ",";
-      first = false;
-      const int tid = core::is_comm(op.kind) ? 1 : 0;
-      os << "\n{\"name\":\"" << core::to_string(op.kind) << " mb" << op.mb
-         << " l" << op.layer << "\",\"ph\":\"X\",\"pid\":" << op.stage
-         << ",\"tid\":" << tid << ",\"ts\":" << t.start * 1e6
-         << ",\"dur\":" << (t.end - t.start) * 1e6 << "}";
-    }
+  for (const ChromeEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":" << e.pid
+       << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+       << "}";
   }
   os << "\n]\n";
   return os.str();
+}
+
+std::string to_chrome_trace(const core::Schedule& sched, const SimResult& result) {
+  std::vector<ChromeEvent> events;
+  events.reserve(sched.total_ops());
+  for (const auto& stage : sched.stage_ops) {
+    for (const Op& op : stage) {
+      const auto& t = result.op_times[static_cast<std::size_t>(op.id)];
+      events.push_back({op_event_name(op), op.stage,
+                        core::is_comm(op.kind) ? kChromeCommTid : kChromeComputeTid,
+                        t.start * 1e6, (t.end - t.start) * 1e6});
+    }
+  }
+  return chrome_trace_json(events);
 }
 
 std::string dump_op_log(const core::Schedule& sched, const SimResult& result) {

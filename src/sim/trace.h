@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/ir.h"
 #include "sim/simulator.h"
@@ -8,6 +9,32 @@
 // Schedule visualisation: fixed-width ASCII timelines (the medium of the
 // paper's Figs. 2, 5, 6, 7) and Chrome trace-event JSON for chrome://tracing.
 namespace helix::sim {
+
+// ---------------------------------------------------------------------------
+// Shared Chrome trace-event vocabulary. Both the simulator exporter (modeled
+// time, below) and the runtime exporter (wall-clock time, obs/export.h) emit
+// through these helpers, so the two traces are guaranteed to share event
+// naming and field layout — a trace consumer cannot tell them apart except
+// by the timestamps.
+
+/// Complete-event ("ph":"X") in the trace-event format: pid is the pipeline
+/// stage, tid 0 the compute stream / tid 1 the comm stream, times in µs.
+struct ChromeEvent {
+  std::string name;
+  int pid = 0;
+  int tid = 0;
+  double ts_us = 0;
+  double dur_us = 0;
+};
+
+inline constexpr int kChromeComputeTid = 0;
+inline constexpr int kChromeCommTid = 1;
+
+/// Canonical event name for an op: "<kind> mb<mb> l<layer>".
+std::string op_event_name(const core::Op& op);
+
+/// Serialize events as a Chrome trace-event JSON array.
+std::string chrome_trace_json(const std::vector<ChromeEvent>& events);
 
 struct TimelineOptions {
   double time_per_col = 1.0;  ///< seconds represented by one character column

@@ -119,5 +119,68 @@ TEST(World, RejectsBadRanks) {
   EXPECT_THROW(World(0), std::invalid_argument);
 }
 
+TEST(World, MetricsCountBytesWaitsAndQueueDepth) {
+  World w(2);
+  std::vector<obs::CommMetrics> shards(2);
+  w.set_metrics(shards.data());
+  const std::int64_t payload = 4 * static_cast<std::int64_t>(sizeof(float));
+  w.run([&](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      // Three queued before the receiver looks: builds mailbox backlog.
+      for (int i = 0; i < 3; ++i) ep.send(1, 100 + i, {constant(1.0f)});
+      ep.barrier();
+    } else {
+      ep.barrier();  // ensure all three are queued -> depth high-water 3
+      for (int i = 0; i < 3; ++i) (void)ep.recv(0, 100 + i);
+      // A recv that must block: rank 0 already left its sends behind, so
+      // this send happens after a rendezvous round-trip.
+      ep.send(0, 200, {constant(2.0f)});
+    }
+    if (ep.rank() == 0) (void)ep.recv(1, 200);
+  });
+  EXPECT_EQ(shards[0].messages_sent.value, 3);
+  EXPECT_EQ(shards[0].bytes_sent.value, 3 * payload);
+  EXPECT_EQ(shards[0].messages_received.value, 1);
+  EXPECT_EQ(shards[0].bytes_received.value, payload);
+  EXPECT_EQ(shards[1].messages_received.value, 3);
+  EXPECT_EQ(shards[1].bytes_received.value, 3 * payload);
+  EXPECT_EQ(shards[1].mailbox_depth.high_water, 3);
+  EXPECT_EQ(shards[1].mailbox_depth.value, 0);  // drained
+  // Every recv is histogram-accounted, blocked or not.
+  EXPECT_EQ(shards[0].recv_wait_hist.count, 1);
+  EXPECT_EQ(shards[1].recv_wait_hist.count, 3);
+  EXPECT_GE(shards[0].barrier_wait_ns.value, 0);
+  EXPECT_GE(shards[1].barrier_wait_ns.value, 0);
+}
+
+TEST(World, MetricsTimeCollectives) {
+  World w(2);
+  std::vector<obs::CommMetrics> shards(2);
+  w.set_metrics(shards.data());
+  w.run([&](Endpoint& ep) {
+    const Tensor sum = ep.all_reduce_sum(constant(static_cast<float>(ep.rank() + 1)), 1000);
+    EXPECT_FLOAT_EQ(sum[0], 3.0f);
+    (void)ep.all_gather(constant(1.0f), 2000);
+  });
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(shards[static_cast<std::size_t>(r)].collectives.value, 2);
+    EXPECT_GT(shards[static_cast<std::size_t>(r)].collective_ns.value, 0);
+    EXPECT_GT(shards[static_cast<std::size_t>(r)].bytes_sent.value, 0);
+  }
+}
+
+TEST(World, DetachedMetricsRecordNothing) {
+  World w(2);
+  std::vector<obs::CommMetrics> shards(2);
+  w.set_metrics(shards.data());
+  w.set_metrics(nullptr);
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) ep.send(1, 1, {constant(1.0f)});
+    if (ep.rank() == 1) (void)ep.recv(0, 1);
+  });
+  EXPECT_EQ(shards[0].messages_sent.value, 0);
+  EXPECT_EQ(shards[1].messages_received.value, 0);
+}
+
 }  // namespace
 }  // namespace helix::comm

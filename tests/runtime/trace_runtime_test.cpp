@@ -1,0 +1,218 @@
+// The runtime observability layer, tested on real traced executions:
+//  * the Chrome trace export of a threaded run is valid JSON with the
+//    simulator exporter's field layout, one event per executed op;
+//  * per-rank spans are serially ordered and reproduce the stage's IR
+//    program (ops, order, identity) — the measured side of the "sim and
+//    runtime execute the same schedule IR" claim, for both HelixPipe
+//    two-fold and 1F1B;
+//  * recv blocked-wait accounting is consistent: the comm layer's per-rank
+//    total equals the sum of per-op waits attributed to Recv spans;
+//  * instrumentation never perturbs numerics: losses and parameters are
+//    bit-identical with tracing on and off.
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "nn/reference.h"
+#include "obs/export.h"
+#include "runtime/trainer.h"
+#include "sim/simulator.h"
+
+namespace helix::runtime {
+namespace {
+
+nn::MiniGptConfig tiny_config() {
+  return {.layers = 4, .hidden = 16, .heads = 2, .seq = 8, .batch = 1,
+          .vocab = 32, .micro_batches = 4, .lr = 0.05f};
+}
+
+struct TracedRun {
+  core::Schedule sched;
+  obs::TraceCollector trace{2};
+  IterationMetrics metrics;
+};
+
+std::size_t run_span_count(const obs::TraceCollector& trace) {
+  std::size_t n = 0;
+  for (int r = 0; r < trace.num_ranks(); ++r) n += trace.recorder(r).spans().size();
+  return n;
+}
+
+TracedRun run_traced(ScheduleFamily family, int stages) {
+  const nn::MiniGptConfig cfg = tiny_config();
+  const nn::Batch batch = nn::Batch::random(cfg, 7);
+  nn::ModelParams params = nn::ModelParams::init(cfg, 11);
+  TracedRun out{{}, obs::TraceCollector(stages), {}};
+  Trainer trainer(params, {.family = family,
+                           .pipeline_stages = stages,
+                           .trace = &out.trace});
+  out.sched = trainer.schedule();
+  out.metrics = trainer.train_step(batch);
+  return out;
+}
+
+TEST(RuntimeTrace, ChromeTraceParsesWithOneEventPerOp) {
+  const TracedRun run = run_traced(ScheduleFamily::kHelixTwoFold, 2);
+  const std::string json = obs::to_chrome_trace(run.trace);
+  const std::vector<obs::ParsedEvent> events = obs::parse_chrome_trace(json);
+  ASSERT_EQ(events.size(), run.sched.total_ops());
+  for (const obs::ParsedEvent& e : events) {
+    ASSERT_EQ(e.size(), 6u);
+    EXPECT_TRUE(e.count("name"));
+    EXPECT_EQ(e.at("ph"), "X");
+    const int pid = std::stoi(e.at("pid"));
+    EXPECT_GE(pid, 0);
+    EXPECT_LT(pid, run.sched.num_stages);
+    const int tid = std::stoi(e.at("tid"));
+    EXPECT_TRUE(tid == sim::kChromeComputeTid || tid == sim::kChromeCommTid);
+    EXPECT_GE(std::stod(e.at("ts")), 0.0);
+    EXPECT_GE(std::stod(e.at("dur")), 0.0);
+  }
+}
+
+TEST(RuntimeTrace, ParserRejectsMalformedJson) {
+  EXPECT_THROW(obs::parse_chrome_trace("{"), std::runtime_error);
+  EXPECT_THROW(obs::parse_chrome_trace("[{\"a\":}]"), std::runtime_error);
+  EXPECT_THROW(obs::parse_chrome_trace("[{\"a\":1}] trailing"), std::runtime_error);
+  EXPECT_TRUE(obs::parse_chrome_trace("[]").empty());
+}
+
+TEST(RuntimeTrace, SpansAreSeriallyOrderedPerRank) {
+  const TracedRun run = run_traced(ScheduleFamily::kHelixTwoFold, 2);
+  for (int r = 0; r < run.trace.num_ranks(); ++r) {
+    const auto& spans = run.trace.recorder(r).spans();
+    const auto& program = run.sched.stage_ops[static_cast<std::size_t>(r)];
+    ASSERT_EQ(spans.size(), program.size()) << "rank " << r;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      EXPECT_LE(spans[i].start_ns, spans[i].end_ns);
+      // One thread per rank executes serially: spans never overlap or go
+      // backwards, and every span carries the rank's thread id.
+      if (i > 0) {
+        EXPECT_GE(spans[i].start_ns, spans[i - 1].end_ns);
+      }
+      EXPECT_EQ(spans[i].tid, spans[0].tid);
+      EXPECT_EQ(spans[i].stage, r);
+      // The recorded op identity is the IR program's, position by position.
+      EXPECT_EQ(spans[i].kind, program[i].kind) << "rank " << r << " op " << i;
+      EXPECT_EQ(spans[i].mb, program[i].mb);
+      EXPECT_EQ(spans[i].layer, program[i].layer);
+    }
+  }
+}
+
+TEST(RuntimeTrace, RecvWaitTotalEqualsSumOfPerOpWaits) {
+  const TracedRun run = run_traced(ScheduleFamily::kHelixTwoFold, 2);
+  for (int r = 0; r < run.trace.num_ranks(); ++r) {
+    std::int64_t span_wait = 0;
+    for (const obs::Span& s : run.trace.recorder(r).spans()) {
+      if (s.kind == core::OpKind::kRecv) {
+        EXPECT_LE(s.wait_ns, s.duration_ns());
+        span_wait += s.wait_ns;
+      } else {
+        // Only Recv ops can block on the mailbox.
+        EXPECT_EQ(s.wait_ns, 0) << core::to_string(s.kind);
+      }
+    }
+    EXPECT_EQ(span_wait, run.trace.comm(r).recv_wait_ns.value) << "rank " << r;
+  }
+}
+
+class MeasuredOrder : public ::testing::TestWithParam<ScheduleFamily> {};
+
+TEST_P(MeasuredOrder, MatchesSimulatorAndIrProgramOrder) {
+  const TracedRun run = run_traced(GetParam(), 2);
+  const core::UnitCostModel cost;
+  const sim::SimResult predicted = sim::Simulator(cost).run(run.sched);
+  const obs::ReconciliationReport report =
+      obs::reconcile(run.sched, predicted, run.trace);
+  ASSERT_EQ(report.stages.size(), 2u);
+  for (const obs::StageReconciliation& s : report.stages) {
+    EXPECT_TRUE(s.order_matches_ir) << "stage " << s.stage;
+    EXPECT_DOUBLE_EQ(s.order_rank_correlation, 1.0);
+    EXPECT_GT(s.compute_ops, 0);
+    EXPECT_GT(s.measured_busy_frac, 0.0);
+    EXPECT_LE(s.measured_busy_frac, 1.0);
+    EXPECT_NEAR(s.measured_busy_frac + s.measured_bubble_frac, 1.0, 1e-9);
+  }
+  EXPECT_TRUE(report.all_orders_match_ir());
+  EXPECT_GT(report.measured_makespan_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MeasuredOrder,
+                         ::testing::Values(ScheduleFamily::kHelixTwoFold,
+                                           ScheduleFamily::k1F1B),
+                         [](const auto& info) {
+                           return info.param == ScheduleFamily::kHelixTwoFold
+                                      ? "helix_two_fold"
+                                      : "onef1b";
+                         });
+
+TEST(RuntimeTrace, RankSummariesCoverEveryRank) {
+  const TracedRun run = run_traced(ScheduleFamily::kHelixTwoFold, 2);
+  ASSERT_EQ(run.metrics.rank_summaries.size(), 2u);
+  for (int r = 0; r < 2; ++r) {
+    const obs::RankSummary& s = run.metrics.rank_summaries[static_cast<std::size_t>(r)];
+    EXPECT_EQ(s.rank, r);
+    EXPECT_EQ(s.ops_executed,
+              static_cast<std::int64_t>(
+                  run.sched.stage_ops[static_cast<std::size_t>(r)].size()));
+    EXPECT_GT(s.busy_ns, 0);
+    EXPECT_GT(s.bytes_sent, 0);
+    EXPECT_GT(s.bytes_received, 0);
+    EXPECT_GT(s.live_peak_bytes, 0);
+    EXPECT_GE(s.mailbox_depth_peak, 1);
+  }
+  // The pipeline moves the same bytes out as in overall (p2p only).
+  EXPECT_EQ(run.metrics.rank_summaries[0].bytes_sent +
+                run.metrics.rank_summaries[1].bytes_sent,
+            run.metrics.rank_summaries[0].bytes_received +
+                run.metrics.rank_summaries[1].bytes_received);
+}
+
+TEST(RuntimeTrace, CollectorResetsBetweenIterations) {
+  const nn::MiniGptConfig cfg = tiny_config();
+  const nn::Batch batch = nn::Batch::random(cfg, 7);
+  nn::ModelParams params = nn::ModelParams::init(cfg, 11);
+  obs::TraceCollector trace(2);
+  Trainer trainer(params, {.family = ScheduleFamily::kHelixTwoFold,
+                           .pipeline_stages = 2,
+                           .trace = &trace});
+  (void)trainer.train_step(batch);
+  const std::size_t ops_once = run_span_count(trace);
+  (void)trainer.train_step(batch);
+  EXPECT_EQ(run_span_count(trace), ops_once);  // not accumulated across steps
+}
+
+TEST(RuntimeTrace, RejectsCollectorWithWrongShardCount) {
+  const nn::MiniGptConfig cfg = tiny_config();
+  nn::ModelParams params = nn::ModelParams::init(cfg, 11);
+  obs::TraceCollector trace(3);
+  EXPECT_THROW(Trainer(params, {.family = ScheduleFamily::kHelixTwoFold,
+                                .pipeline_stages = 2,
+                                .trace = &trace}),
+               std::invalid_argument);
+}
+
+TEST(RuntimeTrace, TracingIsNumericallyInvisible) {
+  const nn::MiniGptConfig cfg = tiny_config();
+  const nn::Batch batch = nn::Batch::random(cfg, 7);
+  nn::ModelParams plain = nn::ModelParams::init(cfg, 11);
+  nn::ModelParams traced = nn::ModelParams::init(cfg, 11);
+  obs::TraceCollector trace(2);
+  Trainer plain_trainer(plain, {.family = ScheduleFamily::kHelixTwoFold,
+                                .pipeline_stages = 2});
+  Trainer traced_trainer(traced, {.family = ScheduleFamily::kHelixTwoFold,
+                                  .pipeline_stages = 2,
+                                  .trace = &trace});
+  for (int iter = 0; iter < 2; ++iter) {
+    const IterationMetrics a = plain_trainer.train_step(batch);
+    const IterationMetrics b = traced_trainer.train_step(batch);
+    ASSERT_EQ(a.micro_batch_losses.size(), b.micro_batch_losses.size());
+    for (std::size_t mb = 0; mb < a.micro_batch_losses.size(); ++mb) {
+      EXPECT_EQ(a.micro_batch_losses[mb], b.micro_batch_losses[mb]);
+    }
+    EXPECT_EQ(plain.max_diff(traced), 0.0) << "after iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace helix::runtime
