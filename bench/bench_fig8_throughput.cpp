@@ -3,15 +3,63 @@
 // lengths (32k..128k), pipeline sizes (2/4/8 nodes) and GPU types
 // (H20 / A800). Values are normalized to the best method per configuration;
 // OOM marks configurations whose simulated peak memory exceeds capacity.
+//
+// The configuration grid is embarrassingly parallel (run_experiment is pure),
+// so the cells are evaluated on the shared kernel thread pool (HELIX_THREADS)
+// and printed afterwards in the original deterministic order.
 #include <cstdio>
+#include <vector>
 
 #include "common.h"
 #include "model/model_config.h"
+#include "par/thread_pool.h"
 
 using namespace helix;
 using namespace helix::bench;
 
+namespace {
+
+struct Cell {
+  ExperimentConfig config;
+  double results[4] = {0, 0, 0, 0};
+  bool oom[4] = {false, false, false, false};
+};
+
+}  // namespace
+
 int main() {
+  // Pass 1: enumerate the grid.
+  std::vector<Cell> cells;
+  for (const auto& cluster : {model::h20_cluster(), model::a800_cluster()}) {
+    for (const auto& mc : model::table3_models()) {
+      for (const int p : {2, 4, 8}) {
+        if (mc.num_layers % p != 0) continue;
+        for (const model::i64 s : {32768LL, 65536LL, 98304LL, 131072LL}) {
+          cells.push_back(
+              {ExperimentConfig{.cluster = cluster, .model = mc, .p = p, .seq = s},
+               {},
+               {}});
+        }
+      }
+    }
+  }
+  // Pass 2: evaluate every cell; one chunk per cell, results land in
+  // disjoint slots so the output is identical at any thread count.
+  par::parallel_for(static_cast<par::i64>(cells.size()), 1,
+                    [&](par::i64 b, par::i64 e, par::i64) {
+                      for (par::i64 i = b; i < e; ++i) {
+                        Cell& cell = cells[static_cast<std::size_t>(i)];
+                        int k = 0;
+                        for (const Method m : all_methods()) {
+                          const ExperimentResult r = run_experiment(m, cell.config);
+                          cell.results[k] = r.tokens_per_second;
+                          cell.oom[k] = r.oom;
+                          ++k;
+                        }
+                      }
+                    });
+  // Pass 3: print in the original grid order.
+  std::size_t idx = 0;
   for (const auto& cluster : {model::h20_cluster(), model::a800_cluster()}) {
     for (const auto& mc : model::table3_models()) {
       std::printf("\n=== Fig. 8 — %s cluster, %s model (L=%d, h=%lld) ===\n",
@@ -23,18 +71,11 @@ int main() {
       for (const int p : {2, 4, 8}) {
         if (mc.num_layers % p != 0) continue;
         for (const model::i64 s : {32768LL, 65536LL, 98304LL, 131072LL}) {
-          ExperimentConfig e{.cluster = cluster, .model = mc, .p = p, .seq = s};
+          const Cell& cell = cells[idx++];
+          const double* results = cell.results;
+          const bool* oom = cell.oom;
           double best = 0;
-          double results[4];
-          bool oom[4];
-          int i = 0;
-          for (const Method m : all_methods()) {
-            const ExperimentResult r = run_experiment(m, e);
-            results[i] = r.tokens_per_second;
-            oom[i] = r.oom;
-            best = std::max(best, r.tokens_per_second);
-            ++i;
-          }
+          for (int k = 0; k < 4; ++k) best = std::max(best, results[k]);
           std::printf("%-4d %-6s |", p, seq_label(s).c_str());
           double best_baseline = 0;
           for (int k = 0; k < 4; ++k) {

@@ -7,6 +7,7 @@
 #include "core/filo.h"
 #include "core/validator.h"
 #include "mem/caching_allocator.h"
+#include "par/thread_pool.h"
 #include "schedules/layerwise.h"
 #include "schedules/zb1p.h"
 #include "sim/simulator.h"
@@ -122,6 +123,65 @@ void BM_AttentionForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AttentionForward)->Arg(32)->Arg(64)->Arg(128);
+
+// ---- Serial-reference vs pooled kernel comparison ----
+// Args are {problem size, threads}; threads = 0 selects the naive serial
+// reference kernel (tensor::ref), so one run shows the full speedup ladder:
+//   BM_MatmulKernel/256/0   naive serial baseline
+//   BM_MatmulKernel/256/1   pooled kernel, packed, single thread (pure
+//                           cache-blocking win, no parallelism)
+//   BM_MatmulKernel/256/4   packed + 4 threads
+// Results are bit-identical across ALL rows by the determinism contract.
+
+void BM_MatmulKernel(benchmark::State& state) {
+  const tensor::i64 n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  if (threads > 0) par::set_global_threads(threads);
+  tensor::Tensor a({n, n}), b({n, n});
+  tensor::fill_uniform(a, 1);
+  tensor::fill_uniform(b, 2);
+  for (auto _ : state) {
+    if (threads == 0) {
+      benchmark::DoNotOptimize(tensor::ref::matmul(a, b));
+    } else {
+      benchmark::DoNotOptimize(tensor::matmul(a, b));
+    }
+  }
+  if (threads > 0) par::set_global_threads(1);
+  state.SetLabel(threads == 0 ? "serial-ref" : "pooled t=" + std::to_string(threads));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(2 * n * n * n) * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MatmulKernel)
+    ->Args({128, 0})->Args({128, 1})->Args({128, 2})->Args({128, 4})
+    ->Args({256, 0})->Args({256, 1})->Args({256, 2})->Args({256, 4});
+
+void BM_AttentionKernel(benchmark::State& state) {
+  const tensor::i64 s = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  if (threads > 0) par::set_global_threads(threads);
+  const tensor::i64 h = 64;
+  const int heads = 4;
+  const tensor::i64 batch = 4;  // batch*heads = 16 chunks to spread
+  tensor::Tensor qkv({batch * s, 3 * h});
+  tensor::Tensor dctx({batch * s, h});
+  tensor::fill_uniform(qkv, 3);
+  tensor::fill_uniform(dctx, 4);
+  for (auto _ : state) {
+    if (threads == 0) {
+      benchmark::DoNotOptimize(tensor::ref::attention_forward(qkv, batch, s, heads));
+      benchmark::DoNotOptimize(tensor::ref::attention_backward(dctx, qkv, batch, s, heads));
+    } else {
+      benchmark::DoNotOptimize(tensor::attention_forward(qkv, batch, s, heads));
+      benchmark::DoNotOptimize(tensor::attention_backward(dctx, qkv, batch, s, heads));
+    }
+  }
+  if (threads > 0) par::set_global_threads(1);
+  state.SetLabel(threads == 0 ? "serial-ref" : "pooled t=" + std::to_string(threads));
+}
+BENCHMARK(BM_AttentionKernel)
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2})->Args({64, 4})
+    ->Args({128, 0})->Args({128, 1})->Args({128, 2})->Args({128, 4});
 
 }  // namespace
 

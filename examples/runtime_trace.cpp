@@ -14,6 +14,7 @@
 
 #include "core/cost.h"
 #include "obs/export.h"
+#include "par/thread_pool.h"
 #include "runtime/trainer.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -72,6 +73,9 @@ int main() {
   const sim::SimResult predicted = sim::Simulator(cost).run(sched);
   const obs::ReconciliationReport report = obs::reconcile(sched, predicted, trace);
   std::printf("\n%s", obs::render_reconciliation(report).c_str());
+
+  // (c) Kernel thread-pool utilization (HELIX_THREADS; 1 = serial kernels).
+  std::printf("\n%s", obs::render_pool_stats(par::global_pool_stats()).c_str());
 
   std::printf("\nNotes: predicted fractions come from the unit cost model "
               "(every compute op 1 time unit), so absolute busy%% differs "

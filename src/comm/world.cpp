@@ -66,17 +66,23 @@ Message World::await(int dst, int src, std::int64_t tag) {
     const auto it = box.slots.find(key);
     return it != box.slots.end() && !it->second.empty();
   };
+  // Wake on data OR on a poisoned world; data already queued when the
+  // failure hit is still delivered (the rank aborts at its next empty wait).
+  const auto ready = [&] { return arrived() || poisoned(); };
   if (metrics_ != nullptr && !arrived()) {
     // Only a genuinely blocked recv counts as wait: data already queued is a
     // zero-wait hit, mirroring the simulator's recv_wait accounting.
     const std::int64_t t0 = obs::now_ns();
-    box.cv.wait(lock, arrived);
+    box.cv.wait(lock, ready);
     const std::int64_t waited = obs::now_ns() - t0;
     metrics_[dst].recv_wait_ns.add(waited);
     metrics_[dst].recv_wait_hist.record(waited);
   } else {
-    box.cv.wait(lock, arrived);
+    box.cv.wait(lock, ready);
     if (metrics_ != nullptr) metrics_[dst].recv_wait_hist.record(0);
+  }
+  if (!arrived()) {
+    throw WorldAborted("recv aborted: another rank failed");
   }
   auto it = box.slots.find(key);
   Message msg = std::move(it->second.front());
@@ -116,13 +122,22 @@ void Endpoint::barrier() {
   const std::int64_t t0 = m != nullptr ? obs::now_ns() : 0;
   {
     std::unique_lock<std::mutex> lock(world_->barrier_mu_);
+    if (world_->poisoned()) {
+      throw WorldAborted("barrier aborted: another rank failed");
+    }
     const int gen = world_->barrier_generation_;
     if (++world_->barrier_count_ == world_->size()) {
       world_->barrier_count_ = 0;
       ++world_->barrier_generation_;
       world_->barrier_cv_.notify_all();
     } else {
-      world_->barrier_cv_.wait(lock, [&] { return world_->barrier_generation_ != gen; });
+      world_->barrier_cv_.wait(lock, [&] {
+        return world_->barrier_generation_ != gen || world_->poisoned();
+      });
+      if (world_->barrier_generation_ == gen) {
+        // Woken by poison, not by the barrier completing.
+        throw WorldAborted("barrier aborted: another rank failed");
+      }
     }
   }
   if (m != nullptr) m->barrier_wait_ns.add(obs::now_ns() - t0);
@@ -132,33 +147,54 @@ Tensor Endpoint::all_reduce_sum(const Tensor& local, std::int64_t tag_base) {
   obs::CommMetrics* m = metrics();
   ScopedNsTimer timer(m != nullptr ? &m->collective_ns : nullptr,
                       m != nullptr ? &m->collectives : nullptr);
-  // Simple ring: pass partial sums around, then broadcast the total.
+  // Bandwidth-optimal ring: reduce-scatter over element blocks, then
+  // all-gather the reduced blocks. Every step moves ~numel/n elements
+  // between neighbours, so no rank (rank 0 included) is a hot spot.
   const int n = size();
   if (n == 1) return local;
-  Tensor acc = local;
+  const tensor::i64 numel = local.numel();
+  const tensor::i64 base = numel / n;
+  const tensor::i64 rem = numel % n;
+  // Element block b: the first `rem` blocks get one extra element. Blocks
+  // can be empty when numel < n; both ends of the ring skip those.
+  const auto block_begin = [&](int b) {
+    return b * base + std::min<tensor::i64>(b, rem);
+  };
+  const auto block_len = [&](int b) {
+    return base + (b < rem ? 1 : 0);
+  };
   const int next = (rank_ + 1) % n;
   const int prev = (rank_ + n - 1) % n;
-  // Reduce phase: rank 0 starts; each rank adds and forwards.
-  if (rank_ == 0) {
-    send(next, tag_base, {acc});
-    Message total = recv(prev, tag_base + 1);
-    acc = std::move(total[0]);
-  } else {
-    Message m = recv(prev, tag_base + (rank_ == 1 ? 0 : 2));
-    tensor::add_inplace(m[0], local);
-    if (next == 0) {
-      send(next, tag_base + 1, {m[0]});
-    } else {
-      send(next, tag_base + 2, {m[0]});
+  Tensor acc = local;
+  // Reduce-scatter phase: after step s, the block each rank just updated
+  // carries the sum of s+2 consecutive ranks' contributions; after n-1
+  // steps rank r holds the fully reduced block (r+1) % n.
+  for (int s = 0; s < n - 1; ++s) {
+    const int sb = (rank_ - s + 2 * n) % n;
+    const int rb = (rank_ - s - 1 + 2 * n) % n;
+    if (block_len(sb) > 0) {
+      Tensor blk({block_len(sb)});
+      for (tensor::i64 i = 0; i < block_len(sb); ++i) blk[i] = acc[block_begin(sb) + i];
+      send(next, tag_base + s, {std::move(blk)});
     }
-    acc = std::move(m[0]);
+    if (block_len(rb) > 0) {
+      Message got = recv(prev, tag_base + s);
+      for (tensor::i64 i = 0; i < block_len(rb); ++i) acc[block_begin(rb) + i] += got[0][i];
+    }
   }
-  // Broadcast phase from rank 0 (which now holds the total).
-  if (rank_ == 0) {
-    for (int r = 1; r < n; ++r) send(r, tag_base + 3, {acc});
-  } else {
-    Message m = recv(0, tag_base + 3);
-    acc = std::move(m[0]);
+  // All-gather phase: circulate the reduced blocks the rest of the way.
+  for (int s = 0; s < n - 1; ++s) {
+    const int sb = (rank_ + 1 - s + 2 * n) % n;
+    const int rb = (rank_ - s + 2 * n) % n;
+    if (block_len(sb) > 0) {
+      Tensor blk({block_len(sb)});
+      for (tensor::i64 i = 0; i < block_len(sb); ++i) blk[i] = acc[block_begin(sb) + i];
+      send(next, tag_base + (n - 1) + s, {std::move(blk)});
+    }
+    if (block_len(rb) > 0) {
+      Message got = recv(prev, tag_base + (n - 1) + s);
+      for (tensor::i64 i = 0; i < block_len(rb); ++i) acc[block_begin(rb) + i] = got[0][i];
+    }
   }
   return acc;
 }
@@ -170,14 +206,18 @@ std::vector<Tensor> Endpoint::all_gather(const Tensor& local, std::int64_t tag_b
   const int n = size();
   std::vector<Tensor> out(static_cast<std::size_t>(n));
   out[static_cast<std::size_t>(rank_)] = local;
-  for (int r = 0; r < n; ++r) {
-    if (r == rank_) continue;
-    send(r, tag_base + rank_, {local});
-  }
-  for (int r = 0; r < n; ++r) {
-    if (r == rank_) continue;
-    Message m = recv(r, tag_base + r);
-    out[static_cast<std::size_t>(r)] = std::move(m[0]);
+  if (n == 1) return out;
+  // Ring: forward the tensor received last step to the next neighbour; after
+  // step s the message received originated at rank (rank - s - 1) mod n.
+  const int next = (rank_ + 1) % n;
+  const int prev = (rank_ + n - 1) % n;
+  Tensor cur = local;
+  for (int s = 0; s < n - 1; ++s) {
+    send(next, tag_base + s, {std::move(cur)});
+    Message got = recv(prev, tag_base + s);
+    const int origin = (rank_ - s - 1 + 2 * n) % n;
+    cur = std::move(got[0]);
+    out[static_cast<std::size_t>(origin)] = cur;
   }
   return out;
 }
@@ -199,38 +239,74 @@ Tensor Endpoint::reduce_scatter_rows(const Tensor& partial, std::int64_t tag_bas
     }
     return t;
   };
-  for (int r = 0; r < n; ++r) {
-    if (r == rank_) continue;
-    send(r, tag_base + rank_, {segment(r)});
-  }
-  // Sum contributions in rank order for determinism.
-  Tensor acc({seg, c});
-  for (int r = 0; r < n; ++r) {
-    if (r == rank_) {
-      tensor::add_inplace(acc, segment(rank_));
-    } else {
-      Message m = recv(r, tag_base + r);
-      tensor::add_inplace(acc, m[0]);
-    }
+  // Ring: each step forwards a partially reduced segment to the next
+  // neighbour and folds the own contribution into the one received, so the
+  // segment that settles at rank r accumulated ranks r+1, r+2, ..., r in
+  // ring order. n-1 neighbour messages per rank instead of n-1 direct
+  // sends to every peer at once.
+  Tensor acc = segment((rank_ + n - 1) % n);
+  for (int s = 0; s < n - 1; ++s) {
+    send((rank_ + 1) % n, tag_base + s, {std::move(acc)});
+    Message got = recv((rank_ + n - 1) % n, tag_base + s);
+    const int rb = (rank_ - s - 2 + 2 * n) % n;
+    acc = std::move(got[0]);
+    tensor::add_inplace(acc, segment(rb));
   }
   return acc;
 }
 
+void World::poison() noexcept {
+  poisoned_.store(true, std::memory_order_release);
+  // Lock each mutex before notifying so a rank between evaluating its wait
+  // predicate and parking cannot miss the wakeup.
+  for (Mailbox& box : mailboxes_) {
+    { std::lock_guard<std::mutex> lock(box.mu); }
+    box.cv.notify_all();
+  }
+  { std::lock_guard<std::mutex> lock(barrier_mu_); }
+  barrier_cv_.notify_all();
+}
+
 void World::run(const std::function<void(Endpoint&)>& fn) {
+  // A world is reusable after an aborted run: discard messages stranded by
+  // the failed step and clear the poison flag and barrier arrivals.
+  if (poisoned()) {
+    for (Mailbox& box : mailboxes_) {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.slots.clear();
+      box.queued = 0;
+    }
+    {
+      std::lock_guard<std::mutex> lock(barrier_mu_);
+      barrier_count_ = 0;
+    }
+    poisoned_.store(false, std::memory_order_release);
+  }
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks_));
+  std::vector<char> secondary(static_cast<std::size_t>(num_ranks_), 0);
   threads.reserve(static_cast<std::size_t>(num_ranks_));
   for (int r = 0; r < num_ranks_; ++r) {
     threads.emplace_back([&, r] {
       Endpoint ep(this, r);
       try {
         fn(ep);
+      } catch (const WorldAborted&) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        secondary[static_cast<std::size_t>(r)] = 1;
+        poison();  // idempotent; covers a WorldAborted thrown by user code
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        poison();
       }
     });
   }
   for (auto& t : threads) t.join();
+  // Prefer the original failure over the WorldAborted errors it induced on
+  // the surviving ranks.
+  for (std::size_t r = 0; r < errors.size(); ++r) {
+    if (errors[r] && secondary[r] == 0) std::rethrow_exception(errors[r]);
+  }
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }

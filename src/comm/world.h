@@ -1,10 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -17,6 +19,15 @@
 namespace helix::comm {
 
 using tensor::Tensor;
+
+/// Thrown out of blocking operations (recv, barrier, collectives) on
+/// surviving ranks after some other rank failed: the world is poisoned so no
+/// rank can deadlock waiting for a peer that will never send. World::run
+/// treats these as secondary failures and rethrows the original exception.
+class WorldAborted : public std::runtime_error {
+ public:
+  explicit WorldAborted(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// A message: an ordered bundle of tensors.
 using Message = std::vector<Tensor>;
@@ -47,14 +58,23 @@ class Endpoint {
 
   void barrier();
 
-  /// Ring all-reduce (sum) over one tensor, equal shape on every rank.
+  /// Ring all-reduce (sum) over one tensor, equal shape on every rank:
+  /// bandwidth-optimal reduce-scatter + all-gather over element blocks,
+  /// 2(n-1) neighbour messages of ~numel/n elements per rank (blocks that
+  /// are empty because numel < n are skipped on both ends). The summation
+  /// order for block b is the ring fold starting at rank b+1 — deterministic,
+  /// but not the rank-0-first chain order.
   Tensor all_reduce_sum(const Tensor& local, std::int64_t tag_base);
-  /// Ring all-gather: returns all ranks' tensors in rank order.
+  /// Ring all-gather: returns all ranks' tensors in rank order. Each rank
+  /// forwards n-1 messages to its next neighbour instead of sending its
+  /// tensor to every peer directly.
   std::vector<Tensor> all_gather(const Tensor& local, std::int64_t tag_base);
 
-  /// Reduce-scatter over rows of a [n, c] partial sum: rank r receives the
-  /// element-wise sum (in rank order, deterministic) of every rank's r-th
-  /// row segment. n must be divisible by the world size.
+  /// Ring reduce-scatter over rows of a [n, c] partial sum: rank r receives
+  /// the element-wise sum of every rank's r-th row segment, accumulated in
+  /// the deterministic ring order (contributions folded starting at rank
+  /// r+1, rank r's own last). n must be divisible by the world size; each
+  /// rank sends n-1 segment-sized messages to its next neighbour.
   Tensor reduce_scatter_rows(const Tensor& partial, std::int64_t tag_base);
 
  private:
@@ -78,8 +98,12 @@ class World {
   /// instrumentation branches beyond a pointer test.
   void set_metrics(obs::CommMetrics* shards) noexcept { metrics_ = shards; }
 
-  /// Run `fn(endpoint)` on every rank concurrently; rethrows the first
-  /// exception any rank raised.
+  /// Run `fn(endpoint)` on every rank concurrently. If any rank throws, the
+  /// world is poisoned: every rank blocked in recv/barrier (and any that
+  /// blocks later) is woken with WorldAborted, so run() always joins. After
+  /// the join the ORIGINAL exception (lowest failing rank) is rethrown, not
+  /// the secondary WorldAborted errors it induced. The world is reusable:
+  /// a later run() starts from a clean (unpoisoned, empty-mailbox) state.
   void run(const std::function<void(Endpoint&)>& fn);
 
   int size() const noexcept { return num_ranks_; }
@@ -96,10 +120,17 @@ class World {
   };
   void deliver(int dst, int src, std::int64_t tag, Message msg);
   Message await(int dst, int src, std::int64_t tag);
+  /// Flag the world as failed and wake every blocked rank so they observe
+  /// the flag and throw WorldAborted instead of waiting forever.
+  void poison() noexcept;
+  bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
 
   int num_ranks_;
   std::vector<Mailbox> mailboxes_;
   obs::CommMetrics* metrics_ = nullptr;  ///< per-rank shards, not owned
+  std::atomic<bool> poisoned_{false};
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;

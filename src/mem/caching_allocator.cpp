@@ -75,10 +75,20 @@ BlockId CachingAllocator::allocate(i64 bytes) {
 
   if (config_.expandable_segments) {
     // Grow (or create) the single expandable segment by exactly the needed
-    // amount: no stranding, fragmentation only from live-block holes.
-    if (stats_.reserved_bytes + bytes > config_.capacity_bytes) {
+    // amount: no stranding, fragmentation only from live-block holes. A
+    // trailing free block already covers part of the request (best-fit
+    // failed, so it covers strictly less than `bytes`), so only the
+    // uncovered remainder is reserved — growing by the full rounded size
+    // would strand `trailing` bytes at the old tail forever.
+    const i64 trailing =
+        (!segments_.empty() && !segments_.front().blocks.empty() &&
+         segments_.front().blocks.back().free)
+            ? segments_.front().blocks.back().size
+            : 0;
+    const i64 grow = bytes - trailing;
+    if (stats_.reserved_bytes + grow > config_.capacity_bytes) {
       throw OutOfMemory("expandable segment would exceed capacity: need " +
-                        std::to_string(bytes) + "B on top of " +
+                        std::to_string(grow) + "B on top of " +
                         std::to_string(stats_.reserved_bytes) + "B reserved");
     }
     if (segments_.empty()) {
@@ -87,13 +97,13 @@ BlockId CachingAllocator::allocate(i64 bytes) {
     }
     Segment& seg = segments_.front();
     const i64 offset = seg.size;
-    seg.size += bytes;
-    stats_.reserved_bytes += bytes;
-    // Append as a free block (merge with trailing free block if any).
-    if (!seg.blocks.empty() && seg.blocks.back().free) {
-      seg.blocks.back().size += bytes;
+    seg.size += grow;
+    stats_.reserved_bytes += grow;
+    // Extend the trailing free block (or append one) to exactly `bytes`.
+    if (trailing > 0) {
+      seg.blocks.back().size += grow;
     } else {
-      seg.blocks.push_back({offset, bytes, true});
+      seg.blocks.push_back({offset, grow, true});
     }
     auto last = std::prev(seg.blocks.end());
     return carve(0, last, bytes);

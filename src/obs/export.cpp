@@ -176,6 +176,34 @@ std::string render_reconciliation(const ReconciliationReport& report) {
   return os.str();
 }
 
+std::string render_pool_stats(const par::PoolStats& stats) {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "kernel thread pool: %d threads, %lld pooled regions "
+                "(%.6g s), %lld inline regions\n",
+                stats.threads, static_cast<long long>(stats.regions),
+                static_cast<double>(stats.region_ns) * 1e-9,
+                static_cast<long long>(stats.inline_regions));
+  os << line;
+  std::snprintf(line, sizeof(line), "  caller threads executed %lld chunks\n",
+                static_cast<long long>(stats.caller_chunks));
+  os << line;
+  for (std::size_t w = 0; w < stats.workers.size(); ++w) {
+    const auto& wk = stats.workers[w];
+    const double busy = static_cast<double>(wk.busy_ns) * 1e-9;
+    const double idle = static_cast<double>(wk.idle_ns) * 1e-9;
+    const double denom = busy + idle;
+    std::snprintf(line, sizeof(line),
+                  "  worker %-3zu %8lld chunks   busy %10.6g s   idle %10.6g s"
+                  "   (%.1f%% busy)\n",
+                  w, static_cast<long long>(wk.chunks), busy, idle,
+                  denom > 0 ? 100.0 * busy / denom : 0.0);
+    os << line;
+  }
+  return os.str();
+}
+
 // ------------------------------------------------------------- JSON parsing
 
 namespace {

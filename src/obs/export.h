@@ -6,6 +6,7 @@
 
 #include "core/ir.h"
 #include "obs/recorder.h"
+#include "par/thread_pool.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -83,6 +84,12 @@ ReconciliationReport reconcile(const core::Schedule& sched,
 
 /// Fixed-width side-by-side table of the report, for terminals and logs.
 std::string render_reconciliation(const ReconciliationReport& report);
+
+/// Fixed-width table of the intra-rank thread pool's counters (regions run,
+/// inline fallbacks, and per-worker chunk/busy/idle figures) — typically fed
+/// from par::global_pool_stats() next to the reconciliation table so a
+/// traced run also shows how well the kernel parallelism was utilised.
+std::string render_pool_stats(const par::PoolStats& stats);
 
 /// A parsed trace event: raw field -> value token (strings unquoted).
 using ParsedEvent = std::map<std::string, std::string>;

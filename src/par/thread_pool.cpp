@@ -1,0 +1,206 @@
+#include "par/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+namespace helix::par {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads)
+    : num_threads_(std::max(1, threads)) {
+  const std::size_t workers = static_cast<std::size_t>(num_threads_ - 1);
+  counters_ = std::make_unique<WorkerCounters[]>(std::max<std::size_t>(1, workers));
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_inline(i64 num_chunks, const std::function<void(i64)>& fn) {
+  inline_regions_.fetch_add(1, std::memory_order_relaxed);
+  for (i64 c = 0; c < num_chunks; ++c) fn(c);
+  caller_chunks_.fetch_add(num_chunks, std::memory_order_relaxed);
+}
+
+void ThreadPool::for_chunks(i64 num_chunks, const std::function<void(i64)>& fn) {
+  if (num_chunks <= 0) return;
+  if (workers_.empty() || num_chunks == 1) {
+    run_inline(num_chunks, fn);
+    return;
+  }
+  // One region at a time; a second rank thread arriving concurrently (or a
+  // nested parallel_for from inside a chunk) computes its chunks inline.
+  // Results are unchanged either way — only the wall clock differs.
+  std::unique_lock<std::mutex> region(region_mu_, std::try_to_lock);
+  if (!region.owns_lock()) {
+    run_inline(num_chunks, fn);
+    return;
+  }
+  const std::int64_t t0 = now_ns();
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    job_fn_ = &fn;
+    job_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    pending_.store(num_chunks, std::memory_order_relaxed);
+    ++job_generation_;
+  }
+  job_cv_.notify_all();
+  // The caller works too: grab chunks until the counter runs dry.
+  while (true) {
+    const i64 c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks) break;
+    fn(c);
+    caller_chunks_.fetch_add(1, std::memory_order_relaxed);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  {
+    // Wait for every chunk AND for every worker that joined this region to
+    // park again: a worker still between fetch_adds must not observe the
+    // next region's reset counters (it would re-run a chunk of this job
+    // through a dangling fn).
+    std::unique_lock<std::mutex> lk(job_mu_);
+    done_cv_.wait(lk, [&] {
+      return pending_.load(std::memory_order_acquire) == 0 && active_workers_ == 0;
+    });
+    job_fn_ = nullptr;
+  }
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  region_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+}
+
+void ThreadPool::worker_main(std::size_t idx) {
+  WorkerCounters& wc = counters_[idx];
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lk(job_mu_);
+  while (true) {
+    const std::int64_t idle0 = now_ns();
+    job_cv_.wait(lk, [&] { return stop_ || job_generation_ != seen_generation; });
+    wc.idle_ns.fetch_add(now_ns() - idle0, std::memory_order_relaxed);
+    if (stop_) return;
+    seen_generation = job_generation_;
+    // Woke after the region already completed (caller nulled the job):
+    // nothing to join, go back to sleep.
+    if (job_fn_ == nullptr) continue;
+    const std::function<void(i64)>* fn = job_fn_;
+    const i64 chunks = job_chunks_;
+    ++active_workers_;
+    lk.unlock();
+    while (true) {
+      const i64 c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      const std::int64_t busy0 = now_ns();
+      (*fn)(c);
+      wc.busy_ns.fetch_add(now_ns() - busy0, std::memory_order_relaxed);
+      wc.chunks.fetch_add(1, std::memory_order_relaxed);
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    lk.lock();
+    // The caller may finish its last chunk before this worker parks, so the
+    // completion signal is: last parked worker notifies (pending is checked
+    // by the caller's wait predicate under this mutex).
+    --active_workers_;
+    if (active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.threads = num_threads_;
+  s.regions = regions_.load(std::memory_order_relaxed);
+  s.inline_regions = inline_regions_.load(std::memory_order_relaxed);
+  s.caller_chunks = caller_chunks_.load(std::memory_order_relaxed);
+  s.region_ns = region_ns_.load(std::memory_order_relaxed);
+  s.workers.resize(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    s.workers[i].chunks = counters_[i].chunks.load(std::memory_order_relaxed);
+    s.workers[i].busy_ns = counters_[i].busy_ns.load(std::memory_order_relaxed);
+    s.workers[i].idle_ns = counters_[i].idle_ns.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void ThreadPool::reset_stats() {
+  regions_.store(0, std::memory_order_relaxed);
+  inline_regions_.store(0, std::memory_order_relaxed);
+  caller_chunks_.store(0, std::memory_order_relaxed);
+  region_ns_.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    counters_[i].chunks.store(0, std::memory_order_relaxed);
+    counters_[i].busy_ns.store(0, std::memory_order_relaxed);
+    counters_[i].idle_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mu
+
+ThreadPool* pool_if_built() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  return g_pool.get();
+}
+
+}  // namespace
+
+int env_threads() {
+  const char* env = std::getenv("HELIX_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || v < 1) return 1;
+  return static_cast<int>(std::min<long>(v, 256));
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(env_threads());
+  return *g_pool;
+}
+
+void set_global_threads(int threads) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (g_pool && g_pool->threads() == std::max(1, threads)) return;
+  g_pool.reset();  // joins workers; callers must be outside parallel regions
+  g_pool = std::make_unique<ThreadPool>(threads);
+}
+
+PoolStats global_pool_stats() {
+  if (ThreadPool* p = pool_if_built()) return p->stats();
+  return PoolStats{};
+}
+
+void parallel_for(i64 n, i64 grain, const std::function<void(i64, i64, i64)>& fn) {
+  if (n <= 0) return;
+  const i64 g = std::max<i64>(1, grain);
+  const i64 num_chunks = (n + g - 1) / g;
+  if (num_chunks == 1) {
+    fn(0, n, 0);
+    return;
+  }
+  global_pool().for_chunks(num_chunks, [&](i64 c) {
+    fn(c * g, std::min(n, (c + 1) * g), c);
+  });
+}
+
+}  // namespace helix::par

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// Intra-rank compute parallelism: one shared thread pool all tensor kernels
+// dispatch onto. The pool is process-global and sized once (HELIX_THREADS
+// env or par::set_global_threads), so the thread-per-rank runtime never
+// oversubscribes: p rank threads share the same HELIX_THREADS workers, and a
+// rank that finds the pool busy simply runs its chunks inline.
+//
+// Determinism contract (DESIGN.md "Deterministic parallel kernels"): work is
+// decomposed into chunks by a FIXED partition of the index space (a function
+// of the problem shape and a constant grain only — never of the thread
+// count), chunks write disjoint outputs, and cross-chunk reductions are
+// expressed column-parallel or as per-chunk partials merged in chunk index
+// order. Kernel results are therefore bit-identical for every thread count,
+// including the serial reference path.
+namespace helix::par {
+
+using i64 = std::int64_t;
+
+/// Aggregate counters of the shared pool, exposed through src/obs
+/// (obs::render_pool_stats) so traced runs can report worker utilisation.
+struct PoolStats {
+  int threads = 1;  ///< configured parallelism (workers + calling thread)
+  std::int64_t regions = 0;         ///< parallel regions run on the pool
+  std::int64_t inline_regions = 0;  ///< regions run inline (serial pool, or
+                                    ///< nested/contended fallback)
+  std::int64_t caller_chunks = 0;   ///< chunks executed by calling threads
+  std::int64_t region_ns = 0;       ///< wall time callers spent in regions
+  struct Worker {
+    std::int64_t chunks = 0;   ///< chunks this worker executed
+    std::int64_t busy_ns = 0;  ///< wall time inside chunk bodies
+    std::int64_t idle_ns = 0;  ///< wall time parked waiting for work
+  };
+  std::vector<Worker> workers;
+};
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` total ways of parallelism: the calling thread
+  /// participates, so `threads - 1` worker threads are spawned.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const noexcept { return num_threads_; }
+
+  /// Run fn(chunk) for every chunk in [0, num_chunks), distributing chunks
+  /// over the workers and the calling thread; returns when all are done.
+  /// Chunk-to-thread assignment is dynamic (work stealing off one atomic
+  /// counter), which is safe under the determinism contract because chunk
+  /// CONTENT never depends on who runs it. Concurrent or nested calls —
+  /// several rank threads hitting kernels at once — execute inline on the
+  /// caller instead of deadlocking or queueing.
+  void for_chunks(i64 num_chunks, const std::function<void(i64)>& fn);
+
+  PoolStats stats() const;
+  void reset_stats();
+
+ private:
+  struct alignas(64) WorkerCounters {
+    std::atomic<std::int64_t> chunks{0};
+    std::atomic<std::int64_t> busy_ns{0};
+    std::atomic<std::int64_t> idle_ns{0};
+  };
+
+  void worker_main(std::size_t idx);
+  void run_inline(i64 num_chunks, const std::function<void(i64)>& fn);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::unique_ptr<WorkerCounters[]> counters_;
+
+  // One region at a time: callers that cannot take this run inline.
+  std::mutex region_mu_;
+
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;   ///< workers park here between jobs
+  std::condition_variable done_cv_;  ///< caller waits for region completion
+  const std::function<void(i64)>* job_fn_ = nullptr;
+  i64 job_chunks_ = 0;
+  std::uint64_t job_generation_ = 0;
+  int active_workers_ = 0;  ///< workers currently inside the chunk loop
+  std::atomic<i64> next_chunk_{0};
+  std::atomic<i64> pending_{0};
+  bool stop_ = false;
+
+  std::atomic<std::int64_t> regions_{0};
+  std::atomic<std::int64_t> inline_regions_{0};
+  std::atomic<std::int64_t> caller_chunks_{0};
+  std::atomic<std::int64_t> region_ns_{0};
+};
+
+/// Number of threads requested by the HELIX_THREADS environment variable;
+/// 1 (serial) when unset, empty or invalid. Values are clamped to [1, 256].
+int env_threads();
+
+/// The process-global pool every kernel dispatches onto. Lazily constructed
+/// at first use with env_threads().
+ThreadPool& global_pool();
+
+/// Resize the global pool (e.g. from TrainerOptions::threads or a bench
+/// harness). Must not be called while parallel regions are in flight.
+void set_global_threads(int threads);
+
+/// Counters of the global pool (never constructs it: a process that never
+/// touched the pool reports a serial one).
+PoolStats global_pool_stats();
+
+/// Fixed-grain parallel loop over [0, n): the range is split into
+/// ceil(n/grain) chunks of `grain` indices (last chunk short) and
+/// fn(begin, end, chunk_index) runs for each — on the global pool when it
+/// has workers to spare, inline otherwise. The partition depends only on
+/// (n, grain), so any reduction keyed by chunk_index is deterministic.
+void parallel_for(i64 n, i64 grain, const std::function<void(i64, i64, i64)>& fn);
+
+}  // namespace helix::par

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/cost.h"
+#include "par/thread_pool.h"
 #include "schedules/interleaved.h"
 #include "schedules/zb1p.h"
 
@@ -69,6 +70,10 @@ Trainer::Trainer(nn::ModelParams& params, TrainerOptions options)
   if (opt_.trace != nullptr && opt_.trace->num_ranks() != sched_.num_stages) {
     throw std::invalid_argument("trace collector must have one shard per stage");
   }
+  if (opt_.threads < 0) {
+    throw std::invalid_argument("TrainerOptions::threads must be >= 0");
+  }
+  if (opt_.threads > 0) par::set_global_threads(opt_.threads);
 }
 
 IterationMetrics Trainer::train_step(const nn::Batch& batch) {

@@ -29,6 +29,13 @@ struct TrainerOptions {
   bool recompute_without_attention = false;
   int mlp_chunks = 1;
   OptimizerKind optimizer = OptimizerKind::kSgd;
+  /// Intra-rank kernel parallelism: resize the process-global thread pool
+  /// (par::set_global_threads) to this many threads before training. 0 (the
+  /// default) leaves the pool at its current size — HELIX_THREADS or an
+  /// earlier explicit setting. The pool is shared by all rank threads, so
+  /// total CPU concurrency stays bounded by this value regardless of
+  /// pipeline_stages; kernel results are bit-identical for every setting.
+  int threads = 0;
   /// Optional observability sink (caller-owned, must outlive the Trainer).
   /// When set, every train_step records per-op wall-clock spans, comm
   /// counters and live-memory gauges into it (resetting it first via

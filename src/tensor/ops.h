@@ -66,4 +66,31 @@ double cross_entropy_forward_backward(const Tensor& logits,
                                       const std::vector<int>& targets,
                                       Tensor& dlogits);
 
+// ---- Serial reference kernels ----
+// The original naive single-threaded implementations, retained verbatim as
+// the determinism oracle: the pooled, cache-blocked kernels above must be
+// BIT-IDENTICAL to these for every HELIX_THREADS value (every output
+// element keeps its exact serial accumulation order; cross-row reductions
+// are column-parallel, so each column still folds rows 0..n-1 in order).
+// Tests pin the contract; bench_micro uses them as the speedup baseline.
+namespace ref {
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+Tensor layernorm_forward(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                         LayerNormStats* stats);
+LayerNormGrads layernorm_backward(const Tensor& dy, const Tensor& x,
+                                  const Tensor& gamma, const LayerNormStats& stats);
+LayerNormParamGrads layernorm_param_grads(const Tensor& dy, const Tensor& x,
+                                          const LayerNormStats& stats);
+Tensor gelu_forward(const Tensor& x);
+Tensor gelu_backward(const Tensor& dy, const Tensor& x);
+Tensor attention_forward(const Tensor& qkv, i64 batch, i64 seq, int heads);
+Tensor attention_backward(const Tensor& dctx, const Tensor& qkv, i64 batch,
+                          i64 seq, int heads);
+double cross_entropy_forward_backward(const Tensor& logits,
+                                      const std::vector<int>& targets,
+                                      Tensor& dlogits);
+}  // namespace ref
+
 }  // namespace helix::tensor

@@ -108,6 +108,71 @@ TEST(World, PropagatesRankExceptions) {
                std::runtime_error);
 }
 
+TEST(World, PoisonOnRankFailureUnblocksPeers) {
+  // Regression: a throwing rank used to leave peers blocked in recv/barrier
+  // forever, hanging run() at join. Now the failure poisons the world: the
+  // blocked survivors are woken with WorldAborted and the ORIGINAL
+  // exception is rethrown.
+  World w(3);
+  std::atomic<int> aborted{0};
+  try {
+    w.run([&](Endpoint& ep) {
+      if (ep.rank() == 0) throw std::runtime_error("boom");
+      try {
+        if (ep.rank() == 1) {
+          (void)ep.recv(0, 7);  // rank 0 will never send
+        } else {
+          ep.barrier();  // rank 0 will never arrive
+        }
+      } catch (const WorldAborted&) {
+        aborted.fetch_add(1);
+        throw;
+      }
+    });
+    FAIL() << "run() must rethrow";
+  } catch (const WorldAborted&) {
+    FAIL() << "run() rethrew a secondary abort instead of the original error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_EQ(aborted.load(), 2);
+}
+
+TEST(World, FailureWakesRankThatBlocksAfterPoisoning) {
+  // The straggler only enters its recv after the world is already poisoned;
+  // it must still be refused, not parked forever.
+  World w(2);
+  try {
+    w.run([&](Endpoint& ep) {
+      if (ep.rank() == 0) throw std::invalid_argument("early");
+      EXPECT_THROW((void)ep.recv(0, 1), WorldAborted);
+      EXPECT_THROW(ep.barrier(), WorldAborted);
+    });
+    FAIL() << "run() must rethrow";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "early");
+  }
+}
+
+TEST(World, ReusableAfterAbortedRun) {
+  World w(2);
+  EXPECT_THROW(w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send(1, 5, {constant(9.0f)});  // stranded: rank 1 dies first
+      throw std::runtime_error("boom");
+    }
+    throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+  // The next run starts unpoisoned with empty mailboxes: the stranded tag-5
+  // message must be gone, and normal traffic flows again.
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) ep.send(1, 5, {constant(1.0f)});
+    if (ep.rank() == 1) EXPECT_FLOAT_EQ(ep.recv(0, 5)[0][0], 1.0f);
+    ep.barrier();
+  });
+}
+
 TEST(World, RejectsBadRanks) {
   World w(2);
   w.run([](Endpoint& ep) {
@@ -166,6 +231,106 @@ TEST(World, MetricsTimeCollectives) {
     EXPECT_EQ(shards[static_cast<std::size_t>(r)].collectives.value, 2);
     EXPECT_GT(shards[static_cast<std::size_t>(r)].collective_ns.value, 0);
     EXPECT_GT(shards[static_cast<std::size_t>(r)].bytes_sent.value, 0);
+  }
+}
+
+TEST(World, RingAllReduceSendsBalancedNeighbourMessages) {
+  // DESIGN.md §2 documents ring collectives: 2(n-1) messages per rank of
+  // ~numel/n elements, identical on EVERY rank — no rank-0 broadcast hot
+  // spot. numel = 8 over n = 4 splits into 4 blocks of 2 elements.
+  const int n = 4;
+  World w(n);
+  std::vector<obs::CommMetrics> shards(static_cast<std::size_t>(n));
+  w.set_metrics(shards.data());
+  w.run([&](Endpoint& ep) {
+    const Tensor total =
+        ep.all_reduce_sum(constant(static_cast<float>(ep.rank() + 1), 8), 100);
+    for (tensor::i64 i = 0; i < total.numel(); ++i) {
+      EXPECT_FLOAT_EQ(total[i], 10.0f);
+    }
+  });
+  const std::int64_t block_bytes = 2 * static_cast<std::int64_t>(sizeof(float));
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(shards[static_cast<std::size_t>(r)].messages_sent.value, 2 * (n - 1))
+        << "rank " << r;
+    EXPECT_EQ(shards[static_cast<std::size_t>(r)].messages_received.value, 2 * (n - 1))
+        << "rank " << r;
+    EXPECT_EQ(shards[static_cast<std::size_t>(r)].bytes_sent.value,
+              2 * (n - 1) * block_bytes)
+        << "rank " << r;
+  }
+}
+
+TEST(World, RingAllReduceSkipsEmptyBlocksWhenTensorIsTiny) {
+  // numel = 2 over n = 5: three blocks are empty, so fewer than 2(n-1)
+  // messages move — but the sum is still correct on every rank.
+  const int n = 5;
+  World w(n);
+  std::vector<obs::CommMetrics> shards(static_cast<std::size_t>(n));
+  w.set_metrics(shards.data());
+  w.run([&](Endpoint& ep) {
+    const Tensor total =
+        ep.all_reduce_sum(constant(static_cast<float>(ep.rank() + 1), 2), 100);
+    for (tensor::i64 i = 0; i < total.numel(); ++i) {
+      EXPECT_FLOAT_EQ(total[i], 15.0f);
+    }
+  });
+  std::int64_t sent = 0;
+  for (int r = 0; r < n; ++r) {
+    sent += shards[static_cast<std::size_t>(r)].messages_sent.value;
+    EXPECT_LT(shards[static_cast<std::size_t>(r)].messages_sent.value, 2 * (n - 1));
+  }
+  // Each of the 2 non-empty blocks travels n-1 hops per phase.
+  EXPECT_EQ(sent, 2 * 2 * (n - 1));
+}
+
+TEST(World, RingAllGatherForwardsAlongTheRing) {
+  // n-1 neighbour messages per rank, each of the local tensor's size.
+  const int n = 4;
+  World w(n);
+  std::vector<obs::CommMetrics> shards(static_cast<std::size_t>(n));
+  w.set_metrics(shards.data());
+  w.run([&](Endpoint& ep) {
+    const auto all = ep.all_gather(constant(static_cast<float>(ep.rank()), 6), 300);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_FLOAT_EQ(all[static_cast<std::size_t>(r)][0], static_cast<float>(r));
+    }
+  });
+  const std::int64_t payload = 6 * static_cast<std::int64_t>(sizeof(float));
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(shards[static_cast<std::size_t>(r)].messages_sent.value, n - 1);
+    EXPECT_EQ(shards[static_cast<std::size_t>(r)].bytes_sent.value, (n - 1) * payload);
+  }
+}
+
+TEST(World, RingReduceScatterSumsSegmentsWithNeighbourTraffic) {
+  const int n = 4;
+  const tensor::i64 rows = 8, cols = 3;
+  World w(n);
+  std::vector<obs::CommMetrics> shards(static_cast<std::size_t>(n));
+  w.set_metrics(shards.data());
+  w.run([&](Endpoint& ep) {
+    Tensor partial({rows, cols});
+    for (tensor::i64 i = 0; i < rows; ++i) {
+      for (tensor::i64 j = 0; j < cols; ++j) {
+        partial.at(i, j) = static_cast<float>(ep.rank() + 1) * static_cast<float>(i);
+      }
+    }
+    const Tensor mine = ep.reduce_scatter_rows(partial, 400);
+    // Sum over ranks of (r+1)*row = 10 * row for rank's own segment rows.
+    const tensor::i64 seg = rows / n;
+    for (tensor::i64 i = 0; i < seg; ++i) {
+      for (tensor::i64 j = 0; j < cols; ++j) {
+        const float row = static_cast<float>(ep.rank() * seg + i);
+        EXPECT_FLOAT_EQ(mine.at(i, j), 10.0f * row);
+      }
+    }
+  });
+  const std::int64_t seg_bytes =
+      (rows / n) * cols * static_cast<std::int64_t>(sizeof(float));
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(shards[static_cast<std::size_t>(r)].messages_sent.value, n - 1);
+    EXPECT_EQ(shards[static_cast<std::size_t>(r)].bytes_sent.value, (n - 1) * seg_bytes);
   }
 }
 

@@ -94,6 +94,37 @@ TEST(CachingAllocator, ExpandableSegmentsNeverStrand) {
   for (const BlockId b : live) a.free(b);
 }
 
+TEST(CachingAllocator, ExpandableGrowsOnlyByUncoveredDelta) {
+  // Regression: growing the expandable segment by the full rounded request
+  // even when a trailing free block already covered part of it stranded the
+  // trailing bytes forever (reserved 20 MiB here instead of 16 MiB).
+  CachingAllocator a({.capacity_bytes = 100 * MiB, .expandable_segments = true});
+  const BlockId head = a.allocate(10 * MiB);
+  const BlockId tail = a.allocate(4 * MiB);
+  EXPECT_EQ(a.stats().reserved_bytes, 14 * MiB);
+  a.free(tail);  // 4 MiB free block at the segment tail
+  const BlockId big = a.allocate(6 * MiB);
+  EXPECT_EQ(a.stats().reserved_bytes, 16 * MiB)
+      << "grow must cover only the 2 MiB the trailing free block lacks";
+  EXPECT_EQ(a.stats().allocated_bytes, 16 * MiB);
+  a.free(big);
+  a.free(head);
+}
+
+TEST(CachingAllocator, ExpandableDeltaGrowFitsWhereFullGrowWouldOom) {
+  // Same shape under a 16 MiB cap: the fixed allocator reuses the trailing
+  // 4 MiB and only reserves 2 MiB more; the old full-`bytes` grow needed
+  // reserved 14 + 6 = 20 MiB and threw OutOfMemory.
+  CachingAllocator a({.capacity_bytes = 16 * MiB, .expandable_segments = true});
+  const BlockId head = a.allocate(10 * MiB);
+  const BlockId tail = a.allocate(4 * MiB);
+  a.free(tail);
+  const BlockId big = a.allocate(6 * MiB);
+  EXPECT_EQ(a.stats().reserved_bytes, 16 * MiB);
+  a.free(big);
+  a.free(head);
+}
+
 class AllocatorInvariants : public ::testing::TestWithParam<bool> {};
 
 TEST_P(AllocatorInvariants, RandomTraceConservation) {

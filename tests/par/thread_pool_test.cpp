@@ -1,0 +1,145 @@
+#include "par/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace helix::par {
+namespace {
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  for (const int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    constexpr i64 kChunks = 100;
+    std::vector<std::atomic<int>> hits(kChunks);
+    pool.for_chunks(kChunks, [&](i64 c) { hits[static_cast<std::size_t>(c)]++; });
+    for (i64 c = 0; c < kChunks; ++c) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(c)].load(), 1) << "chunk " << c;
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroOrNegativeChunksIsANoOp) {
+  ThreadPool pool(3);
+  bool ran = false;
+  pool.for_chunks(0, [&](i64) { ran = true; });
+  pool.for_chunks(-5, [&](i64) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PartitionIsFixedAcrossThreadCounts) {
+  // parallel_for's (begin, end, chunk) triples depend only on (n, grain) —
+  // the determinism contract — so collect them under different pool sizes
+  // and require identical sets.
+  const auto collect = [](int threads) {
+    set_global_threads(threads);
+    std::mutex mu;
+    std::set<std::tuple<i64, i64, i64>> chunks;
+    parallel_for(103, 10, [&](i64 b, i64 e, i64 c) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.insert({b, e, c});
+    });
+    return chunks;
+  };
+  const auto serial = collect(1);
+  EXPECT_EQ(serial.size(), 11u);  // ceil(103 / 10)
+  EXPECT_TRUE(serial.count({100, 103, 10}) == 1);  // short tail chunk
+  EXPECT_EQ(collect(2), serial);
+  EXPECT_EQ(collect(4), serial);
+  set_global_threads(1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  set_global_threads(4);
+  std::atomic<int> total{0};
+  parallel_for(8, 1, [&](i64, i64, i64) {
+    // A kernel calling another pooled kernel from inside a chunk: the inner
+    // region must fall back to inline execution, not deadlock on the pool.
+    parallel_for(4, 1, [&](i64 b, i64 e, i64) {
+      total += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * 4);
+  set_global_threads(1);
+}
+
+TEST(ThreadPool, ConcurrentRegionsFromManyThreadsComplete) {
+  // Several "rank" threads hammering the shared pool at once: exactly one
+  // wins the pool per region, the rest run inline; all results complete.
+  set_global_threads(4);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::vector<i64> sums(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int iter = 0; iter < 50; ++iter) {
+        std::atomic<i64> sum{0};
+        parallel_for(64, 4, [&](i64 b, i64 e, i64) {
+          for (i64 i = b; i < e; ++i) sum += i;
+        });
+        sums[static_cast<std::size_t>(t)] = sum.load();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const i64 s : sums) EXPECT_EQ(s, 64 * 63 / 2);
+  set_global_threads(1);
+}
+
+TEST(ThreadPool, StatsCountRegionsChunksAndWorkerActivity) {
+  ThreadPool pool(4);
+  pool.for_chunks(40, [](i64) {
+    volatile double x = 0;
+    for (int i = 0; i < 2000; ++i) x = x + i * 0.5;
+  });
+  pool.for_chunks(1, [](i64) {});  // single chunk -> inline
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.threads, 4);
+  EXPECT_EQ(s.regions, 1);
+  EXPECT_EQ(s.inline_regions, 1);
+  EXPECT_EQ(s.workers.size(), 3u);
+  i64 worker_chunks = 0;
+  for (const auto& w : s.workers) worker_chunks += w.chunks;
+  EXPECT_EQ(worker_chunks + s.caller_chunks, 40 + 1);
+
+  pool.reset_stats();
+  const PoolStats z = pool.stats();
+  EXPECT_EQ(z.regions, 0);
+  EXPECT_EQ(z.caller_chunks, 0);
+  for (const auto& w : z.workers) EXPECT_EQ(w.chunks, 0);
+}
+
+TEST(ThreadPool, EnvThreadsParsesAndClamps) {
+  const auto with_env = [](const char* v) {
+    if (v == nullptr) {
+      unsetenv("HELIX_THREADS");
+    } else {
+      setenv("HELIX_THREADS", v, 1);
+    }
+    const int got = env_threads();
+    unsetenv("HELIX_THREADS");
+    return got;
+  };
+  EXPECT_EQ(with_env(nullptr), 1);
+  EXPECT_EQ(with_env(""), 1);
+  EXPECT_EQ(with_env("garbage"), 1);
+  EXPECT_EQ(with_env("0"), 1);
+  EXPECT_EQ(with_env("-3"), 1);
+  EXPECT_EQ(with_env("4"), 4);
+  EXPECT_EQ(with_env("100000"), 256);
+}
+
+TEST(ThreadPool, GlobalPoolStatsNeverConstructsThePool) {
+  // Safe regardless of whether another test already built the pool: the
+  // call must not throw and must report a sane thread count.
+  const PoolStats s = global_pool_stats();
+  EXPECT_GE(s.threads, 1);
+}
+
+}  // namespace
+}  // namespace helix::par

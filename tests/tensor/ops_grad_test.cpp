@@ -62,6 +62,16 @@ TEST(OpsGrad, LayerNorm) {
     EXPECT_NEAR(g.dgamma[i], fd(gamma, i, f), 5e-3);
     EXPECT_NEAR(g.dbeta[i], fd(beta, i, f), 5e-3);
   }
+  // The serial reference backward must satisfy the same finite differences
+  // AND agree with the pooled kernel to the bit.
+  const LayerNormGrads gr = ref::layernorm_backward(w, x, gamma, stats);
+  EXPECT_EQ(max_abs_diff(g.dx, gr.dx), 0.0);
+  EXPECT_EQ(max_abs_diff(g.dgamma, gr.dgamma), 0.0);
+  EXPECT_EQ(max_abs_diff(g.dbeta, gr.dbeta), 0.0);
+  for (i64 i = 0; i < 8; ++i) {
+    EXPECT_NEAR(gr.dgamma[i], fd(gamma, i, f), 5e-3);
+    EXPECT_NEAR(gr.dbeta[i], fd(beta, i, f), 5e-3);
+  }
 }
 
 TEST(OpsGrad, Gelu) {
@@ -86,12 +96,25 @@ TEST_P(AttentionGrad, MatchesFiniteDifference) {
   for (i64 i = 0; i < qkv.numel(); i += 7) {
     EXPECT_NEAR(dqkv[i], fd(qkv, i, f), 5e-3) << "elem " << i;
   }
+  // The serial reference must satisfy the same finite differences and match
+  // the pooled kernel to the bit.
+  const Tensor dqkv_ref = ref::attention_backward(w, qkv, batch, seq, heads);
+  EXPECT_EQ(max_abs_diff(dqkv, dqkv_ref), 0.0);
+  const Tensor fwd_ref = ref::attention_forward(qkv, batch, seq, heads);
+  EXPECT_EQ(max_abs_diff(attention_forward(qkv, batch, seq, heads), fwd_ref), 0.0);
+  for (i64 i = 0; i < qkv.numel(); i += 11) {
+    EXPECT_NEAR(dqkv_ref[i], fd(qkv, i, f), 5e-3) << "ref elem " << i;
+  }
 }
 
+// heads > 1 with seq != batch*... and odd sequence lengths, so head/chunk
+// boundaries and causal tails are all exercised.
 INSTANTIATE_TEST_SUITE_P(Shapes, AttentionGrad,
                          ::testing::Values(std::make_tuple(1, 4, 1),
                                            std::make_tuple(1, 6, 2),
-                                           std::make_tuple(2, 5, 4)));
+                                           std::make_tuple(2, 5, 4),
+                                           std::make_tuple(3, 7, 2),
+                                           std::make_tuple(2, 9, 4)));
 
 TEST(OpsGrad, AttentionIsCausal) {
   const i64 seq = 6, h = 8;
