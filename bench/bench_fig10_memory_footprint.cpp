@@ -1,7 +1,16 @@
 // Fig. 10 reproduction: per-stage peak memory (GiB per GPU, simulated on the
 // generated schedules including model states) for the 3B model with 128k
-// sequence length on 8 pipeline stages.
+// sequence length on 8 pipeline stages — plus measured allocator stats from
+// tiny numeric runs of the families the numeric runtime implements.
+//
+// Usage: bench_fig10_memory_footprint [--json FILE]
+//   --json writes the simulated per-stage peaks and, for each numerically
+//   runnable method, the measured allocator stats (peak allocated/reserved,
+//   fragmentation, model prediction per stage).
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "common.h"
 #include "model/model_config.h"
@@ -9,7 +18,43 @@
 using namespace helix;
 using namespace helix::bench;
 
-int main() {
+namespace {
+
+/// The numeric-runtime family for a bench method; AdaPipe is timing-model
+/// only and has no numeric counterpart.
+bool numeric_family(Method m, runtime::ScheduleFamily* out, bool* recompute) {
+  switch (m) {
+    case Method::kOneF1B:
+      *out = runtime::ScheduleFamily::k1F1B;
+      *recompute = false;
+      return true;
+    case Method::kZb1p:
+      *out = runtime::ScheduleFamily::kZb1p;
+      *recompute = false;
+      return true;
+    case Method::kHelix:
+      *out = runtime::ScheduleFamily::kHelixTwoFold;
+      *recompute = true;
+      return true;
+    case Method::kAdaPipe:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
   ExperimentConfig e{.cluster = model::h20_cluster(), .model = model::gpt_3b(),
                      .p = 8, .seq = 131072};
   std::printf("Fig. 10 — per-stage peak memory (GiB/GPU), 3B model, 128k, p=8\n");
@@ -17,16 +62,63 @@ int main() {
   std::printf("%-10s", "method");
   for (int i = 0; i < e.p; ++i) std::printf(" stage%-3d", i);
   std::printf("  (max)\n");
+  std::string json = "{\n  \"simulated\": [";
+  bool first = true;
   for (const Method m : all_methods()) {
     const ExperimentResult r = run_experiment(m, e);
     std::printf("%-10s", to_string(m));
-    for (const auto b : r.stage_peak_bytes) std::printf(" %7s ", gib(b).c_str());
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += std::string("    {\"method\": \"") + to_string(m) +
+            "\", \"stage_peak_bytes\": [";
+    bool first_b = true;
+    for (const auto b : r.stage_peak_bytes) {
+      std::printf(" %7s ", gib(b).c_str());
+      json += (first_b ? "" : ", ") + std::to_string(b);
+      first_b = false;
+    }
+    json += "], \"oom\": " + std::string(r.oom ? "true" : "false") + "}";
     std::printf("  %6s%s\n", gib(r.max_peak_bytes).c_str(), r.oom ? "  OOM" : "");
   }
+  json += "\n  ],\n  \"measured\": [";
   std::printf(
       "\nExpected shapes (Section 5.4): 1F1B skews high-to-low across stages;\n"
       "ZB1P is flat but spikes on the last stage (deferred fp32 LM-head\n"
       "gradient stash); AdaPipe balances the early stages via recomputation;\n"
       "HelixPipe is lowest and most balanced.\n");
+
+  // Measured counterpart: tiny numeric runs (fp32 mini-GPT, 4 stages) with
+  // per-rank instrumented allocators for the numerically runnable methods.
+  const int np = 4;
+  std::printf("\nmeasured allocator peaks (numeric mini-GPT, fp32, p=%d, m=%d):\n",
+              np, 2 * np);
+  std::printf("  %-10s", "method");
+  for (int i = 0; i < np; ++i) std::printf(" %12s", ("stage" + std::to_string(i)).c_str());
+  std::printf("\n");
+  first = true;
+  for (const Method m : all_methods()) {
+    runtime::ScheduleFamily family;
+    bool recompute = false;
+    if (!numeric_family(m, &family, &recompute)) continue;
+    const auto measured = measure_numeric_memory(family, np, recompute);
+    std::printf("  %-10s", to_string(m));
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += std::string("    {\"method\": \"") + to_string(m) +
+            "\", \"per_stage\": [";
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+      std::printf(" %12lld", static_cast<long long>(measured[i].peak_allocated));
+      json += i ? ", " : "";
+      append_measured_json(json, measured[i]);
+    }
+    json += "]}";
+    std::printf("\n");
+  }
+  json += "\n  ]\n}\n";
+
+  if (!json_path.empty()) {
+    std::ofstream(json_path) << json;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -10,6 +10,8 @@
 #include "model/memory.h"
 #include "model/paper_cost.h"
 #include "model/problem_factory.h"
+#include "obs/memory.h"
+#include "runtime/trainer.h"
 #include "schedules/adapipe.h"
 #include "schedules/layerwise.h"
 #include "schedules/zb1p.h"
@@ -135,5 +137,70 @@ inline std::string gib(i64 bytes) {
 }
 
 inline std::string seq_label(i64 s) { return std::to_string(s / 1024) + "k"; }
+
+/// Measured allocator stats of one stage of a small numeric (fp32 mini-GPT)
+/// run with per-rank memory tracking, next to the closed-form prediction for
+/// the same configuration — the measured counterpart of the simulated /
+/// theoretical bytes the figure benches print.
+struct MeasuredStageMemory {
+  i64 peak_allocated = 0;
+  i64 peak_reserved = 0;
+  double fragmentation = 0;  ///< 1 - allocated/reserved at the peaks
+  i64 model_bytes = 0;       ///< runtime::predict_stage_peak_bytes
+};
+
+/// Run one instrumented training iteration of the numeric mini-GPT pipeline
+/// (one transformer layer per stage, m = 2p micro batches) and return the
+/// per-stage measured allocator peaks. Only families the numeric runtime
+/// implements are valid (no AdaPipe).
+inline std::vector<MeasuredStageMemory> measure_numeric_memory(
+    runtime::ScheduleFamily family, int stages,
+    bool recompute_without_attention = false) {
+  const nn::MiniGptConfig cfg{.layers = stages, .hidden = 32, .heads = 4,
+                              .seq = 64, .batch = 1, .vocab = 64,
+                              .micro_batches = 2 * stages, .lr = 0.03f};
+  const nn::Batch batch = nn::Batch::random(cfg, 11);
+  nn::ModelParams params = nn::ModelParams::init(cfg, 3);
+  obs::TraceCollector trace(stages);
+  const runtime::TrainerOptions opt{
+      .family = family, .pipeline_stages = stages,
+      .recompute_without_attention = recompute_without_attention,
+      .trace = &trace, .track_memory = true};
+  runtime::Trainer trainer(params, opt);
+  (void)trainer.train_step(batch);
+  const std::vector<i64> model = runtime::predict_stage_peak_bytes(cfg, opt);
+  std::vector<MeasuredStageMemory> out;
+  for (int r = 0; r < stages; ++r) {
+    MeasuredStageMemory s;
+    if (const obs::MemoryTracker* t = trace.memory(r)) {
+      const auto& st = t->allocator().stats();
+      s.peak_allocated = st.peak_allocated;
+      s.peak_reserved = st.peak_reserved;
+      if (st.peak_reserved > 0) {
+        s.fragmentation = 1.0 - static_cast<double>(st.peak_allocated) /
+                                    static_cast<double>(st.peak_reserved);
+      }
+    }
+    if (r < static_cast<int>(model.size())) {
+      s.model_bytes = model[static_cast<std::size_t>(r)];
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+/// Append one stage's measured allocator stats as a JSON object (the benches
+/// emit hand-rolled JSON; keep the field vocabulary identical everywhere).
+inline void append_measured_json(std::string& json,
+                                 const MeasuredStageMemory& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"peak_allocated\":%lld,\"peak_reserved\":%lld,"
+                "\"fragmentation\":%.4f,\"model_bytes\":%lld}",
+                static_cast<long long>(s.peak_allocated),
+                static_cast<long long>(s.peak_reserved), s.fragmentation,
+                static_cast<long long>(s.model_bytes));
+  json += buf;
+}
 
 }  // namespace helix::bench

@@ -4,13 +4,21 @@
 // The repo's central claim is that src/sim (modeled time) and src/runtime
 // (real tensors on rank threads) execute one schedule. This example makes
 // both sides observable: it runs one Trainer iteration with an
-// obs::TraceCollector attached, writes the measured execution as Chrome
-// trace-event JSON (open runtime_trace.json in chrome://tracing or
-// https://ui.perfetto.dev — it uses the same event vocabulary as the
-// simulator's exporter, so the two traces diff cleanly), then prints the
-// per-stage sim-vs-measured busy/bubble reconciliation table.
+// obs::TraceCollector attached (including per-rank memory tracking), writes
+// the measured execution as Chrome trace-event JSON (open runtime_trace.json
+// in chrome://tracing or https://ui.perfetto.dev — it uses the same event
+// vocabulary as the simulator's exporter, so the two traces diff cleanly,
+// and carries per-rank "mem bytes" / "mem fragmentation" counter tracks next
+// to the span tracks), then prints the per-stage sim-vs-measured busy/bubble
+// reconciliation, the three-way memory reconciliation (measured allocator
+// peak vs closed-form model vs simulator) and the peak-attribution tables.
+//
+// Usage: runtime_trace [--out-dir DIR]   (default DIR is the current dir)
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "core/cost.h"
 #include "obs/export.h"
@@ -21,7 +29,18 @@
 
 using namespace helix;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out-dir DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+  std::filesystem::create_directories(out_dir);
+
   const nn::MiniGptConfig cfg{.layers = 4, .hidden = 32, .heads = 4, .seq = 16,
                               .batch = 1, .vocab = 64, .micro_batches = 8,
                               .lr = 0.03f};
@@ -30,12 +49,14 @@ int main() {
 
   const int stages = 4;
   obs::TraceCollector trace(stages);
-  runtime::Trainer trainer(params,
-                           {.family = runtime::ScheduleFamily::kHelixTwoFold,
-                            .pipeline_stages = stages,
-                            .recompute_without_attention = true,
-                            .mlp_chunks = 2,
-                            .trace = &trace});
+  const runtime::TrainerOptions options{
+      .family = runtime::ScheduleFamily::kHelixTwoFold,
+      .pipeline_stages = stages,
+      .recompute_without_attention = true,
+      .mlp_chunks = 2,
+      .trace = &trace,
+      .track_memory = true};
+  runtime::Trainer trainer(params, options);
   const core::Schedule& sched = trainer.schedule();
   std::printf("HelixPipe runtime trace: schedule '%s', %zu ops, %d stages "
               "(threads), %d micro batches\n\n",
@@ -47,12 +68,14 @@ int main() {
   const runtime::IterationMetrics metrics = trainer.train_step(batch);
   std::printf("iteration mean loss %.6f\n\n", metrics.mean_loss());
 
-  // (a) Chrome trace of the threaded execution, simulator event vocabulary.
+  // (a) Chrome trace of the threaded execution, simulator event vocabulary
+  // plus per-rank allocator counter tracks.
   const std::string json = obs::to_chrome_trace(trace);
-  const char* path = "runtime_trace.json";
-  std::ofstream(path) << json;
+  const std::string trace_path =
+      (std::filesystem::path(out_dir) / "runtime_trace.json").string();
+  std::ofstream(trace_path) << json;
   std::printf("wrote %s (%zu bytes) — open in chrome://tracing or Perfetto\n\n",
-              path, json.size());
+              trace_path.c_str(), json.size());
 
   // Per-rank measured summary from the metric shards.
   std::printf("%-6s %10s %10s %10s %12s %12s %12s %8s\n", "rank", "busy ms",
@@ -68,13 +91,28 @@ int main() {
                 static_cast<long long>(r.mailbox_depth_peak));
   }
 
-  // (b) Reconcile against the simulator's prediction for the same IR.
+  // (b) Reconcile against the simulator's prediction for the same IR; the
+  // memory section compares measured allocator peaks with the closed-form
+  // model prediction and the simulator's per-stage peaks.
   const core::UnitCostModel cost;
   const sim::SimResult predicted = sim::Simulator(cost).run(sched);
-  const obs::ReconciliationReport report = obs::reconcile(sched, predicted, trace);
-  std::printf("\n%s", obs::render_reconciliation(report).c_str());
+  const std::vector<std::int64_t> model_peaks =
+      runtime::predict_stage_peak_bytes(cfg, options);
+  const obs::ReconciliationReport report =
+      obs::reconcile(sched, predicted, trace, model_peaks);
+  const std::string report_text = obs::render_reconciliation(report);
+  std::printf("\n%s", report_text.c_str());
 
-  // (c) Kernel thread-pool utilization (HELIX_THREADS; 1 = serial kernels).
+  // (c) Whose bytes: per-rank attribution of the measured allocated peak.
+  const std::string attribution = obs::render_memory_attribution(trace);
+  std::printf("\n%s", attribution.c_str());
+
+  const std::string report_path =
+      (std::filesystem::path(out_dir) / "reconciliation_report.txt").string();
+  std::ofstream(report_path) << report_text << "\n" << attribution;
+  std::printf("\nwrote %s\n", report_path.c_str());
+
+  // (d) Kernel thread-pool utilization (HELIX_THREADS; 1 = serial kernels).
   std::printf("\n%s", obs::render_pool_stats(par::global_pool_stats()).c_str());
 
   std::printf("\nNotes: predicted fractions come from the unit cost model "
@@ -82,5 +120,5 @@ int main() {
               "from wall-clock — the reconciliation target is the op "
               "*ordering* (same IR => same per-stage program order) and the "
               "bubble structure, not absolute times.\n");
-  return report.all_orders_match_ir() ? 0 : 1;
+  return report.all_orders_match_ir() && report.memory.available ? 0 : 1;
 }

@@ -9,6 +9,18 @@ namespace {
 i64 round_up(i64 v, i64 to) { return (v + to - 1) / to * to; }
 }  // namespace
 
+const char* to_string(AllocatorEventKind k) noexcept {
+  switch (k) {
+    case AllocatorEventKind::kAlloc: return "alloc";
+    case AllocatorEventKind::kFree: return "free";
+    case AllocatorEventKind::kSegmentNew: return "segment-new";
+    case AllocatorEventKind::kSegmentGrow: return "segment-grow";
+    case AllocatorEventKind::kSegmentRelease: return "segment-release";
+    case AllocatorEventKind::kEmptyCache: return "empty-cache";
+  }
+  return "?";
+}
+
 CachingAllocator::CachingAllocator(AllocatorConfig config) : config_(config) {
   if (config_.capacity_bytes <= 0 || config_.round_bytes <= 0) {
     throw std::invalid_argument("bad allocator config");
@@ -67,11 +79,16 @@ BlockId CachingAllocator::carve(std::size_t seg_idx,
 
 BlockId CachingAllocator::allocate(i64 bytes) {
   if (bytes <= 0) throw std::invalid_argument("allocate(<=0)");
+  const i64 requested = bytes;
   bytes = round_up(bytes, config_.round_bytes);
 
   std::size_t si = 0;
   std::list<Block>::iterator it;
-  if (try_best_fit(bytes, &si, &it)) return carve(si, it, bytes);
+  if (try_best_fit(bytes, &si, &it)) {
+    const BlockId id = carve(si, it, bytes);
+    emit(AllocatorEventKind::kAlloc, id, requested, bytes, static_cast<int>(si));
+    return id;
+  }
 
   if (config_.expandable_segments) {
     // Grow (or create) the single expandable segment by exactly the needed
@@ -99,6 +116,8 @@ BlockId CachingAllocator::allocate(i64 bytes) {
     const i64 offset = seg.size;
     seg.size += grow;
     stats_.reserved_bytes += grow;
+    note_peaks();
+    emit(AllocatorEventKind::kSegmentGrow, 0, 0, grow, 0);
     // Extend the trailing free block (or append one) to exactly `bytes`.
     if (trailing > 0) {
       seg.blocks.back().size += grow;
@@ -106,7 +125,9 @@ BlockId CachingAllocator::allocate(i64 bytes) {
       seg.blocks.push_back({offset, grow, true});
     }
     auto last = std::prev(seg.blocks.end());
-    return carve(0, last, bytes);
+    const BlockId id = carve(0, last, bytes);
+    emit(AllocatorEventKind::kAlloc, id, requested, bytes, 0);
+    return id;
   }
 
   // Classic mode: request a fresh segment from the device. Small requests
@@ -134,7 +155,12 @@ BlockId CachingAllocator::allocate(i64 bytes) {
   stats_.reserved_bytes += seg_size;
   stats_.num_segments = static_cast<int>(segments_.size());
   note_peaks();
-  return carve(segments_.size() - 1, segments_.back().blocks.begin(), bytes);
+  emit(AllocatorEventKind::kSegmentNew, 0, 0, seg_size,
+       static_cast<int>(segments_.size()) - 1);
+  const BlockId id = carve(segments_.size() - 1, segments_.back().blocks.begin(), bytes);
+  emit(AllocatorEventKind::kAlloc, id, requested, bytes,
+       static_cast<int>(segments_.size()) - 1);
+  return id;
 }
 
 void CachingAllocator::free(BlockId id) {
@@ -162,6 +188,7 @@ void CachingAllocator::free(BlockId id) {
       seg.blocks.erase(next);
     }
     note_peaks();
+    emit(AllocatorEventKind::kFree, id, 0, ref.size, static_cast<int>(ref.seg));
     return;
   }
   throw std::logic_error("allocator metadata corrupted");
@@ -172,11 +199,14 @@ void CachingAllocator::empty_cache() {
     if (segments_.empty()) return;
     Segment& seg = segments_.front();
     if (!seg.blocks.empty() && seg.blocks.back().free) {
-      stats_.reserved_bytes -= seg.blocks.back().size;
-      seg.size -= seg.blocks.back().size;
+      const i64 released = seg.blocks.back().size;
+      stats_.reserved_bytes -= released;
+      seg.size -= released;
       seg.blocks.pop_back();
+      emit(AllocatorEventKind::kSegmentRelease, 0, 0, released, 0);
     }
     note_peaks();
+    emit(AllocatorEventKind::kEmptyCache, 0, 0, 0, -1);
     return;
   }
   // Release fully-free segments; live references index segments by
@@ -190,6 +220,8 @@ void CachingAllocator::empty_cache() {
         s.blocks.begin(), s.blocks.end(), [](const Block& b) { return b.free; });
     if (all_free) {
       stats_.reserved_bytes -= s.size;
+      emit(AllocatorEventKind::kSegmentRelease, 0, 0, s.size,
+           static_cast<int>(si));
     } else {
       translation[si] = kept.size();
       kept.push_back(std::move(s));
@@ -199,6 +231,7 @@ void CachingAllocator::empty_cache() {
   segments_ = std::move(kept);
   stats_.num_segments = static_cast<int>(segments_.size());
   note_peaks();
+  emit(AllocatorEventKind::kEmptyCache, 0, 0, 0, -1);
 }
 
 }  // namespace helix::mem

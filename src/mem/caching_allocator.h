@@ -63,6 +63,43 @@ struct AllocatorStats {
   }
 };
 
+/// What an AllocatorEvent describes.
+enum class AllocatorEventKind : std::uint8_t {
+  kAlloc,           ///< a block was carved (requested + rounded size)
+  kFree,            ///< a live block was returned to the free list
+  kSegmentNew,      ///< classic mode reserved a fresh segment from the device
+  kSegmentGrow,     ///< expandable mode grew the virtual segment
+  kSegmentRelease,  ///< empty_cache returned a segment (or a tail) to the device
+  kEmptyCache,      ///< empty_cache completed (summary event)
+};
+const char* to_string(AllocatorEventKind k) noexcept;
+
+/// One allocator state transition, emitted synchronously to the attached
+/// AllocatorEventSink. `stats` is the post-event snapshot, so a sink can
+/// reconstruct the full allocated/reserved/fragmentation timeline from the
+/// event stream alone (and cross-check it against the per-event deltas:
+/// kAlloc adds `rounded_bytes` to allocated, kFree subtracts it,
+/// kSegmentNew/kSegmentGrow add `rounded_bytes` to reserved and
+/// kSegmentRelease subtracts it).
+struct AllocatorEvent {
+  AllocatorEventKind kind = AllocatorEventKind::kAlloc;
+  BlockId block = 0;        ///< kAlloc / kFree; 0 otherwise
+  i64 requested_bytes = 0;  ///< caller-requested size (kAlloc only)
+  i64 rounded_bytes = 0;    ///< rounded size the event moved
+  int segment = -1;         ///< index of the affected segment, -1 for kEmptyCache
+  AllocatorStats stats;     ///< snapshot after the event
+};
+
+/// Observer interface for allocator state transitions. Detached (the
+/// default) costs one pointer test per operation; attached sinks are called
+/// synchronously on the allocating thread, so a per-rank allocator with a
+/// per-rank sink needs no locks.
+class AllocatorEventSink {
+ public:
+  virtual ~AllocatorEventSink() = default;
+  virtual void on_event(const AllocatorEvent& ev) = 0;
+};
+
 class CachingAllocator {
  public:
   explicit CachingAllocator(AllocatorConfig config = {});
@@ -81,7 +118,26 @@ class CachingAllocator {
   const AllocatorConfig& config() const noexcept { return config_; }
   i64 live_block_count() const noexcept { return static_cast<i64>(live_.size()); }
 
+  /// Attach (or detach with nullptr) an event observer. The sink is invoked
+  /// synchronously from allocate/free/empty_cache on the calling thread;
+  /// when detached every emission site is a single pointer test.
+  void set_event_sink(AllocatorEventSink* sink) noexcept { sink_ = sink; }
+  AllocatorEventSink* event_sink() const noexcept { return sink_; }
+
  private:
+  void emit(AllocatorEventKind kind, BlockId block, i64 requested, i64 rounded,
+            int segment) {
+    if (sink_ == nullptr) return;
+    AllocatorEvent ev;
+    ev.kind = kind;
+    ev.block = block;
+    ev.requested_bytes = requested;
+    ev.rounded_bytes = rounded;
+    ev.segment = segment;
+    ev.stats = stats_;
+    sink_->on_event(ev);
+  }
+
   struct Block {
     i64 offset = 0;
     i64 size = 0;
@@ -108,6 +164,7 @@ class CachingAllocator {
   };
   std::map<BlockId, LiveRef> live_;
   BlockId next_id_ = 1;
+  AllocatorEventSink* sink_ = nullptr;
 };
 
 }  // namespace helix::mem

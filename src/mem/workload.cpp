@@ -35,8 +35,10 @@ void run_mlp(CachingAllocator& a, const MlpWorkloadParams& p,
 }  // namespace
 
 FragmentationReport run_filo_mlp_workload(const AllocatorConfig& config,
-                                          const MlpWorkloadParams& p) {
+                                          const MlpWorkloadParams& p,
+                                          AllocatorEventSink* sink) {
   CachingAllocator a(config);
+  a.set_event_sink(sink);
   FragmentationReport rep;
   const i64 B = p.dtype_bytes;
   const i64 stash_bytes = 2 * p.s_local * p.b * p.h * B;

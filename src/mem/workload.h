@@ -36,8 +36,11 @@ struct FragmentationReport {
 };
 
 /// Replay one training iteration's allocation pattern on `config`'s
-/// allocator and report peak reserved/allocated and fragmentation.
+/// allocator and report peak reserved/allocated and fragmentation. When
+/// `sink` is non-null it observes every allocator event of the replay
+/// (alloc/free/segment traffic with post-event stats snapshots).
 FragmentationReport run_filo_mlp_workload(const AllocatorConfig& config,
-                                          const MlpWorkloadParams& params);
+                                          const MlpWorkloadParams& params,
+                                          AllocatorEventSink* sink = nullptr);
 
 }  // namespace helix::mem

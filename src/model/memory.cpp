@@ -39,6 +39,10 @@ i64 gpipe_stage_activation_bytes(const LayerDims& d, const PipelineShape& ps, DT
   return 16 * d.bsh() * ps.m * (ps.L / ps.p) * dtype_bytes(dt);
 }
 
+i64 qkv_weight_stash_bytes(const LayerDims& d, DType dt) {
+  return 3 * d.h * d.h * dtype_bytes(dt);
+}
+
 i64 stage_model_state_bytes(const ModelConfig& m, const PipelineShape& ps, int t) {
   check_shape(ps);
   const i64 per_layer = 12 * m.hidden * m.hidden + 4 * m.hidden;

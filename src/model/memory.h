@@ -35,6 +35,11 @@ i64 helix_stage_activation_bytes(const LayerDims& d, const PipelineShape& ps,
 i64 gpipe_stage_activation_bytes(const LayerDims& d, const PipelineShape& ps,
                                  DType dt = DType::kFP16);
 
+/// Weight-shipping stash: the Wqkv replica (3h^2) kept per outstanding
+/// (micro batch, layer) for the attention backward when QKV weights are
+/// shipped with the activations (Section 4.2).
+i64 qkv_weight_stash_bytes(const LayerDims& d, DType dt = DType::kFP16);
+
 /// Model-state bytes (params + grads + optimizer states) of the transformer
 /// layers held by one stage under layer-wise partition, divided by the
 /// sequence-parallel degree t (Megatron SP shards parameters).

@@ -4,9 +4,12 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 #include <tuple>
+
+#include "obs/memory.h"
 
 namespace helix::obs {
 
@@ -38,7 +41,24 @@ std::string to_chrome_trace(const TraceCollector& trace) {
            static_cast<double>(s.duration_ns()) / 1e3});
     }
   }
-  return sim::chrome_trace_json(events);
+  std::vector<sim::ChromeCounterEvent> counters;
+  if (trace.memory_enabled()) {
+    for (int r = 0; r < trace.num_ranks(); ++r) {
+      const MemoryTracker* tracker = trace.memory(r);
+      if (tracker == nullptr) continue;
+      for (const MemoryEvent& me : tracker->events()) {
+        const double ts = static_cast<double>(me.t_ns - epoch) / 1e3;
+        counters.push_back(
+            {"mem bytes", r, ts,
+             {{"allocated", static_cast<double>(me.ev.stats.allocated_bytes)},
+              {"reserved", static_cast<double>(me.ev.stats.reserved_bytes)}}});
+        counters.push_back(
+            {"mem fragmentation", r, ts,
+             {{"frac", me.ev.stats.fragmentation()}}});
+      }
+    }
+  }
+  return sim::chrome_trace_json(events, counters);
 }
 
 MeasuredRun measured_stats(const TraceCollector& trace) {
@@ -75,7 +95,8 @@ MeasuredRun measured_stats(const TraceCollector& trace) {
 
 ReconciliationReport reconcile(const core::Schedule& sched,
                                const sim::SimResult& predicted,
-                               const TraceCollector& trace) {
+                               const TraceCollector& trace,
+                               const std::vector<std::int64_t>& model_stage_bytes) {
   ReconciliationReport report;
   report.predicted_makespan_s = predicted.makespan;
   const MeasuredRun measured = measured_stats(trace);
@@ -150,6 +171,80 @@ ReconciliationReport reconcile(const core::Schedule& sched,
     }
     report.stages.push_back(rec);
   }
+
+  if (trace.memory_enabled()) {
+    auto& mem = report.memory;
+    mem.available = true;
+    for (int s = 0; s < sched.num_stages; ++s) {
+      StageMemoryReconciliation rec;
+      rec.stage = s;
+      if (s < trace.num_ranks()) {
+        if (const MemoryTracker* tracker = trace.memory(s)) {
+          const auto& stats = tracker->allocator().stats();
+          rec.measured_peak_bytes = stats.peak_allocated;
+          rec.measured_reserved_peak = stats.peak_reserved;
+          if (stats.peak_reserved > 0) {
+            rec.measured_fragmentation =
+                1.0 - static_cast<double>(stats.peak_allocated) /
+                          static_cast<double>(stats.peak_reserved);
+          }
+        }
+      }
+      if (s < static_cast<int>(model_stage_bytes.size())) {
+        rec.model_bytes = model_stage_bytes[static_cast<std::size_t>(s)];
+      }
+      if (s < static_cast<int>(predicted.stages.size())) {
+        rec.sim_bytes = predicted.stages[static_cast<std::size_t>(s)].peak_memory;
+      }
+      if (rec.model_bytes > 0) {
+        rec.vs_model = static_cast<double>(rec.measured_peak_bytes) /
+                       static_cast<double>(rec.model_bytes);
+      }
+      if (rec.sim_bytes > 0) {
+        rec.vs_sim = static_cast<double>(rec.measured_peak_bytes) /
+                     static_cast<double>(rec.sim_bytes);
+      }
+      mem.stages.push_back(rec);
+    }
+
+    const auto imbalance = [](auto&& peak_of, const auto& stages) {
+      std::int64_t lo = 0, hi = 0;
+      bool any = false;
+      for (const auto& s : stages) {
+        const std::int64_t p = peak_of(s);
+        if (p <= 0) continue;
+        if (!any || p < lo) lo = p;
+        if (!any || p > hi) hi = p;
+        any = true;
+      }
+      return (any && lo > 0) ? static_cast<double>(hi) / static_cast<double>(lo)
+                             : 0.0;
+    };
+    mem.measured_imbalance = imbalance(
+        [](const StageMemoryReconciliation& s) { return s.measured_peak_bytes; },
+        mem.stages);
+    mem.model_imbalance = imbalance(
+        [](const StageMemoryReconciliation& s) { return s.model_bytes; },
+        mem.stages);
+
+    // Ordering check only makes sense with a model prediction for every stage.
+    bool model_complete = !mem.stages.empty();
+    for (const auto& s : mem.stages) model_complete &= s.model_bytes > 0;
+    if (model_complete) {
+      std::vector<int> by_measured(mem.stages.size());
+      std::iota(by_measured.begin(), by_measured.end(), 0);
+      std::vector<int> by_model = by_measured;
+      std::stable_sort(by_measured.begin(), by_measured.end(), [&](int a, int b) {
+        return mem.stages[static_cast<std::size_t>(a)].measured_peak_bytes >
+               mem.stages[static_cast<std::size_t>(b)].measured_peak_bytes;
+      });
+      std::stable_sort(by_model.begin(), by_model.end(), [&](int a, int b) {
+        return mem.stages[static_cast<std::size_t>(a)].model_bytes >
+               mem.stages[static_cast<std::size_t>(b)].model_bytes;
+      });
+      mem.imbalance_order_matches_model = by_measured == by_model;
+    }
+  }
   return report;
 }
 
@@ -173,6 +268,55 @@ std::string render_reconciliation(const ReconciliationReport& report) {
   os << (report.all_orders_match_ir()
              ? "  every stage executed its IR program order (same-IR claim holds)\n"
              : "  WARNING: some stage diverged from its IR program order\n");
+  if (report.memory.available) {
+    os << "memory: measured allocator peak vs closed-form model vs simulator\n";
+    os << "  stage   measured B   reserved B  frag%      model B  m/mod"
+          "        sim B  m/sim\n";
+    for (const auto& s : report.memory.stages) {
+      std::snprintf(line, sizeof(line),
+                    "  P%-4d %12lld %12lld  %5.1f %12lld  %5.2f %12lld  %5.2f\n",
+                    s.stage, static_cast<long long>(s.measured_peak_bytes),
+                    static_cast<long long>(s.measured_reserved_peak),
+                    100 * s.measured_fragmentation,
+                    static_cast<long long>(s.model_bytes), s.vs_model,
+                    static_cast<long long>(s.sim_bytes), s.vs_sim);
+      os << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  cross-stage imbalance (max/min peak): measured %.2f, "
+                  "model %.2f%s\n",
+                  report.memory.measured_imbalance, report.memory.model_imbalance,
+                  report.memory.imbalance_order_matches_model
+                      ? " (stage ordering matches model)"
+                      : "");
+    os << line;
+  }
+  return os.str();
+}
+
+std::string render_memory_attribution(const TraceCollector& trace) {
+  if (!trace.memory_enabled()) return {};
+  std::ostringstream os;
+  char line[160];
+  for (int r = 0; r < trace.num_ranks(); ++r) {
+    const MemoryTracker* tracker = trace.memory(r);
+    if (tracker == nullptr) continue;
+    const std::int64_t peak = tracker->peak_allocated();
+    std::snprintf(line, sizeof(line),
+                  "rank %d peak attribution (%lld B at peak)\n", r,
+                  static_cast<long long>(peak));
+    os << line;
+    for (const AttributionRow& row : tracker->peak_attribution()) {
+      const double pct =
+          peak > 0 ? 100.0 * static_cast<double>(row.bytes) /
+                         static_cast<double>(peak)
+                   : 0.0;
+      std::snprintf(line, sizeof(line), "  %-14s l%-4d %12lld B  %5.1f%%\n",
+                    core::to_string(row.kind), row.layer,
+                    static_cast<long long>(row.bytes), pct);
+      os << line;
+    }
+  }
   return os.str();
 }
 
@@ -277,8 +421,30 @@ std::vector<ParsedEvent> parse_chrome_trace(const std::string& json) {
         const std::string key = c.parse_string();
         c.expect(':');
         const char v = c.peek();
-        std::string value = (v == '"') ? c.parse_string() : c.parse_number();
-        if (!ev.emplace(key, std::move(value)).second) c.fail("duplicate key " + key);
+        if (v == '{') {
+          // One level of nesting: counter events' "args" object. Flatten its
+          // entries to "<key>.<subkey>".
+          c.expect('{');
+          if (c.peek() != '}') {
+            while (true) {
+              const std::string subkey = c.parse_string();
+              c.expect(':');
+              std::string value =
+                  (c.peek() == '"') ? c.parse_string() : c.parse_number();
+              if (!ev.emplace(key + "." + subkey, std::move(value)).second) {
+                c.fail("duplicate key " + key + "." + subkey);
+              }
+              if (c.peek() != ',') break;
+              ++c.i;
+            }
+          }
+          c.expect('}');
+        } else {
+          std::string value = (v == '"') ? c.parse_string() : c.parse_number();
+          if (!ev.emplace(key, std::move(value)).second) {
+            c.fail("duplicate key " + key);
+          }
+        }
         if (c.peek() != ',') break;
         ++c.i;
       }

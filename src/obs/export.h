@@ -20,7 +20,11 @@ namespace helix::obs {
 
 /// Chrome trace-event JSON of the recorded spans: pid = stage/rank, tid 0 =
 /// compute stream, tid 1 = comm ops, timestamps µs since the collector's
-/// epoch. Same field names and event naming as sim::to_chrome_trace.
+/// epoch. Same field names and event naming as sim::to_chrome_trace. When
+/// the collector has memory tracking enabled, per-rank counter tracks
+/// ("mem bytes" with allocated/reserved series and "mem fragmentation") are
+/// appended next to the span tracks; without memory tracking the output is
+/// byte-identical to the span-only export.
 std::string to_chrome_trace(const TraceCollector& trace);
 
 /// Per-stage aggregates of one measured iteration, the runtime analogue of
@@ -61,10 +65,42 @@ struct StageReconciliation {
   bool order_matches_ir = false;
 };
 
+/// Three-way memory comparison for one pipeline stage: the measured peak of
+/// the rank's instrumented allocator vs the closed-form prediction
+/// (src/model/memory, via runtime::predict_stage_peak_bytes) vs the
+/// simulator's StageStats::peak_memory for the same schedule IR.
+struct StageMemoryReconciliation {
+  int stage = 0;
+  std::int64_t measured_peak_bytes = 0;     ///< allocator peak_allocated
+  std::int64_t measured_reserved_peak = 0;  ///< allocator peak_reserved
+  double measured_fragmentation = 0;        ///< 1 - allocated/reserved at peak
+  std::int64_t model_bytes = 0;  ///< closed-form prediction (0 = not provided)
+  std::int64_t sim_bytes = 0;    ///< simulator peak for the same IR
+  double vs_model = 0;  ///< measured / model (0 when no model prediction)
+  double vs_sim = 0;    ///< measured / sim (0 when sim predicts no memory)
+};
+
+/// Memory section of the reconciliation report: the Figure 4 cross-stage
+/// imbalance, reproduced from a measured run and compared against the
+/// analytical model and the simulator.
+struct MemoryReconciliation {
+  bool available = false;  ///< trace had memory tracking enabled
+  std::vector<StageMemoryReconciliation> stages;
+  /// Cross-stage imbalance ratio, max/min of per-stage measured peaks (the
+  /// paper's Figure 4 shape: early 1F1B stages hold more microbatches).
+  double measured_imbalance = 0;
+  double model_imbalance = 0;  ///< same ratio over the model predictions
+  /// Stages sorted by measured peak descending visit the same order as when
+  /// sorted by the model prediction — the measured run reproduces the
+  /// closed-form imbalance ordering.
+  bool imbalance_order_matches_model = false;
+};
+
 struct ReconciliationReport {
   double predicted_makespan_s = 0;  ///< modeled seconds (simulator units)
   double measured_makespan_s = 0;   ///< wall-clock seconds
   std::vector<StageReconciliation> stages;
+  MemoryReconciliation memory;  ///< populated only with memory tracking on
 
   bool all_orders_match_ir() const noexcept {
     for (const auto& s : stages) {
@@ -77,13 +113,24 @@ struct ReconciliationReport {
 /// Reconcile one measured iteration of `sched` (recorded in `trace`) against
 /// the simulator's prediction `predicted` for the same schedule. Assumes the
 /// collector holds exactly one iteration (Trainer calls begin_iteration()
-/// per train_step).
+/// per train_step). When the collector has memory tracking enabled, the
+/// report's memory section compares each rank's measured allocator peak with
+/// the simulator's per-stage peak and, if `model_stage_bytes` is non-empty
+/// (one closed-form prediction per stage, e.g. from
+/// runtime::predict_stage_peak_bytes), with the analytical model.
 ReconciliationReport reconcile(const core::Schedule& sched,
                                const sim::SimResult& predicted,
-                               const TraceCollector& trace);
+                               const TraceCollector& trace,
+                               const std::vector<std::int64_t>& model_stage_bytes = {});
 
-/// Fixed-width side-by-side table of the report, for terminals and logs.
+/// Fixed-width side-by-side table of the report (plus the memory section
+/// when available), for terminals and logs.
 std::string render_reconciliation(const ReconciliationReport& report);
+
+/// Per-rank peak-attribution tables: at each rank's measured allocated peak,
+/// which (op kind, layer) produced the live bytes — "whose bytes" the peak
+/// is. Empty string when the collector has no memory tracking.
+std::string render_memory_attribution(const TraceCollector& trace);
 
 /// Fixed-width table of the intra-rank thread pool's counters (regions run,
 /// inline fallbacks, and per-worker chunk/busy/idle figures) — typically fed
@@ -94,10 +141,11 @@ std::string render_pool_stats(const par::PoolStats& stats);
 /// A parsed trace event: raw field -> value token (strings unquoted).
 using ParsedEvent = std::map<std::string, std::string>;
 
-/// Strict parser for the flat-object JSON arrays chrome_trace_json emits
-/// (also accepts any JSON array of flat objects with string/number values).
-/// Throws std::runtime_error with a position on malformed input — used by
-/// tests to prove exported traces are well-formed.
+/// Strict parser for the JSON arrays chrome_trace_json emits: flat objects
+/// with string/number values, plus at most one level of nesting for counter
+/// events' "args" object (flattened into "args.<key>" entries). Throws
+/// std::runtime_error with a position on malformed input — used by tests to
+/// prove exported traces are well-formed.
 std::vector<ParsedEvent> parse_chrome_trace(const std::string& json);
 
 }  // namespace helix::obs

@@ -60,14 +60,18 @@ struct DurationHistogram {
     return count == 0 ? 0.0 : static_cast<double>(sum_ns) / static_cast<double>(count);
   }
 
-  /// Upper bound of the bucket containing the p-quantile (p in [0,1]).
+  /// Upper bound of the bucket containing the p-quantile (p in [0,1]),
+  /// clamped to the largest observed duration — a power-of-two bucket bound
+  /// can exceed max_ns and would overstate the tail otherwise.
   std::int64_t quantile_upper_bound_ns(double p) const noexcept {
     if (count == 0) return 0;
     const double target = p * static_cast<double>(count);
     std::int64_t seen = 0;
     for (int b = 0; b < kBuckets; ++b) {
       seen += buckets[static_cast<std::size_t>(b)];
-      if (static_cast<double>(seen) >= target) return std::int64_t{1} << (b + 1);
+      if (static_cast<double>(seen) >= target) {
+        return std::min(std::int64_t{1} << (b + 1), max_ns);
+      }
     }
     return max_ns;
   }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/memory.h"
+
 namespace helix::obs {
 
 TraceCollector::TraceCollector(int num_ranks)
@@ -12,10 +14,25 @@ TraceCollector::TraceCollector(int num_ranks)
   if (num_ranks < 1) throw std::invalid_argument("collector needs >= 1 rank");
 }
 
+TraceCollector::~TraceCollector() = default;
+TraceCollector::TraceCollector(TraceCollector&&) noexcept = default;
+TraceCollector& TraceCollector::operator=(TraceCollector&&) noexcept = default;
+
+void TraceCollector::enable_memory() { enable_memory(mem::AllocatorConfig{}); }
+
+void TraceCollector::enable_memory(const mem::AllocatorConfig& config) {
+  if (!memory_.empty()) return;
+  memory_.reserve(spans_.size());
+  for (std::size_t r = 0; r < spans_.size(); ++r) {
+    memory_.push_back(std::make_unique<MemoryTracker>(config));
+  }
+}
+
 void TraceCollector::begin_iteration() {
   for (auto& r : spans_) r.clear();
   for (auto& c : comm_) c = CommMetrics{};
   for (auto& m : runtime_) m = RuntimeMetrics{};
+  for (auto& t : memory_) t->begin_iteration();
   epoch_ns_ = now_ns();
 }
 

@@ -1,12 +1,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <type_traits>
 #include <vector>
 
 #include "core/ir.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+
+namespace helix::mem {
+struct AllocatorConfig;
+}  // namespace helix::mem
 
 // Span recording for the threaded runtime: one SpanRecorder per rank, owned
 // and written exclusively by that rank's thread (append to a local vector —
@@ -61,11 +66,17 @@ static_assert(std::is_empty_v<NullRecorder>,
 static_assert(std::is_trivially_destructible_v<NullRecorder>,
               "NullRecorder must compile away entirely");
 
+class MemoryTracker;  // obs/memory.h
+
 /// All observability state for one World::run: per-rank span recorders plus
-/// comm and runtime metric shards, and the epoch the trace is rebased to.
+/// comm and runtime metric shards (and, opt-in, per-rank memory trackers),
+/// and the epoch the trace is rebased to.
 class TraceCollector {
  public:
   explicit TraceCollector(int num_ranks);
+  ~TraceCollector();
+  TraceCollector(TraceCollector&&) noexcept;
+  TraceCollector& operator=(TraceCollector&&) noexcept;
 
   int num_ranks() const noexcept { return static_cast<int>(spans_.size()); }
 
@@ -83,6 +94,21 @@ class TraceCollector {
   /// Contiguous shard array for comm::World::set_metrics.
   CommMetrics* comm_shards() noexcept { return comm_.data(); }
 
+  /// Opt-in memory tracking: create one per-rank MemoryTracker (obs/memory.h)
+  /// shadow-allocating the interpreter's live tensor state on an instrumented
+  /// mem::CachingAllocator. Idempotent; the no-arg overload uses the default
+  /// allocator config. Until enabled, memory(r) returns nullptr and traced
+  /// runs do zero memory-tracking work.
+  void enable_memory();
+  void enable_memory(const mem::AllocatorConfig& config);
+  bool memory_enabled() const noexcept { return !memory_.empty(); }
+  MemoryTracker* memory(int rank) noexcept {
+    return memory_.empty() ? nullptr : memory_[static_cast<std::size_t>(rank)].get();
+  }
+  const MemoryTracker* memory(int rank) const noexcept {
+    return memory_.empty() ? nullptr : memory_[static_cast<std::size_t>(rank)].get();
+  }
+
   /// Wall-clock ns all exported timestamps are measured relative to. Set by
   /// begin_iteration(); a fresh collector uses its construction time.
   std::int64_t epoch_ns() const noexcept { return epoch_ns_; }
@@ -98,6 +124,7 @@ class TraceCollector {
   std::vector<SpanRecorder> spans_;
   std::vector<CommMetrics> comm_;
   std::vector<RuntimeMetrics> runtime_;
+  std::vector<std::unique_ptr<MemoryTracker>> memory_;  ///< empty until enabled
   std::int64_t epoch_ns_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "obs/clock.h"
+#include "obs/memory.h"
 
 namespace helix::runtime {
 
@@ -303,6 +304,64 @@ std::int64_t Interpreter::live_bytes() const {
   return b;
 }
 
+void Interpreter::sync_memory(const Op& op) {
+  using obs::LiveItemKind;
+  using obs::live_item_key;
+  obs::MemoryTracker& tracker = *opt_.memory;
+  // Build the snapshot category-by-category in the containers' iteration
+  // order; live_item_key makes that order key-sorted, as sync() requires.
+  // Exactly mirrors the containers live_bytes() walks.
+  std::vector<obs::LiveItem>& live = tracker.scratch();
+  live.clear();
+  const auto push = [&live](std::uint64_t key, std::int64_t bytes) {
+    if (bytes > 0) live.push_back({key, bytes});
+  };
+  for (const auto& [key, msg] : slots_) {
+    push(live_item_key(LiveItemKind::kSlot, static_cast<int>(std::get<0>(key)),
+                       std::get<1>(key), std::get<2>(key)),
+         comm::message_bytes(msg));
+  }
+  for (const auto& [mb, t] : combo_y_) {
+    push(live_item_key(LiveItemKind::kComboY, 0, mb, -1), tensor_bytes(t));
+  }
+  for (const auto& [mb, t] : grad_y_) {
+    push(live_item_key(LiveItemKind::kGradY, 0, mb, -1), tensor_bytes(t));
+  }
+  for (const auto& [key, s] : pre_stash_) {
+    push(live_item_key(LiveItemKind::kPreStash, 0, key.mb, key.layer),
+         tensor_bytes(s.x) + stats_bytes(s.stats));
+  }
+  for (const auto& [key, s] : attn_stash_) {
+    push(live_item_key(LiveItemKind::kAttnStash, 0, key.mb, key.layer),
+         tensor_bytes(s.ln1) + tensor_bytes(s.wqkv));
+  }
+  for (const auto& [key, s] : post_stash_) {
+    push(live_item_key(LiveItemKind::kPostStash, 0, key.mb, key.layer),
+         tensor_bytes(s.x) + tensor_bytes(s.ctx) + tensor_bytes(s.h1) +
+             tensor_bytes(s.ln2) + tensor_bytes(s.a1) + tensor_bytes(s.g1) +
+             stats_bytes(s.ln2_stats));
+  }
+  for (const auto& [key, s] : post_w_stash_) {
+    push(live_item_key(LiveItemKind::kPostWStash, 0, key.mb, key.layer),
+         tensor_bytes(s.dy) + tensor_bytes(s.da1) + tensor_bytes(s.dln2) +
+             tensor_bytes(s.dh1));
+  }
+  for (const auto& [key, t] : dqkv_stash_) {
+    push(live_item_key(LiveItemKind::kDqkvStash, 0, key.mb, key.layer),
+         tensor_bytes(t));
+  }
+  for (const auto& [key, t] : pre_dln1_stash_) {
+    push(live_item_key(LiveItemKind::kPreDln1Stash, 0, key.mb, key.layer),
+         tensor_bytes(t));
+  }
+  for (const auto& [mb, p] : head_w_stash_) {
+    push(live_item_key(LiveItemKind::kHeadWStash, 0, mb, -1),
+         tensor_bytes(p.first) + tensor_bytes(p.second));
+  }
+  tracker.set_context(op.kind, op.mb, op.layer);
+  tracker.sync(live);
+}
+
 void Interpreter::exec_traced(const Op& op, std::uint64_t tid) {
   // Recv blocked-wait is measured by the comm layer; snapshot its counter
   // around the op so the span carries exactly this op's blocked portion.
@@ -332,11 +391,13 @@ void Interpreter::exec_traced(const Op& op, std::uint64_t tid) {
         .add(t1 - t0);
     opt_.runtime_metrics->live_tensor_bytes.set(live_bytes());
   }
+  if (opt_.memory != nullptr) sync_memory(op);
 }
 
 IterationMetrics Interpreter::run() {
   const auto& program = sched_.stage_ops[static_cast<std::size_t>(rank_)];
-  if (opt_.spans == nullptr && opt_.runtime_metrics == nullptr) {
+  if (opt_.spans == nullptr && opt_.runtime_metrics == nullptr &&
+      opt_.memory == nullptr) {
     for (const Op& op : program) exec(op);
     return metrics_;
   }

@@ -44,6 +44,11 @@ struct InterpreterOptions {
   /// This rank's comm shard, read to attribute recv blocked-wait to the
   /// enclosing op span (the comm layer fills it via World::set_metrics).
   const obs::CommMetrics* comm_metrics = nullptr;
+  /// This rank's memory tracker (obs/memory.h): after every op, the live
+  /// slot/stash snapshot is shadow-allocated on its instrumented caching
+  /// allocator, tagged with the op's (kind, mb, layer). Like the other
+  /// sinks, reads sizes only — never tensor data.
+  obs::MemoryTracker* memory = nullptr;
 };
 
 struct IterationMetrics {
@@ -86,6 +91,9 @@ class Interpreter {
   void exec_traced(const core::Op& op, std::uint64_t tid);
   /// Bytes currently held in value slots and stashes (live activations).
   std::int64_t live_bytes() const;
+  /// Snapshot the live items and sync them onto opt_.memory's allocator,
+  /// tagging the transition with `op`.
+  void sync_memory(const core::Op& op);
   comm::Message take_slot(core::DataSlot slot, int mb, int layer);
   void put_slot(core::DataSlot slot, int mb, int layer, comm::Message msg);
 

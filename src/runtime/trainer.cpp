@@ -1,8 +1,10 @@
 #include "runtime/trainer.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/cost.h"
+#include "model/memory.h"
 #include "par/thread_pool.h"
 #include "schedules/interleaved.h"
 #include "schedules/zb1p.h"
@@ -15,12 +17,29 @@ core::Schedule build_numeric_schedule(const nn::MiniGptConfig& cfg,
   pr.p = opt.family == ScheduleFamily::kSequential ? 1 : opt.pipeline_stages;
   pr.m = cfg.micro_batches;
   pr.L = cfg.layers;
-  // The numerical runtime only needs the dependency structure; sizes are
-  // nominal (the simulator prices the same schedules separately).
+  // The numerical runtime only needs the dependency structure for execution;
+  // sizes below let the simulator price the *same* IR, so its
+  // StageStats::peak_memory is comparable to a measured allocator timeline.
   pr.comm.boundary = cfg.rows() * cfg.hidden;
   pr.comm.pre_to_attn = 2 * cfg.rows() * cfg.hidden + 3 * cfg.hidden * cfg.hidden;
   pr.comm.attn_to_post = 2 * cfg.rows() * cfg.hidden;
   pr.include_lm_head = true;
+
+  // Activation stash bytes of the fp32 mini-GPT, matching what the
+  // interpreter actually keeps live per (micro batch, layer) — see
+  // Interpreter::live_bytes.
+  const std::int64_t bshB = cfg.rows() * cfg.hidden * 4;
+  const std::int64_t statsB = 2 * cfg.rows() * 4;  ///< LayerNorm mean + rstd
+  const std::int64_t qkvB = 3 * cfg.hidden * cfg.hidden * 4;  ///< shipped Wqkv
+  pr.act.pre = bshB + statsB;        // PreStash: x + LN1 stats
+  pr.act.attn = bshB + qkvB;         // AttnStash: ln1 + shipped Wqkv
+  pr.act.post = 12 * bshB + statsB;  // PostStash: x,ctx,h1,ln2 + a1,g1 (4h each)
+  pr.act.attn_recompute = bshB + qkvB;  // kept even under recompute (4.4.1)
+  pr.act.post_recompute = 2 * bshB;     // boundary inputs only: x, ctx
+  pr.act.w_stash_post = 7 * bshB;       // PostWStash: dy, da1 (4h), dln2, dh1
+  pr.act.w_stash_pre = 4 * bshB;        // dqkv (3h) + dln1 stashes
+  pr.logits_transient_bytes = cfg.rows() * cfg.vocab * 4;
+  pr.head_stash_bytes = cfg.rows() * (cfg.hidden + cfg.vocab) * 4;
 
   switch (opt.family) {
     case ScheduleFamily::kSequential:
@@ -60,6 +79,52 @@ core::Schedule build_numeric_schedule(const nn::MiniGptConfig& cfg,
   throw std::invalid_argument("unknown schedule family");
 }
 
+std::vector<std::int64_t> predict_stage_peak_bytes(const nn::MiniGptConfig& cfg,
+                                                   const TrainerOptions& opt) {
+  const int p =
+      opt.family == ScheduleFamily::kSequential ? 1 : opt.pipeline_stages;
+  const model::LayerDims d{cfg.seq, cfg.batch, cfg.hidden};
+  const model::PipelineShape ps{p, cfg.micro_batches, cfg.layers};
+  const auto dt = model::DType::kFP32;
+  const std::int64_t qkv = model::qkv_weight_stash_bytes(d, dt);
+  const std::int64_t lps = cfg.layers / p;
+  const std::int64_t m = cfg.micro_batches;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(p), 0);
+  for (int i = 0; i < p; ++i) {
+    std::int64_t act = 0;
+    std::int64_t outstanding_layers = 0;  ///< stashed (mb, layer) pairs
+    switch (opt.family) {
+      case ScheduleFamily::kSequential:
+      case ScheduleFamily::k1F1B:
+      case ScheduleFamily::kInterleaved:
+        act = model::onef1b_stage_activation_bytes(d, ps, i, dt);
+        outstanding_layers = std::min<std::int64_t>(p - i, m) * lps;
+        break;
+      case ScheduleFamily::kZb1p:
+        act = model::zb1p_stage_activation_bytes(d, ps, dt);
+        outstanding_layers = std::min<std::int64_t>(p, m) * lps;
+        break;
+      case ScheduleFamily::kGPipe:
+        act = model::gpipe_stage_activation_bytes(d, ps, dt);
+        outstanding_layers = m * lps;
+        break;
+      case ScheduleFamily::kHelixNaive:
+      case ScheduleFamily::kHelixTwoFold:
+        act = model::helix_stage_activation_bytes(
+            d, ps, opt.recompute_without_attention, dt);
+        outstanding_layers = m * lps;
+        break;
+    }
+    out[static_cast<std::size_t>(i)] = act + outstanding_layers * qkv;
+  }
+  if (opt.family == ScheduleFamily::kZb1p) {
+    // The deferred LM-head backward-W holds the fp32 logits-gradient stash
+    // on the last stage (the Section 5.4 spike).
+    out.back() += cfg.rows() * (cfg.hidden + cfg.vocab) * 4;
+  }
+  return out;
+}
+
 Trainer::Trainer(nn::ModelParams& params, TrainerOptions options)
     : params_(params), opt_(options),
       sched_(build_numeric_schedule(params.cfg, options)),
@@ -74,6 +139,7 @@ Trainer::Trainer(nn::ModelParams& params, TrainerOptions options)
     throw std::invalid_argument("TrainerOptions::threads must be >= 0");
   }
   if (opt_.threads > 0) par::set_global_threads(opt_.threads);
+  if (opt_.track_memory && opt_.trace != nullptr) opt_.trace->enable_memory();
 }
 
 IterationMetrics Trainer::train_step(const nn::Batch& batch) {
@@ -98,7 +164,8 @@ IterationMetrics Trainer::train_step(const nn::Batch& batch) {
                      : nullptr,
          .spans = trace != nullptr ? &trace->recorder(r) : nullptr,
          .runtime_metrics = trace != nullptr ? &trace->runtime(r) : nullptr,
-         .comm_metrics = trace != nullptr ? &trace->comm(r) : nullptr});
+         .comm_metrics = trace != nullptr ? &trace->comm(r) : nullptr,
+         .memory = trace != nullptr ? trace->memory(r) : nullptr});
     metrics[static_cast<std::size_t>(r)] = interp.run();
   });
   IterationMetrics out;

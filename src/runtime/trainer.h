@@ -43,6 +43,13 @@ struct TrainerOptions {
   /// Must have one shard per pipeline stage. When null (the default) no
   /// instrumentation runs and execution is untouched.
   obs::TraceCollector* trace = nullptr;
+  /// With `trace` set, additionally enable per-rank memory tracking: every
+  /// train_step shadow-allocates the interpreter's live tensor state on an
+  /// instrumented mem::CachingAllocator per rank (obs/memory.h), producing
+  /// tagged allocator timelines, peak attribution and the memory section of
+  /// the reconciliation report. Ignored without a trace collector; numerics
+  /// are bit-identical either way.
+  bool track_memory = false;
 };
 
 class Trainer {
@@ -69,5 +76,13 @@ class Trainer {
 /// The schedule a Trainer would use, exposed for inspection/validation.
 core::Schedule build_numeric_schedule(const nn::MiniGptConfig& cfg,
                                       const TrainerOptions& options);
+
+/// Closed-form per-stage activation-peak prediction (bytes, fp32) for the
+/// numeric mini-GPT under `options`' schedule family: the src/model/memory
+/// Table 1 / Eq. 2 formulas plus the shipped-Wqkv stash each outstanding
+/// (micro batch, layer) holds. This is what the memory section of
+/// obs::reconcile compares measured allocator peaks against.
+std::vector<std::int64_t> predict_stage_peak_bytes(const nn::MiniGptConfig& cfg,
+                                                   const TrainerOptions& options);
 
 }  // namespace helix::runtime

@@ -85,6 +85,11 @@ std::string op_event_name(const core::Op& op) {
 }
 
 std::string chrome_trace_json(const std::vector<ChromeEvent>& events) {
+  return chrome_trace_json(events, {});
+}
+
+std::string chrome_trace_json(const std::vector<ChromeEvent>& events,
+                              const std::vector<ChromeCounterEvent>& counters) {
   std::ostringstream os;
   os << "[";
   bool first = true;
@@ -94,6 +99,27 @@ std::string chrome_trace_json(const std::vector<ChromeEvent>& events) {
     os << "\n{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":" << e.pid
        << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
        << "}";
+  }
+  for (const ChromeCounterEvent& c : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << c.name << "\",\"ph\":\"C\",\"pid\":" << c.pid
+       << ",\"tid\":0,\"ts\":" << c.ts_us << ",\"args\":{";
+    bool first_series = true;
+    for (const auto& [series, value] : c.series) {
+      if (!first_series) os << ",";
+      first_series = false;
+      os << "\"" << series << "\":";
+      // Byte counters must not lose digits to the stream's 6-significant-
+      // figure double formatting; emit whole-number samples as integers.
+      const double rounded = std::floor(value);
+      if (rounded == value && std::abs(value) < 9.0e15) {
+        os << static_cast<long long>(value);
+      } else {
+        os << value;
+      }
+    }
+    os << "}}";
   }
   os << "\n]\n";
   return os.str();

@@ -30,11 +30,28 @@ struct ChromeEvent {
 inline constexpr int kChromeComputeTid = 0;
 inline constexpr int kChromeCommTid = 1;
 
+/// Counter-event ("ph":"C") in the trace-event format: one sample of one or
+/// more named series on a per-stage counter track (Perfetto renders each
+/// series of one counter name as a stacked area next to the span tracks).
+/// Used by obs/export.h for allocator live/reserved/fragmentation timelines.
+struct ChromeCounterEvent {
+  std::string name;
+  int pid = 0;
+  double ts_us = 0;
+  std::vector<std::pair<std::string, double>> series;
+};
+
 /// Canonical event name for an op: "<kind> mb<mb> l<layer>".
 std::string op_event_name(const core::Op& op);
 
 /// Serialize events as a Chrome trace-event JSON array.
 std::string chrome_trace_json(const std::vector<ChromeEvent>& events);
+
+/// As above, with counter samples appended after the complete events. With
+/// an empty counter list the output is byte-identical to the single-argument
+/// overload.
+std::string chrome_trace_json(const std::vector<ChromeEvent>& events,
+                              const std::vector<ChromeCounterEvent>& counters);
 
 struct TimelineOptions {
   double time_per_col = 1.0;  ///< seconds represented by one character column

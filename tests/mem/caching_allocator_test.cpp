@@ -2,7 +2,9 @@
 // Sections 4.4.2 / 5.1.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <vector>
 
 #include "mem/caching_allocator.h"
 #include "mem/workload.h"
@@ -211,6 +213,111 @@ TEST(MlpWorkload, ExpandableSegmentsMitigateFragmentation) {
   ASSERT_FALSE(classic.oom);
   ASSERT_FALSE(expandable.oom);
   EXPECT_LE(expandable.stats.peak_reserved, classic.stats.peak_reserved);
+}
+
+/// Records every event; used to prove the stream is a faithful transcript.
+class RecordingSink final : public AllocatorEventSink {
+ public:
+  std::vector<AllocatorEvent> events;
+  void on_event(const AllocatorEvent& ev) override { events.push_back(ev); }
+};
+
+class AllocatorEvents : public ::testing::TestWithParam<bool> {};
+
+TEST_P(AllocatorEvents, StreamMatchesStatsDeltasUnderWorkloadReplay) {
+  // Replay the FILO MLP workload with a recording sink attached and verify
+  // the documented delta contract: replaying the event kinds' deltas from
+  // zero reproduces every post-event stats snapshot exactly.
+  MlpWorkloadParams p;
+  p.s_local = 2048;
+  p.h = 1024;
+  p.layers = 2;
+  p.micro_batches = 4;
+  RecordingSink sink;
+  const AllocatorConfig cfg{.capacity_bytes = i64{64} << 30,
+                            .expandable_segments = GetParam()};
+  const auto report = run_filo_mlp_workload(cfg, p, &sink);
+  ASSERT_FALSE(report.oom);
+  ASSERT_FALSE(sink.events.empty());
+
+  i64 allocated = 0, reserved = 0, peak_allocated = 0, peak_reserved = 0;
+  bool saw_alloc = false, saw_free = false, saw_segment = false;
+  for (const AllocatorEvent& ev : sink.events) {
+    switch (ev.kind) {
+      case AllocatorEventKind::kAlloc:
+        ASSERT_GT(ev.block, 0);
+        ASSERT_GT(ev.requested_bytes, 0);
+        ASSERT_GE(ev.rounded_bytes, ev.requested_bytes);
+        ASSERT_EQ(ev.rounded_bytes % cfg.round_bytes, 0);
+        allocated += ev.rounded_bytes;
+        saw_alloc = true;
+        break;
+      case AllocatorEventKind::kFree:
+        ASSERT_GT(ev.block, 0);
+        allocated -= ev.rounded_bytes;
+        saw_free = true;
+        break;
+      case AllocatorEventKind::kSegmentNew:
+      case AllocatorEventKind::kSegmentGrow:
+        reserved += ev.rounded_bytes;
+        saw_segment = true;
+        break;
+      case AllocatorEventKind::kSegmentRelease:
+        reserved -= ev.rounded_bytes;
+        break;
+      case AllocatorEventKind::kEmptyCache:
+        break;  // summary event, no delta
+    }
+    peak_allocated = std::max(peak_allocated, allocated);
+    peak_reserved = std::max(peak_reserved, reserved);
+    ASSERT_EQ(ev.stats.allocated_bytes, allocated)
+        << "at event " << to_string(ev.kind);
+    ASSERT_EQ(ev.stats.reserved_bytes, reserved);
+    ASSERT_EQ(ev.stats.peak_allocated, peak_allocated);
+    ASSERT_EQ(ev.stats.peak_reserved, peak_reserved);
+  }
+  EXPECT_TRUE(saw_alloc);
+  EXPECT_TRUE(saw_free);
+  EXPECT_TRUE(saw_segment);
+  // The replay's running totals end where the workload's final stats ended.
+  EXPECT_EQ(report.stats.allocated_bytes, allocated);
+  EXPECT_EQ(report.stats.reserved_bytes, reserved);
+  EXPECT_EQ(report.stats.peak_allocated, peak_allocated);
+  EXPECT_EQ(report.stats.peak_reserved, peak_reserved);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, AllocatorEvents, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "expandable" : "classic";
+                         });
+
+TEST(AllocatorEvents, DetachedAllocatorEmitsNothingAndSinkDetaches) {
+  CachingAllocator a({.capacity_bytes = 100 * MiB});
+  EXPECT_EQ(a.event_sink(), nullptr);
+  RecordingSink sink;
+  a.set_event_sink(&sink);
+  const BlockId b = a.allocate(MiB);
+  ASSERT_EQ(sink.events.size(), 2u);  // segment new + alloc
+  EXPECT_EQ(sink.events[0].kind, AllocatorEventKind::kSegmentNew);
+  EXPECT_EQ(sink.events[1].kind, AllocatorEventKind::kAlloc);
+  a.set_event_sink(nullptr);
+  a.free(b);
+  a.empty_cache();
+  EXPECT_EQ(sink.events.size(), 2u) << "no events after detach";
+}
+
+TEST(AllocatorEvents, EmptyCacheEmitsReleaseThenSummary) {
+  CachingAllocator a({.capacity_bytes = 200 * MiB});
+  const BlockId b = a.allocate(40 * MiB);
+  a.free(b);
+  RecordingSink sink;
+  a.set_event_sink(&sink);
+  a.empty_cache();
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_EQ(sink.events[0].kind, AllocatorEventKind::kSegmentRelease);
+  EXPECT_EQ(sink.events[0].rounded_bytes, 40 * MiB);
+  EXPECT_EQ(sink.events[1].kind, AllocatorEventKind::kEmptyCache);
+  EXPECT_EQ(sink.events[1].stats.reserved_bytes, 0);
 }
 
 TEST(MlpWorkload, FragmentationCausesOomThatChunkingAvoids) {
