@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
     std::printf("P%-5d %10.3f %10.3f %10.3f %12lld %12lld %12lld %8lld\n",
                 r.rank, static_cast<double>(r.busy_ns) / 1e6,
                 static_cast<double>(r.comm_op_ns) / 1e6,
-                static_cast<double>(r.recv_wait_ns) / 1e6,
+                static_cast<double>(r.recv_wait_exposed_ns) / 1e6,
                 static_cast<long long>(r.bytes_sent),
                 static_cast<long long>(r.bytes_received),
                 static_cast<long long>(r.live_peak_bytes),

@@ -2,7 +2,6 @@
 
 #include <exception>
 #include <stdexcept>
-#include <thread>
 
 #include "obs/clock.h"
 #include "tensor/ops.h"
@@ -46,55 +45,130 @@ World::World(int num_ranks) : num_ranks_(num_ranks), mailboxes_(static_cast<std:
 
 void World::deliver(int dst, int src, std::int64_t tag, Message msg) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  std::shared_ptr<detail::RecvState> target;
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.slots[{src, tag}].push(std::move(msg));
-    ++box.queued;
-    if (metrics_ != nullptr) {
-      // dst's shard, but written under dst's mailbox lock (see metrics.h).
-      metrics_[dst].mailbox_depth.set(static_cast<std::int64_t>(box.queued));
+    const auto key = std::make_pair(src, tag);
+    const auto pit = box.pending.find(key);
+    if (pit != box.pending.end() && !pit->second.empty()) {
+      // A receive is already posted: fulfill it directly (the payload moves
+      // straight into the handle, never touching the queue).
+      target = std::move(pit->second.front());
+      pit->second.pop_front();
+      if (pit->second.empty()) box.pending.erase(pit);
+    } else {
+      box.slots[key].push(std::move(msg));
+      ++box.queued;
+      if (metrics_ != nullptr) {
+        // dst's shard, but written under dst's mailbox lock (see metrics.h).
+        metrics_[dst].mailbox_depth.set(static_cast<std::int64_t>(box.queued));
+      }
     }
   }
-  box.cv.notify_all();
+  if (target != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(target->mu);
+      target->msg = std::move(msg);
+      target->ready = true;
+      if (metrics_ != nullptr) target->ready_ns = obs::now_ns();
+    }
+    target->cv.notify_all();
+  }
 }
 
-Message World::await(int dst, int src, std::int64_t tag) {
+RecvHandle World::post_recv(int dst, int src, std::int64_t tag) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
-  std::unique_lock<std::mutex> lock(box.mu);
+  obs::CommMetrics* m = metrics_ == nullptr ? nullptr : metrics_ + dst;
+  auto state = std::make_shared<detail::RecvState>();
+  if (m != nullptr) {
+    state->post_ns = obs::now_ns();
+    m->irecv_posted.inc();
+  }
   const auto key = std::make_pair(src, tag);
-  const auto arrived = [&] {
-    const auto it = box.slots.find(key);
-    return it != box.slots.end() && !it->second.empty();
-  };
-  // Wake on data OR on a poisoned world; data already queued when the
-  // failure hit is still delivered (the rank aborts at its next empty wait).
-  const auto ready = [&] { return arrived() || poisoned(); };
-  if (metrics_ != nullptr && !arrived()) {
-    // Only a genuinely blocked recv counts as wait: data already queued is a
-    // zero-wait hit, mirroring the simulator's recv_wait accounting.
-    const std::int64_t t0 = obs::now_ns();
-    box.cv.wait(lock, ready);
-    const std::int64_t waited = obs::now_ns() - t0;
-    metrics_[dst].recv_wait_ns.add(waited);
-    metrics_[dst].recv_wait_hist.record(waited);
+  std::lock_guard<std::mutex> lock(box.mu);
+  const auto it = box.slots.find(key);
+  if (it != box.slots.end() && !it->second.empty()) {
+    // Zero-wait hit: the message was queued before the receive was posted.
+    // Data already in the mailbox is still delivered on a poisoned world.
+    state->msg = std::move(it->second.front());
+    it->second.pop();
+    if (it->second.empty()) box.slots.erase(it);
+    --box.queued;
+    state->ready = true;
+    state->ready_ns = state->post_ns;
+    if (m != nullptr) {
+      m->mailbox_depth.set(static_cast<std::int64_t>(box.queued));
+    }
+  } else if (poisoned()) {
+    state->aborted = true;
   } else {
-    box.cv.wait(lock, ready);
-    if (metrics_ != nullptr) metrics_[dst].recv_wait_hist.record(0);
+    box.pending[key].push_back(state);
   }
-  if (!arrived()) {
-    throw WorldAborted("recv aborted: another rank failed");
+  return RecvHandle(std::move(state), m);
+}
+
+bool RecvHandle::ready() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->ready || state_->aborted;
+}
+
+Message RecvHandle::wait() { return wait_impl(/*account_hidden=*/true); }
+
+Message RecvHandle::wait_impl(bool account_hidden) {
+  if (state_ == nullptr) {
+    throw std::logic_error("wait() on an empty RecvHandle");
   }
-  auto it = box.slots.find(key);
-  Message msg = std::move(it->second.front());
-  it->second.pop();
-  if (it->second.empty()) box.slots.erase(it);
-  --box.queued;
+  // A handle delivers exactly once: release our reference on the way out so
+  // a second wait() is a logic error instead of returning a moved-from
+  // message.
+  const std::shared_ptr<detail::RecvState> st = std::move(state_);
+  std::unique_lock<std::mutex> lock(st->mu);
+  const auto fulfilled = [&] { return st->ready || st->aborted; };
   if (metrics_ != nullptr) {
-    metrics_[dst].mailbox_depth.set(static_cast<std::int64_t>(box.queued));
-    metrics_[dst].messages_received.inc();
-    metrics_[dst].bytes_received.add(message_bytes(msg));
+    const std::int64_t t_wait = obs::now_ns();
+    std::int64_t exposed = 0;
+    if (!fulfilled()) {
+      // Only a genuinely blocked drain counts as exposed wait: data already
+      // arrived is a zero-wait hit, mirroring the simulator's recv_wait
+      // accounting on the compute stream.
+      st->cv.wait(lock, fulfilled);
+      exposed = obs::now_ns() - t_wait;
+    }
+    if (!st->ready) {
+      throw WorldAborted("recv aborted: another rank failed");
+    }
+    metrics_->recv_wait_exposed_ns.add(exposed);
+    metrics_->recv_wait_hist.record(exposed);
+    if (account_hidden) {
+      // Latency retired before the compute thread arrived: post -> min(data
+      // arrival, drain). Blocking recvs post and drain back-to-back, so
+      // their hidden share is accounted as zero by the caller.
+      const std::int64_t covered =
+          std::min(st->ready_ns, t_wait) - st->post_ns;
+      if (covered > 0) metrics_->recv_wait_hidden_ns.add(covered);
+    }
+    metrics_->messages_received.inc();
+    metrics_->bytes_received.add(message_bytes(st->msg));
+  } else {
+    st->cv.wait(lock, fulfilled);
+    if (!st->ready) {
+      throw WorldAborted("recv aborted: another rank failed");
+    }
   }
-  return msg;
+  return std::move(st->msg);
+}
+
+bool SendHandle::delivered() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->delivered;
+}
+
+void SendHandle::wait() {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->delivered; });
 }
 
 int Endpoint::size() const noexcept { return world_->size(); }
@@ -103,7 +177,74 @@ obs::CommMetrics* Endpoint::metrics() const noexcept {
   return world_->metrics_ == nullptr ? nullptr : world_->metrics_ + rank_;
 }
 
+Endpoint::CommWorker& Endpoint::worker() {
+  if (worker_ == nullptr) {
+    worker_ = std::make_unique<CommWorker>();
+    CommWorker* w = worker_.get();
+    World* world = world_;
+    const int self = rank_;
+    w->thread = std::thread([w, world, self] {
+      std::unique_lock<std::mutex> lock(w->mu);
+      for (;;) {
+        w->cv.wait(lock, [&] { return w->stop || !w->queue.empty(); });
+        if (w->queue.empty()) return;  // stop requested and fully drained
+        CommWorker::Task task = std::move(w->queue.front());
+        w->queue.pop_front();
+        lock.unlock();
+        // deliver() only locks the destination mailbox (it never waits on
+        // data), so the worker cannot deadlock and always drains.
+        world->deliver(task.dst, self, task.tag, std::move(task.msg));
+        if (task.state != nullptr) {
+          {
+            std::lock_guard<std::mutex> g(task.state->mu);
+            task.state->delivered = true;
+          }
+          task.state->cv.notify_all();
+        }
+        lock.lock();
+      }
+    });
+  }
+  return *worker_;
+}
+
+Endpoint::~Endpoint() {
+  if (worker_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(worker_->mu);
+      worker_->stop = true;
+    }
+    worker_->cv.notify_all();
+    if (worker_->thread.joinable()) worker_->thread.join();
+  }
+}
+
+SendHandle Endpoint::isend(int dst, std::int64_t tag, Message msg) {
+  if (dst < 0 || dst >= world_->size()) throw std::out_of_range("bad dst rank");
+  auto state = std::make_shared<detail::SendState>();
+  if (obs::CommMetrics* m = metrics()) {
+    m->messages_sent.inc();
+    m->bytes_sent.add(message_bytes(msg));
+    m->isend_posted.inc();
+  }
+  CommWorker& w = worker();
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.queue.push_back(CommWorker::Task{dst, tag, std::move(msg), state});
+  }
+  w.cv.notify_one();
+  return SendHandle(std::move(state));
+}
+
 void Endpoint::send(int dst, std::int64_t tag, Message msg) {
+  if (worker_ != nullptr) {
+    // Asynchronous sends are in flight: route through the worker queue so
+    // this message cannot overtake them, and wait for delivery to keep the
+    // blocking contract ("after send returns, the message is in dst's
+    // mailbox").
+    isend(dst, tag, std::move(msg)).wait();
+    return;
+  }
   if (dst < 0 || dst >= world_->size()) throw std::out_of_range("bad dst rank");
   if (obs::CommMetrics* m = metrics()) {
     m->messages_sent.inc();
@@ -114,7 +255,14 @@ void Endpoint::send(int dst, std::int64_t tag, Message msg) {
 
 Message Endpoint::recv(int src, std::int64_t tag) {
   if (src < 0 || src >= world_->size()) throw std::out_of_range("bad src rank");
-  return world_->await(rank_, src, tag);
+  // Blocking recv = post + immediate drain through the same matching path as
+  // irecv; hidden-wait accounting is skipped (nothing was prefetched).
+  return world_->post_recv(rank_, src, tag).wait_impl(/*account_hidden=*/false);
+}
+
+RecvHandle Endpoint::irecv(int src, std::int64_t tag) {
+  if (src < 0 || src >= world_->size()) throw std::out_of_range("bad src rank");
+  return world_->post_recv(rank_, src, tag);
 }
 
 void Endpoint::barrier() {
@@ -175,7 +323,7 @@ Tensor Endpoint::all_reduce_sum(const Tensor& local, std::int64_t tag_base) {
     if (block_len(sb) > 0) {
       Tensor blk({block_len(sb)});
       for (tensor::i64 i = 0; i < block_len(sb); ++i) blk[i] = acc[block_begin(sb) + i];
-      send(next, tag_base + s, {std::move(blk)});
+      send(next, tag_base + s, make_message(std::move(blk)));
     }
     if (block_len(rb) > 0) {
       Message got = recv(prev, tag_base + s);
@@ -189,7 +337,7 @@ Tensor Endpoint::all_reduce_sum(const Tensor& local, std::int64_t tag_base) {
     if (block_len(sb) > 0) {
       Tensor blk({block_len(sb)});
       for (tensor::i64 i = 0; i < block_len(sb); ++i) blk[i] = acc[block_begin(sb) + i];
-      send(next, tag_base + (n - 1) + s, {std::move(blk)});
+      send(next, tag_base + (n - 1) + s, make_message(std::move(blk)));
     }
     if (block_len(rb) > 0) {
       Message got = recv(prev, tag_base + (n - 1) + s);
@@ -213,7 +361,7 @@ std::vector<Tensor> Endpoint::all_gather(const Tensor& local, std::int64_t tag_b
   const int prev = (rank_ + n - 1) % n;
   Tensor cur = local;
   for (int s = 0; s < n - 1; ++s) {
-    send(next, tag_base + s, {std::move(cur)});
+    send(next, tag_base + s, make_message(std::move(cur)));
     Message got = recv(prev, tag_base + s);
     const int origin = (rank_ - s - 1 + 2 * n) % n;
     cur = std::move(got[0]);
@@ -246,7 +394,7 @@ Tensor Endpoint::reduce_scatter_rows(const Tensor& partial, std::int64_t tag_bas
   // sends to every peer at once.
   Tensor acc = segment((rank_ + n - 1) % n);
   for (int s = 0; s < n - 1; ++s) {
-    send((rank_ + 1) % n, tag_base + s, {std::move(acc)});
+    send((rank_ + 1) % n, tag_base + s, make_message(std::move(acc)));
     Message got = recv((rank_ + n - 1) % n, tag_base + s);
     const int rb = (rank_ - s - 2 + 2 * n) % n;
     acc = std::move(got[0]);
@@ -257,11 +405,21 @@ Tensor Endpoint::reduce_scatter_rows(const Tensor& partial, std::int64_t tag_bas
 
 void World::poison() noexcept {
   poisoned_.store(true, std::memory_order_release);
-  // Lock each mutex before notifying so a rank between evaluating its wait
-  // predicate and parking cannot miss the wakeup.
+  // Abort every unfulfilled pending receive. Lock ordering box.mu -> st->mu
+  // is safe: deliver() and handle waits never take a mailbox mutex while
+  // holding a state mutex.
   for (Mailbox& box : mailboxes_) {
-    { std::lock_guard<std::mutex> lock(box.mu); }
-    box.cv.notify_all();
+    std::lock_guard<std::mutex> lock(box.mu);
+    for (auto& [key, states] : box.pending) {
+      for (const std::shared_ptr<detail::RecvState>& st : states) {
+        {
+          std::lock_guard<std::mutex> g(st->mu);
+          st->aborted = true;
+        }
+        st->cv.notify_all();
+      }
+    }
+    box.pending.clear();
   }
   { std::lock_guard<std::mutex> lock(barrier_mu_); }
   barrier_cv_.notify_all();
@@ -269,11 +427,13 @@ void World::poison() noexcept {
 
 void World::run(const std::function<void(Endpoint&)>& fn) {
   // A world is reusable after an aborted run: discard messages stranded by
-  // the failed step and clear the poison flag and barrier arrivals.
+  // the failed step (and any pending-recv registrations whose handles were
+  // abandoned) and clear the poison flag and barrier arrivals.
   if (poisoned()) {
     for (Mailbox& box : mailboxes_) {
       std::lock_guard<std::mutex> lock(box.mu);
       box.slots.clear();
+      box.pending.clear();
       box.queued = 0;
     }
     {

@@ -2,11 +2,14 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -16,14 +19,23 @@
 // private mailbox; all data moves through explicit tagged send/recv pairs
 // (MPI-style cooperative operations — no shared mutable state between
 // ranks). Collectives are built on p2p with ring algorithms, like NCCL.
+//
+// On top of the blocking pairs sits an asynchronous engine (isend/irecv
+// returning completion handles): sends are posted through a per-rank comm
+// worker thread so enqueueing never blocks the compute thread, and recvs are
+// registered with the destination mailbox so delivery fulfills them directly
+// — the payload moves straight from the sender into the waiting handle
+// without ever sitting in a queue. Matching stays FIFO per (src, tag) and a
+// poisoned world aborts in-flight handles exactly like blocking recvs.
 namespace helix::comm {
 
 using tensor::Tensor;
 
-/// Thrown out of blocking operations (recv, barrier, collectives) on
-/// surviving ranks after some other rank failed: the world is poisoned so no
-/// rank can deadlock waiting for a peer that will never send. World::run
-/// treats these as secondary failures and rethrows the original exception.
+/// Thrown out of blocking operations (recv, barrier, collectives, handle
+/// waits) on surviving ranks after some other rank failed: the world is
+/// poisoned so no rank can deadlock waiting for a peer that will never send.
+/// World::run treats these as secondary failures and rethrows the original
+/// exception.
 class WorldAborted : public std::runtime_error {
  public:
   explicit WorldAborted(const std::string& what) : std::runtime_error(what) {}
@@ -36,15 +48,107 @@ using Message = std::vector<Tensor>;
 /// byte counters account in.
 std::int64_t message_bytes(const Message& msg) noexcept;
 
+/// Build a Message by moving the given tensors in. A braced-init-list
+/// vector construction (`Message{std::move(t)}`) silently deep-copies every
+/// payload — initializer_list elements are const, so the moves degrade to
+/// copies — which is exactly the allocation the zero-copy message path must
+/// avoid. Lvalue arguments are still copied (e.g. a parameter tensor that
+/// must stay owned by the sender).
+template <typename... Ts>
+Message make_message(Ts&&... tensors) {
+  Message msg;
+  msg.reserve(sizeof...(Ts));
+  (msg.push_back(std::forward<Ts>(tensors)), ...);
+  return msg;
+}
+
 class World;
+
+namespace detail {
+
+/// Shared completion state behind a RecvHandle. Lives in a shared_ptr held
+/// by both the handle and (until fulfilled) the destination mailbox's
+/// pending-recv registry, so an abandoned handle never dangles.
+struct RecvState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;    ///< message arrived (msg holds the payload)
+  bool aborted = false;  ///< world poisoned before arrival
+  Message msg;
+  std::int64_t post_ns = 0;   ///< when irecv was posted (0 when metrics off)
+  std::int64_t ready_ns = 0;  ///< when the payload arrived
+};
+
+/// Shared completion state behind a SendHandle: flips to delivered once the
+/// comm worker moved the payload into the destination mailbox.
+struct SendState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool delivered = false;
+};
+
+}  // namespace detail
+
+/// Completion handle for an asynchronous receive. wait() blocks until the
+/// matching message arrives (or the world is poisoned — then it throws
+/// WorldAborted) and records the exposed/hidden wait split into the owning
+/// rank's CommMetrics shard, so call it from the rank's own thread.
+class RecvHandle {
+ public:
+  RecvHandle() = default;
+  bool valid() const noexcept { return state_ != nullptr; }
+  /// Non-blocking completion poll (true also when aborted: wait() returns
+  /// immediately either way).
+  bool ready() const;
+  /// Block until fulfilled; returns the payload (moved out — a handle
+  /// delivers exactly once). Throws WorldAborted on a poisoned world.
+  Message wait();
+
+ private:
+  friend class World;
+  friend class Endpoint;  ///< blocking recv() reuses wait_impl
+  explicit RecvHandle(std::shared_ptr<detail::RecvState> s,
+                      obs::CommMetrics* m) noexcept
+      : state_(std::move(s)), metrics_(m) {}
+  Message wait_impl(bool account_hidden);
+
+  std::shared_ptr<detail::RecvState> state_;
+  obs::CommMetrics* metrics_ = nullptr;  ///< receiving rank's shard or null
+};
+
+/// Completion handle for an asynchronous send: delivered() flips once the
+/// comm worker moved the payload into the destination mailbox. Sends are
+/// buffered (a mailbox never fills), so waiting is optional — dropping the
+/// handle is the common fire-and-forget use; the worker still delivers.
+class SendHandle {
+ public:
+  SendHandle() = default;
+  bool valid() const noexcept { return state_ != nullptr; }
+  bool delivered() const;
+  /// Block until the payload reached the destination mailbox. Never throws:
+  /// the worker delivers even on a poisoned world (matching blocking send).
+  void wait();
+
+ private:
+  friend class Endpoint;
+  explicit SendHandle(std::shared_ptr<detail::SendState> s) noexcept
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::SendState> state_;
+};
 
 /// Per-rank communication endpoint handed to the rank function.
 class Endpoint {
  public:
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
   int rank() const noexcept { return rank_; }
   int size() const noexcept;
 
-  /// Copy `msg` into dst's mailbox under `tag`.
+  /// Move `msg` into dst's mailbox under `tag` (blocking variant: the
+  /// delivery happens on the calling thread; payload tensors are moved
+  /// end-to-end, never copied).
   ///
   /// Tag matching: a mailbox keys queued messages by (src, tag), each key
   /// holding a FIFO queue. Reusing a tag for a (src, dst) pair while an
@@ -52,9 +156,27 @@ class Endpoint {
   /// well-defined — recvs match sends in send order (FIFO), never out of
   /// order. Schedule generators still allocate unique tags per transfer so
   /// that traces and the simulator's rendezvous edges stay unambiguous.
+  ///
+  /// Once this endpoint has used isend, plain send routes through the same
+  /// comm worker (and waits for delivery) so messages from this rank can
+  /// never overtake queued asynchronous sends.
   void send(int dst, std::int64_t tag, Message msg);
   /// Block until a message with `tag` from `src` arrives.
   Message recv(int src, std::int64_t tag);
+
+  /// Post `msg` for delivery to dst and return immediately: the payload is
+  /// handed to this rank's comm worker thread (created lazily on first use)
+  /// which performs the mailbox delivery, so serialization/enqueue never
+  /// blocks the compute thread. Posts from one rank are delivered in post
+  /// order (single worker, FIFO queue), preserving per-(peer, tag) FIFO
+  /// matching.
+  SendHandle isend(int dst, std::int64_t tag, Message msg);
+  /// Register a receive for (src, tag) and return its completion handle. If
+  /// a matching message is already queued it is claimed immediately
+  /// (zero-wait hit); otherwise the handle is fulfilled directly by the
+  /// sender's delivery, bypassing the mailbox queue. Pending registrations
+  /// for the same (src, tag) are matched FIFO in post order.
+  RecvHandle irecv(int src, std::int64_t tag);
 
   void barrier();
 
@@ -83,8 +205,28 @@ class Endpoint {
   /// This rank's metrics shard, or nullptr when observability is off.
   obs::CommMetrics* metrics() const noexcept;
 
+  /// Lazily-created send worker: a FIFO of posted messages drained by one
+  /// thread per rank. The worker only ever locks destination mailboxes (it
+  /// never waits on data), so it cannot deadlock; the Endpoint destructor
+  /// drains the queue and joins it before World::run merges metric shards.
+  struct CommWorker {
+    struct Task {
+      int dst;
+      std::int64_t tag;
+      Message msg;
+      std::shared_ptr<detail::SendState> state;
+    };
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Task> queue;
+    bool stop = false;
+    std::thread thread;
+  };
+  CommWorker& worker();
+
   World* world_;
   int rank_;
+  std::unique_ptr<CommWorker> worker_;
 };
 
 class World {
@@ -99,29 +241,37 @@ class World {
   void set_metrics(obs::CommMetrics* shards) noexcept { metrics_ = shards; }
 
   /// Run `fn(endpoint)` on every rank concurrently. If any rank throws, the
-  /// world is poisoned: every rank blocked in recv/barrier (and any that
-  /// blocks later) is woken with WorldAborted, so run() always joins. After
-  /// the join the ORIGINAL exception (lowest failing rank) is rethrown, not
-  /// the secondary WorldAborted errors it induced. The world is reusable:
-  /// a later run() starts from a clean (unpoisoned, empty-mailbox) state.
+  /// world is poisoned: every rank blocked in recv/barrier/handle-wait (and
+  /// any that blocks later) is woken with WorldAborted, so run() always
+  /// joins. After the join the ORIGINAL exception (lowest failing rank) is
+  /// rethrown, not the secondary WorldAborted errors it induced. The world
+  /// is reusable: a later run() starts from a clean (unpoisoned,
+  /// empty-mailbox, no-pending-recv) state.
   void run(const std::function<void(Endpoint&)>& fn);
 
   int size() const noexcept { return num_ranks_; }
 
  private:
   friend class Endpoint;
+  friend class RecvHandle;
   struct Mailbox {
     std::mutex mu;
-    std::condition_variable cv;
     std::map<std::pair<int, std::int64_t>, std::queue<Message>> slots;
+    /// Receives posted before their message arrived, FIFO per (src, tag);
+    /// deliver() fulfills the front registration directly instead of
+    /// queueing into `slots`.
+    std::map<std::pair<int, std::int64_t>,
+             std::deque<std::shared_ptr<detail::RecvState>>>
+        pending;
     /// Total queued messages across all slots; feeds the queue-depth
     /// high-water gauge (always updated under `mu`).
     std::size_t queued = 0;
   };
   void deliver(int dst, int src, std::int64_t tag, Message msg);
-  Message await(int dst, int src, std::int64_t tag);
-  /// Flag the world as failed and wake every blocked rank so they observe
-  /// the flag and throw WorldAborted instead of waiting forever.
+  RecvHandle post_recv(int dst, int src, std::int64_t tag);
+  /// Flag the world as failed and wake every blocked rank — including
+  /// unfulfilled pending-recv handles — so they observe the flag and throw
+  /// WorldAborted instead of waiting forever.
   void poison() noexcept;
   bool poisoned() const noexcept {
     return poisoned_.load(std::memory_order_acquire);

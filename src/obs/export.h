@@ -32,8 +32,12 @@ std::string to_chrome_trace(const TraceCollector& trace);
 struct MeasuredStageStats {
   double compute_busy_s = 0;  ///< total wall time of non-comm op spans
   double send_busy_s = 0;     ///< total wall time of Send op spans
-  double recv_wait_s = 0;     ///< total blocked time inside Recv ops
-  double bubble_s = 0;        ///< makespan - compute_busy_s
+  /// Recv wait that blocked the rank's compute thread (blocking recvs and
+  /// async handle drains) / wait retired while the thread computed
+  /// (prefetched handles only; zero for a blocking run).
+  double recv_wait_exposed_s = 0;
+  double recv_wait_hidden_s = 0;
+  double bubble_s = 0;  ///< makespan - compute_busy_s
   std::int64_t bytes_sent = 0;
   std::int64_t bytes_received = 0;
   std::int64_t live_peak_bytes = 0;      ///< interpreter slot/stash high water
@@ -63,6 +67,19 @@ struct StageReconciliation {
   /// Measured compute-op sequence (kind, mb, layer) equals the stage's IR
   /// program order exactly.
   bool order_matches_ir = false;
+
+  // Comm-overlap reconciliation: how much recv latency stalled the compute
+  // stream (exposed) vs proceeded alongside it (hidden), simulator
+  // prediction (modeled seconds, comm-stream recv_wait split by compute-op
+  // stall attribution) against the measured run (wall seconds, from the
+  // exposed/hidden CommMetrics counters). overlap_frac = hidden / (hidden +
+  // exposed), defined as 1.0 when the stage had no recv latency at all.
+  double predicted_exposed_wait_s = 0;
+  double predicted_hidden_wait_s = 0;
+  double measured_exposed_wait_s = 0;
+  double measured_hidden_wait_s = 0;
+  double predicted_overlap_frac = 1.0;
+  double measured_overlap_frac = 1.0;
 };
 
 /// Three-way memory comparison for one pipeline stage: the measured peak of
@@ -100,6 +117,9 @@ struct ReconciliationReport {
   double predicted_makespan_s = 0;  ///< modeled seconds (simulator units)
   double measured_makespan_s = 0;   ///< wall-clock seconds
   std::vector<StageReconciliation> stages;
+  /// Whole-run overlap fractions (per-stage exposed/hidden waits summed).
+  double predicted_overlap_frac = 1.0;
+  double measured_overlap_frac = 1.0;
   MemoryReconciliation memory;  ///< populated only with memory tracking on
 
   bool all_orders_match_ir() const noexcept {

@@ -11,9 +11,12 @@
 // RuntimeMetrics per rank thread). A shard is written only by its owner
 // thread — with two deliberate exceptions that piggyback on locks the comm
 // layer already holds:
-//   * `CommMetrics::mailbox_depth` of rank r is updated by sender threads,
-//     but only under r's mailbox mutex (delivery is serialized anyway);
+//   * `CommMetrics::mailbox_depth` of rank r is updated by sender threads
+//     (rank threads and their comm workers), but only under r's mailbox
+//     mutex (delivery is serialized anyway);
 //   * `CommMetrics::barrier_wait_ns` is updated under the barrier mutex.
+// Recv-wait counters (exposed and hidden) are written by the receiving
+// rank's own thread when a handle is drained, never by the sender.
 // Shards are merged after `comm::World::run` joins every thread, so readers
 // never race writers. No atomics on the hot path: recording a value is a
 // plain add, which is the "lock-cheap" requirement of the span recorder.
@@ -94,9 +97,18 @@ struct alignas(64) CommMetrics {
   Counter bytes_received;
   Counter messages_sent;
   Counter messages_received;
-  /// Time recvs spent blocked waiting for data that had not arrived yet
-  /// (the runtime analogue of sim::StageStats::recv_wait).
-  Counter recv_wait_ns;
+  /// Time recvs spent blocking this rank's compute thread waiting for data
+  /// that had not arrived yet — posting a handle and draining it later only
+  /// counts the residual block at the drain (the runtime analogue of
+  /// sim::StageStats::recv_wait on the compute stream).
+  Counter recv_wait_exposed_ns;
+  /// Recv latency retired while the compute thread was doing other work:
+  /// for each prefetched handle, post -> min(arrival, drain). Zero for
+  /// blocking recvs (post and drain are back-to-back, nothing was hidden).
+  Counter recv_wait_hidden_ns;
+  /// Asynchronous-engine engagement: handles posted via isend / irecv.
+  Counter isend_posted;
+  Counter irecv_posted;
   Counter barrier_wait_ns;
   /// Wall time spent inside collectives (all_reduce / all_gather /
   /// reduce_scatter), and how many ran.
@@ -105,6 +117,8 @@ struct alignas(64) CommMetrics {
   /// Total queued messages in this rank's mailbox; high_water is the
   /// backlog peak (head-of-line pressure indicator).
   Gauge mailbox_depth;
+  /// Exposed (compute-thread-blocking) wait per recv, zero-wait hits
+  /// included — every drained recv records exactly one sample.
   DurationHistogram recv_wait_hist;
 };
 
@@ -123,9 +137,12 @@ struct alignas(64) RuntimeMetrics {
 struct RankSummary {
   int rank = -1;
   std::int64_t ops_executed = 0;
-  std::int64_t busy_ns = 0;       ///< compute-op wall time
-  std::int64_t comm_op_ns = 0;    ///< Send/Recv op wall time (incl. waits)
-  std::int64_t recv_wait_ns = 0;  ///< blocked portion of the recvs
+  std::int64_t busy_ns = 0;     ///< compute-op wall time
+  std::int64_t comm_op_ns = 0;  ///< Send/Recv op wall time (incl. waits)
+  /// Recv wait that blocked the compute thread / wait retired while it was
+  /// busy elsewhere (overlapped). Blocking runs have hidden == 0.
+  std::int64_t recv_wait_exposed_ns = 0;
+  std::int64_t recv_wait_hidden_ns = 0;
   std::int64_t barrier_wait_ns = 0;
   std::int64_t bytes_sent = 0;
   std::int64_t bytes_received = 0;
@@ -140,7 +157,8 @@ inline RankSummary summarize(int rank, const CommMetrics& comm,
   s.ops_executed = runtime.ops_executed.value;
   s.busy_ns = runtime.compute_ns.value;
   s.comm_op_ns = runtime.comm_op_ns.value;
-  s.recv_wait_ns = comm.recv_wait_ns.value;
+  s.recv_wait_exposed_ns = comm.recv_wait_exposed_ns.value;
+  s.recv_wait_hidden_ns = comm.recv_wait_hidden_ns.value;
   s.barrier_wait_ns = comm.barrier_wait_ns.value;
   s.bytes_sent = comm.bytes_sent.value;
   s.bytes_received = comm.bytes_received.value;

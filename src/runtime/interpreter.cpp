@@ -24,6 +24,16 @@ comm::Message Interpreter::take_slot(DataSlot slot, int mb, int layer) {
   const auto key = std::make_tuple(slot, mb, layer);
   const auto it = slots_.find(key);
   if (it == slots_.end()) {
+    // Async engine: the value may still be in flight as a prefetched recv —
+    // drain the handle here, at actual consumption, so any residual block
+    // lands on the consuming op (recv_wait_exposed_ns) instead of at the
+    // Recv's program position.
+    const auto hit = recv_handles_.find(key);
+    if (hit != recv_handles_.end()) {
+      comm::RecvHandle handle = std::move(hit->second);
+      recv_handles_.erase(hit);
+      return handle.wait();
+    }
     std::ostringstream os;
     os << "rank " << rank_ << ": missing value slot " << static_cast<int>(slot)
        << " mb=" << mb << " layer=" << layer;
@@ -48,11 +58,26 @@ void Interpreter::exec(const Op& op) {
   switch (op.kind) {
     case OpKind::kSend: {
       comm::Message msg = take_slot(op.slot, mb, l);
-      comm_.send(op.peer, op.tag, std::move(msg));
+      if (opt_.async_comm) {
+        // Fire-and-forget: the rank's comm worker delivers (and is drained
+        // before the Endpoint goes away), so no handle needs keeping.
+        (void)comm_.isend(op.peer, op.tag, std::move(msg));
+      } else {
+        comm_.send(op.peer, op.tag, std::move(msg));
+      }
       break;
     }
     case OpKind::kRecv: {
-      put_slot(op.slot, mb, l, comm_.recv(op.peer, op.tag));
+      if (opt_.async_comm) {
+        // Post only; take_slot drains the handle when a compute op consumes
+        // the value.
+        const auto key = std::make_tuple(op.slot, mb, l);
+        if (!recv_handles_.emplace(key, comm_.irecv(op.peer, op.tag)).second) {
+          throw std::logic_error("recv handle posted twice");
+        }
+      } else {
+        put_slot(op.slot, mb, l, comm_.recv(op.peer, op.tag));
+      }
       break;
     }
     case OpKind::kEmbedFwd: {
@@ -60,7 +85,7 @@ void Interpreter::exec(const Op& op) {
           batch_.tokens[static_cast<std::size_t>(mb)], params_.wte, params_.wpe,
           params_.cfg.batch, params_.cfg.seq);
       if (rc) pre_stash_[{mb, 0}].x = x;  // combo-0 stash (Section 4.4.1)
-      put_slot(DataSlot::kFwdBoundary, mb, 0, {std::move(x)});
+      put_slot(DataSlot::kFwdBoundary, mb, 0, comm::make_message(std::move(x)));
       break;
     }
     case OpKind::kFwdPre: {
@@ -71,7 +96,7 @@ void Interpreter::exec(const Op& op) {
       Tensor ln1 = nn::pre_forward(x, p, &stash);
       if (!rc) pre_stash_[{mb, l}] = std::move(stash);
       // Ship {residual, LN output, QKV weights} (Section 4.2).
-      put_slot(DataSlot::kPreToAttn, mb, l, {std::move(x), std::move(ln1), p.wqkv});
+      put_slot(DataSlot::kPreToAttn, mb, l, comm::make_message(std::move(x), std::move(ln1), p.wqkv));
       break;
     }
     case OpKind::kFwdAttn: {
@@ -79,7 +104,7 @@ void Interpreter::exec(const Op& op) {
       nn::AttnStash stash;
       Tensor ctx = nn::attn_forward(in[1], in[2], params_.cfg, &stash);
       attn_stash_[{mb, l}] = std::move(stash);
-      put_slot(DataSlot::kAttnToPost, mb, l, {std::move(in[0]), std::move(ctx)});
+      put_slot(DataSlot::kAttnToPost, mb, l, comm::make_message(std::move(in[0]), std::move(ctx)));
       break;
     }
     case OpKind::kFwdPost: {
@@ -88,7 +113,7 @@ void Interpreter::exec(const Op& op) {
       nn::PostStash& stash = post_stash_[{mb, l}];
       Tensor y = nn::post_forward(in[0], in[1], p, opt_.mlp_chunks,
                                   /*keep_intermediates=*/!rc, &stash);
-      put_slot(DataSlot::kFwdBoundary, mb, l + 1, {std::move(y)});
+      put_slot(DataSlot::kFwdBoundary, mb, l + 1, comm::make_message(std::move(y)));
       break;
     }
     case OpKind::kLmHeadLoss: {
@@ -143,13 +168,13 @@ void Interpreter::exec(const Op& op) {
         grads_.accumulate(param_name(l, "ln2_b"), mb, std::move(r.dln2_b));
         grads_.accumulate(param_name(l, "w1"), mb, std::move(r.dw1));
         grads_.accumulate(param_name(l, "w2"), mb, std::move(r.dw2));
-        put_slot(DataSlot::kGradToAttn, mb, l, {std::move(r.dx), std::move(r.dctx)});
+        put_slot(DataSlot::kGradToAttn, mb, l, comm::make_message(std::move(r.dx), std::move(r.dctx)));
       } else {
         // Decoupled: input gradients now; forward stash kept for backward-W.
         nn::PostBackwardBResult r =
             nn::post_backward_b(in[0], p, opt_.mlp_chunks, it->second);
         post_w_stash_[{mb, l}] = std::move(r.w);
-        put_slot(DataSlot::kGradToAttn, mb, l, {std::move(r.dx), std::move(r.dctx)});
+        put_slot(DataSlot::kGradToAttn, mb, l, comm::make_message(std::move(r.dx), std::move(r.dctx)));
       }
       break;
     }
@@ -161,7 +186,7 @@ void Interpreter::exec(const Op& op) {
         nn::AttnBackwardResult r = nn::attn_backward(in[1], it->second, params_.cfg);
         attn_stash_.erase(it);
         put_slot(DataSlot::kGradToPre, mb, l,
-                 {std::move(in[0]), std::move(r.dln1), std::move(r.dwqkv)});
+                 comm::make_message(std::move(in[0]), std::move(r.dln1), std::move(r.dwqkv)));
       } else {
         // Decoupled: dqkv kept (with the attention stash) for dWqkv later.
         nn::AttnBackwardBResult r =
@@ -169,7 +194,7 @@ void Interpreter::exec(const Op& op) {
         dqkv_stash_[{mb, l}] = std::move(r.dqkv);
         // dWqkv placeholder: empty tensor signals "deferred" to BwdPre.
         put_slot(DataSlot::kGradToPre, mb, l,
-                 {std::move(in[0]), std::move(r.dln1), Tensor{}});
+                 comm::make_message(std::move(in[0]), std::move(r.dln1), Tensor{}));
       }
       break;
     }
@@ -185,13 +210,13 @@ void Interpreter::exec(const Op& op) {
         pre_stash_.erase(it);
         grads_.accumulate(param_name(l, "ln1_g"), mb, std::move(r.dln1_g));
         grads_.accumulate(param_name(l, "ln1_b"), mb, std::move(r.dln1_b));
-        put_slot(DataSlot::kBwdBoundary, mb, l - 1, {std::move(r.dx)});
+        put_slot(DataSlot::kBwdBoundary, mb, l - 1, comm::make_message(std::move(r.dx)));
       } else {
         // Decoupled: keep dln1 and the pre stash for the backward-W step.
         Tensor dx = nn::pre_backward_b(in[1], in[0], it->second.x,
                                        it->second.stats, p);
         pre_dln1_stash_[{mb, l}] = std::move(in[1]);
-        put_slot(DataSlot::kBwdBoundary, mb, l - 1, {std::move(dx)});
+        put_slot(DataSlot::kBwdBoundary, mb, l - 1, comm::make_message(std::move(dx)));
       }
       break;
     }
@@ -365,8 +390,12 @@ void Interpreter::sync_memory(const Op& op) {
 void Interpreter::exec_traced(const Op& op, std::uint64_t tid) {
   // Recv blocked-wait is measured by the comm layer; snapshot its counter
   // around the op so the span carries exactly this op's blocked portion.
+  // Under the async engine the exposed wait surfaces inside the *consuming*
+  // compute op (take_slot drains the handle there), so that is the span it
+  // lands on.
   const std::int64_t wait_before =
-      opt_.comm_metrics != nullptr ? opt_.comm_metrics->recv_wait_ns.value : 0;
+      opt_.comm_metrics != nullptr ? opt_.comm_metrics->recv_wait_exposed_ns.value
+                                   : 0;
   const std::int64_t t0 = obs::now_ns();
   exec(op);
   const std::int64_t t1 = obs::now_ns();
@@ -379,7 +408,7 @@ void Interpreter::exec_traced(const Op& op, std::uint64_t tid) {
   span.start_ns = t0;
   span.end_ns = t1;
   span.wait_ns = opt_.comm_metrics != nullptr
-                     ? opt_.comm_metrics->recv_wait_ns.value - wait_before
+                     ? opt_.comm_metrics->recv_wait_exposed_ns.value - wait_before
                      : 0;
   span.tid = tid;
   if (opt_.spans != nullptr) opt_.spans->record(span);
@@ -394,16 +423,90 @@ void Interpreter::exec_traced(const Op& op, std::uint64_t tid) {
   if (opt_.memory != nullptr) sync_memory(op);
 }
 
+void Interpreter::do_op(const Op& op, bool traced, std::uint64_t tid) {
+  if (traced) {
+    exec_traced(op, tid);
+  } else {
+    exec(op);
+  }
+}
+
+void Interpreter::prepare_async() {
+  const auto& program = sched_.stage_ops[static_cast<std::size_t>(rank_)];
+  recv_queue_.clear();
+  pending_sends_.clear();
+  next_recv_ = 0;
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    if (program[i].kind == OpKind::kRecv) recv_queue_.push_back(i);
+    if (program[i].kind == OpKind::kSend) pending_sends_.push_back(i);
+  }
+}
+
+void Interpreter::prefetch_recvs(std::size_t i, bool traced, std::uint64_t tid) {
+  const auto& program = sched_.stage_ops[static_cast<std::size_t>(rank_)];
+  // Window semantics: lookahead w posts every Recv at program index <= i+w
+  // before op i executes; negative means the whole program (all up front).
+  const std::size_t limit =
+      opt_.recv_lookahead < 0
+          ? program.size()
+          : std::min(program.size(),
+                     i + static_cast<std::size_t>(opt_.recv_lookahead) + 1);
+  while (next_recv_ < recv_queue_.size() && recv_queue_[next_recv_] < limit) {
+    do_op(program[recv_queue_[next_recv_]], traced, tid);
+    ++next_recv_;
+  }
+}
+
+void Interpreter::post_ready_sends(bool traced, std::uint64_t tid) {
+  const auto& program = sched_.stage_ops[static_cast<std::size_t>(rank_)];
+  // Post every Send whose value slot has been produced — i.e. as soon as
+  // the producing compute op finished, not at the Send's program position
+  // (which may sit behind unrelated compute, e.g. the two-fold generator's
+  // fold-batched send blocks). In-program order among the ready ones keeps
+  // same-destination posts FIFO.
+  std::size_t kept = 0;
+  for (std::size_t r = 0; r < pending_sends_.size(); ++r) {
+    const Op& op = program[pending_sends_[r]];
+    if (slots_.find(std::make_tuple(op.slot, op.mb, op.layer)) != slots_.end()) {
+      do_op(op, traced, tid);
+    } else {
+      pending_sends_[kept++] = pending_sends_[r];
+    }
+  }
+  pending_sends_.resize(kept);
+}
+
 IterationMetrics Interpreter::run() {
   const auto& program = sched_.stage_ops[static_cast<std::size_t>(rank_)];
-  if (opt_.spans == nullptr && opt_.runtime_metrics == nullptr &&
-      opt_.memory == nullptr) {
-    for (const Op& op : program) exec(op);
+  const bool traced = opt_.spans != nullptr || opt_.runtime_metrics != nullptr ||
+                      opt_.memory != nullptr;
+  const std::uint64_t tid =
+      traced ? std::hash<std::thread::id>{}(std::this_thread::get_id()) : 0;
+  if (traced && opt_.spans != nullptr) opt_.spans->reserve(program.size());
+  if (!opt_.async_comm) {
+    for (const Op& op : program) do_op(op, traced, tid);
     return metrics_;
   }
-  const std::uint64_t tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
-  if (opt_.spans != nullptr) opt_.spans->reserve(program.size());
-  for (const Op& op : program) exec_traced(op, tid);
+  // Async engine: comm ops execute (post) at the earliest legal moment and
+  // are skipped at their program position; compute ops still run in exact
+  // program order, so numerics match the blocking engine bit-for-bit.
+  prepare_async();
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    prefetch_recvs(i, traced, tid);
+    const Op& op = program[i];
+    if (op.kind == OpKind::kRecv) continue;  // posted by the prefetch window
+    if (op.kind == OpKind::kSend) {
+      // Normally posted eagerly by post_ready_sends; the fallback covers a
+      // Send fed directly by a Recv (slot still in a handle at this point).
+      if (!pending_sends_.empty() && pending_sends_.front() == i) {
+        do_op(op, traced, tid);
+        pending_sends_.erase(pending_sends_.begin());
+      }
+      continue;
+    }
+    do_op(op, traced, tid);
+    post_ready_sends(traced, tid);
+  }
   return metrics_;
 }
 

@@ -20,6 +20,9 @@ namespace helix::runtime {
 
 using nn::Tensor;
 
+/// recv_lookahead value meaning "post every Recv in the program up front".
+inline constexpr int kUnboundedLookahead = -1;
+
 struct InterpreterOptions {
   int mlp_chunks = 1;
   /// True for schedules generated with recompute_without_attention: forward
@@ -28,6 +31,23 @@ struct InterpreterOptions {
   /// When set, OptimStep runs Adam with this rank's persistent state
   /// (covering the parameters this rank owns) instead of SGD.
   nn::AdamState* adam = nullptr;
+
+  /// Drive Send/Recv ops through the asynchronous comm engine instead of
+  /// executing them inline and blocking at their program position:
+  ///   * each Send is posted (Endpoint::isend, fire-and-forget through the
+  ///     rank's comm worker) as soon as the compute op producing its value
+  ///     slot finishes — possibly before the Send's own program position,
+  ///     so boundary transfers depart while this rank keeps computing;
+  ///   * each Recv is prefetched (Endpoint::irecv) up to `recv_lookahead`
+  ///     program positions ahead and its handle drained only when a compute
+  ///     op actually consumes the slot.
+  /// Compute ops still execute in exact program order and channels stay
+  /// FIFO, so numerics are bit-identical to the blocking engine.
+  bool async_comm = false;
+  /// Recv prefetch window in program positions (>= 0), or
+  /// kUnboundedLookahead to post every Recv up front. Ignored unless
+  /// async_comm.
+  int recv_lookahead = kUnboundedLookahead;
 
   // Observability sinks (normally wired by runtime::Trainer from one
   // obs::TraceCollector). All optional and independent; when null — the
@@ -97,6 +117,20 @@ class Interpreter {
   comm::Message take_slot(core::DataSlot slot, int mb, int layer);
   void put_slot(core::DataSlot slot, int mb, int layer, comm::Message msg);
 
+  // Asynchronous engine (opt_.async_comm): comm ops execute at their post
+  // moment, not their program position; run() drives these around every op.
+  /// Index the program's Send/Recv positions (fills recv_queue_ /
+  /// pending_sends_).
+  void prepare_async();
+  /// Post irecv for every not-yet-posted Recv op within `recv_lookahead`
+  /// positions of program index `i` (all of them when unbounded).
+  void prefetch_recvs(std::size_t i, bool traced, std::uint64_t tid);
+  /// Post isend for every not-yet-posted Send op whose value slot has been
+  /// produced, in program order.
+  void post_ready_sends(bool traced, std::uint64_t tid);
+  /// Execute one program op through exec/exec_traced.
+  void do_op(const core::Op& op, bool traced, std::uint64_t tid);
+
   const core::Schedule& sched_;
   int rank_;
   comm::Endpoint& comm_;
@@ -107,6 +141,14 @@ class Interpreter {
   // Logical value slots keyed (slot kind, mb, layer); written by producers
   // or Recv ops, consumed exactly once.
   std::map<std::tuple<core::DataSlot, int, int>, comm::Message> slots_;
+  // Async engine state: prefetched recv handles keyed like slots_ (drained
+  // by take_slot at consumption), the program indices of Recv ops not yet
+  // posted (ascending; next_recv_ is the cursor) and of Send ops not yet
+  // posted.
+  std::map<std::tuple<core::DataSlot, int, int>, comm::RecvHandle> recv_handles_;
+  std::vector<std::size_t> recv_queue_;
+  std::size_t next_recv_ = 0;
+  std::vector<std::size_t> pending_sends_;
   // Activation flowing forward / gradient flowing backward, per micro batch.
   std::map<int, Tensor> combo_y_;
   std::map<int, Tensor> grad_y_;

@@ -1,6 +1,7 @@
 #include "runtime/trainer.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "core/cost.h"
@@ -140,6 +141,14 @@ Trainer::Trainer(nn::ModelParams& params, TrainerOptions options)
   }
   if (opt_.threads > 0) par::set_global_threads(opt_.threads);
   if (opt_.track_memory && opt_.trace != nullptr) opt_.trace->enable_memory();
+  // Environment overrides so CI (and users) can re-run any suite under the
+  // async comm engine without touching call sites; numerics are identical.
+  if (const char* e = std::getenv("HELIX_COMM_ASYNC")) {
+    if (e[0] != '\0' && !(e[0] == '0' && e[1] == '\0')) opt_.async_comm = true;
+  }
+  if (const char* e = std::getenv("HELIX_COMM_LOOKAHEAD")) {
+    if (e[0] != '\0') opt_.comm_lookahead = std::atoi(e);
+  }
 }
 
 IterationMetrics Trainer::train_step(const nn::Batch& batch) {
@@ -162,6 +171,8 @@ IterationMetrics Trainer::train_step(const nn::Batch& batch) {
          .adam = opt_.optimizer == OptimizerKind::kAdam
                      ? &adam_states_[static_cast<std::size_t>(r)]
                      : nullptr,
+         .async_comm = opt_.async_comm,
+         .recv_lookahead = opt_.comm_lookahead,
          .spans = trace != nullptr ? &trace->recorder(r) : nullptr,
          .runtime_metrics = trace != nullptr ? &trace->runtime(r) : nullptr,
          .comm_metrics = trace != nullptr ? &trace->comm(r) : nullptr,

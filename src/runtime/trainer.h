@@ -36,6 +36,18 @@ struct TrainerOptions {
   /// total CPU concurrency stays bounded by this value regardless of
   /// pipeline_stages; kernel results are bit-identical for every setting.
   int threads = 0;
+  /// Run pipeline Send/Recv through the asynchronous comm engine: sends are
+  /// posted from a per-rank comm worker as soon as their value is produced
+  /// and recvs are prefetched and drained at consumption (see
+  /// InterpreterOptions::async_comm). Numerics are bit-identical to the
+  /// blocking engine. The HELIX_COMM_ASYNC environment variable (any value
+  /// other than "" / "0") force-enables this, so existing suites can be
+  /// re-run under the async engine without code changes.
+  bool async_comm = false;
+  /// Recv prefetch window in program positions for the async engine;
+  /// kUnboundedLookahead (the default) posts every recv up front.
+  /// Overridable via the HELIX_COMM_LOOKAHEAD environment variable.
+  int comm_lookahead = kUnboundedLookahead;
   /// Optional observability sink (caller-owned, must outlive the Trainer).
   /// When set, every train_step records per-op wall-clock spans, comm
   /// counters and live-memory gauges into it (resetting it first via

@@ -334,6 +334,188 @@ TEST(World, RingReduceScatterSumsSegmentsWithNeighbourTraffic) {
   }
 }
 
+TEST(Async, IsendIrecvDeliver) {
+  World w(2);
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      SendHandle h = ep.isend(1, 7, {constant(3.0f)});
+      EXPECT_TRUE(h.valid());
+      h.wait();
+      EXPECT_TRUE(h.delivered());
+    } else {
+      RecvHandle h = ep.irecv(0, 7);
+      EXPECT_TRUE(h.valid());
+      const Message m = h.wait();
+      EXPECT_FLOAT_EQ(m[0][0], 3.0f);
+      EXPECT_FALSE(h.valid());  // a handle delivers exactly once
+    }
+  });
+}
+
+TEST(Async, WaitTwiceIsALogicError) {
+  World w(2);
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send(1, 7, {constant(1.0f)});
+    } else {
+      RecvHandle h = ep.irecv(0, 7);
+      (void)h.wait();
+      EXPECT_THROW((void)h.wait(), std::logic_error);
+      EXPECT_THROW((void)RecvHandle().wait(), std::logic_error);
+    }
+  });
+}
+
+TEST(Async, IsendsAreFifoPerChannelAndInterleaveWithBlockingSend) {
+  // Posts from one rank drain through a single FIFO worker: same-tag
+  // messages arrive in post order, and a plain send() issued after isends
+  // routes through the same queue so it cannot overtake them.
+  World w(2);
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      for (int i = 0; i < 4; ++i) {
+        (void)ep.isend(1, 9, {constant(static_cast<float>(i))});
+      }
+      ep.send(1, 9, {constant(4.0f)});  // must not overtake the isends
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        EXPECT_FLOAT_EQ(ep.recv(0, 9)[0][0], static_cast<float>(i));
+      }
+    }
+  });
+}
+
+TEST(Async, PendingIrecvsMatchInPostOrder) {
+  World w(2);
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 1) {
+      RecvHandle first = ep.irecv(0, 5);
+      RecvHandle second = ep.irecv(0, 5);
+      ep.barrier();  // both registered before any send departs
+      EXPECT_FLOAT_EQ(second.wait()[0][0], 1.0f);  // drain order is free...
+      EXPECT_FLOAT_EQ(first.wait()[0][0], 0.0f);   // ...matching is FIFO
+    } else {
+      ep.barrier();
+      ep.send(1, 5, {constant(0.0f)});
+      ep.send(1, 5, {constant(1.0f)});
+    }
+  });
+}
+
+TEST(Async, PayloadIsMovedNotCopied) {
+  // The zero-copy contract end-to-end: the tensor buffer the sender
+  // allocated is the exact buffer the receiver drains, on every path —
+  // blocking send into a queued slot, blocking send into a pending recv
+  // (direct fulfillment), and isend through the comm worker. Ranks are
+  // threads of one process, so the sender can publish the expected
+  // addresses out of band.
+  World w(2);
+  std::atomic<const float*> sent_queued{nullptr};
+  std::atomic<const float*> sent_pending{nullptr};
+  std::atomic<const float*> sent_async{nullptr};
+  w.run([&](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      Tensor queued = constant(1.0f);
+      sent_queued.store(queued.data());
+      ep.send(1, 1, make_message(std::move(queued)));  // queued: not looking yet
+      ep.barrier();
+      ep.barrier();  // receiver's tag-2 irecv is now registered
+      Tensor pending = constant(2.0f);
+      sent_pending.store(pending.data());
+      ep.send(1, 2, make_message(std::move(pending)));  // fulfills pending recv
+      Tensor async = constant(3.0f);
+      sent_async.store(async.data());
+      ep.isend(1, 3, make_message(std::move(async))).wait();  // via the worker
+    } else {
+      ep.barrier();  // tag-1 message is queued before we recv it
+      const Message q = ep.recv(0, 1);
+      EXPECT_EQ(q[0].data(), sent_queued.load());
+      RecvHandle h = ep.irecv(0, 2);
+      ep.barrier();
+      const Message p = h.wait();
+      EXPECT_EQ(p[0].data(), sent_pending.load());
+      const Message a = ep.recv(0, 3);
+      EXPECT_EQ(a[0].data(), sent_async.load());
+    }
+  });
+}
+
+TEST(Async, PrefetchedRecvHidesLatencyFromWaitCounters) {
+  // A recv posted long before its drain whose message arrives in between
+  // records zero exposed wait and a positive hidden share; the barriers
+  // make arrival-before-drain deterministic.
+  World w(2);
+  std::vector<obs::CommMetrics> shards(2);
+  w.set_metrics(shards.data());
+  w.run([&](Endpoint& ep) {
+    if (ep.rank() == 1) {
+      RecvHandle h = ep.irecv(0, 7);
+      ep.barrier();  // sender may go
+      ep.barrier();  // sender delivered (blocking send: in mailbox on return)
+      EXPECT_TRUE(h.ready());
+      EXPECT_FLOAT_EQ(h.wait()[0][0], 5.0f);
+    } else {
+      ep.barrier();
+      ep.send(1, 7, {constant(5.0f)});
+      ep.barrier();
+    }
+  });
+  EXPECT_EQ(shards[1].irecv_posted.value, 1);
+  EXPECT_EQ(shards[1].recv_wait_exposed_ns.value, 0);
+  EXPECT_GT(shards[1].recv_wait_hidden_ns.value, 0);
+  EXPECT_EQ(shards[1].messages_received.value, 1);
+  // Blocking recvs never account hidden time (they post and drain
+  // back-to-back), so a blocking-only run keeps hidden == 0 exactly.
+  EXPECT_EQ(shards[0].recv_wait_hidden_ns.value, 0);
+}
+
+TEST(Async, PoisonAbortsPendingIrecv) {
+  World w(2);
+  std::atomic<int> aborted{0};
+  try {
+    w.run([&](Endpoint& ep) {
+      if (ep.rank() == 0) {
+        RecvHandle h = ep.irecv(1, 7);  // rank 1 will never send
+        ep.barrier();
+        try {
+          (void)h.wait();
+        } catch (const WorldAborted&) {
+          aborted.fetch_add(1);
+          throw;
+        }
+      } else {
+        ep.barrier();
+        throw std::runtime_error("boom");
+      }
+    });
+    FAIL() << "run() must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_EQ(aborted.load(), 1);
+}
+
+TEST(Async, IrecvAfterPoisonStillDrainsQueuedData) {
+  // Messages already in the mailbox when the world is poisoned are still
+  // deliverable — matching the blocking recv contract — while an irecv with
+  // no queued data aborts instead of parking forever.
+  World w(2);
+  EXPECT_THROW(
+      w.run([](Endpoint& ep) {
+        if (ep.rank() == 0) {
+          ep.send(1, 5, {constant(8.0f)});
+          ep.barrier();
+          throw std::runtime_error("late failure");
+        }
+        ep.barrier();
+        RecvHandle queued = ep.irecv(0, 5);  // message already in the mailbox
+        EXPECT_TRUE(queued.ready());
+        EXPECT_FLOAT_EQ(queued.wait()[0][0], 8.0f);
+        EXPECT_THROW((void)ep.irecv(0, 6).wait(), WorldAborted);
+      }),
+      std::runtime_error);
+}
+
 TEST(World, DetachedMetricsRecordNothing) {
   World w(2);
   std::vector<obs::CommMetrics> shards(2);

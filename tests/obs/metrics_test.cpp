@@ -113,7 +113,8 @@ TEST(Summarize, FlattensShardsIntoRankSummary) {
   RuntimeMetrics runtime;
   comm.bytes_sent.add(100);
   comm.bytes_received.add(200);
-  comm.recv_wait_ns.add(7);
+  comm.recv_wait_exposed_ns.add(7);
+  comm.recv_wait_hidden_ns.add(17);
   comm.barrier_wait_ns.add(3);
   comm.mailbox_depth.set(5);
   comm.mailbox_depth.set(2);
@@ -127,7 +128,8 @@ TEST(Summarize, FlattensShardsIntoRankSummary) {
   EXPECT_EQ(s.ops_executed, 9);
   EXPECT_EQ(s.busy_ns, 11);
   EXPECT_EQ(s.comm_op_ns, 13);
-  EXPECT_EQ(s.recv_wait_ns, 7);
+  EXPECT_EQ(s.recv_wait_exposed_ns, 7);
+  EXPECT_EQ(s.recv_wait_hidden_ns, 17);
   EXPECT_EQ(s.barrier_wait_ns, 3);
   EXPECT_EQ(s.bytes_sent, 100);
   EXPECT_EQ(s.bytes_received, 200);
