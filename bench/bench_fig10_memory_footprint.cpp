@@ -62,25 +62,23 @@ int main(int argc, char** argv) {
   std::printf("%-10s", "method");
   for (int i = 0; i < e.p; ++i) std::printf(" stage%-3d", i);
   std::printf("  (max)\n");
-  std::string json = "{\n  \"simulated\": [";
-  bool first = true;
+  JsonWriter json;
+  json.begin_object();
+  json.nl(2).key("simulated").begin_array();
   for (const Method m : all_methods()) {
     const ExperimentResult r = run_experiment(m, e);
     std::printf("%-10s", to_string(m));
-    json += first ? "\n" : ",\n";
-    first = false;
-    json += std::string("    {\"method\": \"") + to_string(m) +
-            "\", \"stage_peak_bytes\": [";
-    bool first_b = true;
+    json.nl(4).begin_object().key("method").value(to_string(m))
+        .key("stage_peak_bytes").begin_array();
     for (const auto b : r.stage_peak_bytes) {
       std::printf(" %7s ", gib(b).c_str());
-      json += (first_b ? "" : ", ") + std::to_string(b);
-      first_b = false;
+      json.value(b);
     }
-    json += "], \"oom\": " + std::string(r.oom ? "true" : "false") + "}";
+    json.end_array().key("oom").value(r.oom).end_object();
     std::printf("  %6s%s\n", gib(r.max_peak_bytes).c_str(), r.oom ? "  OOM" : "");
   }
-  json += "\n  ],\n  \"measured\": [";
+  json.nl(2).end_array();
+  json.nl(2).key("measured").begin_array();
   std::printf(
       "\nExpected shapes (Section 5.4): 1F1B skews high-to-low across stages;\n"
       "ZB1P is flat but spikes on the last stage (deferred fp32 LM-head\n"
@@ -95,29 +93,26 @@ int main(int argc, char** argv) {
   std::printf("  %-10s", "method");
   for (int i = 0; i < np; ++i) std::printf(" %12s", ("stage" + std::to_string(i)).c_str());
   std::printf("\n");
-  first = true;
   for (const Method m : all_methods()) {
     runtime::ScheduleFamily family;
     bool recompute = false;
     if (!numeric_family(m, &family, &recompute)) continue;
     const auto measured = measure_numeric_memory(family, np, recompute);
     std::printf("  %-10s", to_string(m));
-    json += first ? "\n" : ",\n";
-    first = false;
-    json += std::string("    {\"method\": \"") + to_string(m) +
-            "\", \"per_stage\": [";
+    json.nl(4).begin_object().key("method").value(to_string(m))
+        .key("per_stage").begin_array();
     for (std::size_t i = 0; i < measured.size(); ++i) {
       std::printf(" %12lld", static_cast<long long>(measured[i].peak_allocated));
-      json += i ? ", " : "";
       append_measured_json(json, measured[i]);
     }
-    json += "]}";
+    json.end_array().end_object();
     std::printf("\n");
   }
-  json += "\n  ]\n}\n";
+  json.nl(2).end_array();
+  json.nl(0).end_object();
 
   if (!json_path.empty()) {
-    std::ofstream(json_path) << json;
+    std::ofstream(json_path) << json.str() << "\n";
     std::printf("\nwrote %s\n", json_path.c_str());
   }
   return 0;

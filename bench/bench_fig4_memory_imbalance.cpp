@@ -40,24 +40,23 @@ int main(int argc, char** argv) {
   std::printf("%-8s", "seq");
   for (int i = 0; i < p; ++i) std::printf("  stage%-2d", i);
   std::printf("\n");
-  std::string json = "{\n  \"theoretical\": [";
-  bool first_row = true;
+  JsonWriter json;
+  json.begin_object();
+  json.nl(2).key("theoretical").begin_array();
   for (const i64 s : {32768LL, 65536LL, 98304LL, 131072LL}) {
     const LayerDims d{.s = s, .b = 1, .h = m.hidden};
     std::printf("%-8s", (std::to_string(s / 1024) + "k").c_str());
-    json += first_row ? "\n" : ",\n";
-    first_row = false;
-    json += "    {\"seq\": " + std::to_string(s) + ", \"stage_bytes\": [";
+    json.nl(4).begin_object().key("seq").value(s).key("stage_bytes").begin_array();
     for (int i = 0; i < p; ++i) {
       const i64 bytes = onef1b_stage_activation_bytes(d, ps, i) / sp;
       const double gib = static_cast<double>(bytes) / (1ull << 30);
       std::printf(" %7.1f%s", gib, gib > 80.0 ? "!" : " ");
-      json += (i ? ", " : "") + std::to_string(bytes);
+      json.value(bytes);
     }
-    json += "]}";
+    json.end_array().end_object();
     std::printf("\n");
   }
-  json += "\n  ],\n";
+  json.nl(2).end_array();
   std::printf("\n'!' marks stages exceeding the 80 GiB capacity: at 128k the first\n"
               "two stages overflow while later stages leave large spare memory\n"
               "(Section 3.2's memory imbalance).\n");
@@ -72,8 +71,8 @@ int main(int argc, char** argv) {
               2 * np);
   std::printf("  %-7s %14s %14s %7s %14s %7s\n", "stage", "peak alloc B",
               "peak resvd B", "frag%", "model B", "m/mod");
-  json += "  \"measured_1f1b\": {\"stages\": " + std::to_string(np) +
-          ", \"per_stage\": [";
+  json.nl(2).key("measured_1f1b").begin_object()
+      .key("stages").value(np).key("per_stage").begin_array();
   for (int i = 0; i < np; ++i) {
     const MeasuredStageMemory& s = measured[static_cast<std::size_t>(i)];
     std::printf("  P%-6d %14lld %14lld %7.1f %14lld %7.2f\n", i,
@@ -83,10 +82,10 @@ int main(int argc, char** argv) {
                 s.model_bytes > 0 ? static_cast<double>(s.peak_allocated) /
                                         static_cast<double>(s.model_bytes)
                                   : 0.0);
-    json += i ? ", " : "";
     append_measured_json(json, s);
   }
-  json += "]}\n}\n";
+  json.end_array().end_object();
+  json.nl(0).end_object();
   bool descending = true;
   for (std::size_t i = 1; i < measured.size(); ++i) {
     descending &= measured[i - 1].peak_allocated >= measured[i].peak_allocated;
@@ -95,7 +94,7 @@ int main(int argc, char** argv) {
               descending ? "decrease" : "DO NOT decrease");
 
   if (!json_path.empty()) {
-    std::ofstream(json_path) << json;
+    std::ofstream(json_path) << json.str() << "\n";
     std::printf("\nwrote %s\n", json_path.c_str());
   }
   return descending ? 0 : 1;

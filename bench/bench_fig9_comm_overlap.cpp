@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/cost.h"
+#include "json.h"
 #include "model/layer_cost.h"
 #include "model/model_config.h"
 #include "model/timing.h"
@@ -143,23 +144,19 @@ int main(int argc, char** argv) {
           : static_cast<double>(blocking.exposed_ns);  // fully hidden
 
   if (json) {
-    std::printf(
-        "{\n"
-        "  \"config\": \"helix_two_fold p=2 comm-heavy (L=16, h=48, m=4)\",\n"
-        "  \"repeats\": %d,\n"
-        "  \"blocking_exposed_wait_ns\": %lld,\n"
-        "  \"blocking_hidden_wait_ns\": %lld,\n"
-        "  \"async_exposed_wait_ns\": %lld,\n"
-        "  \"async_hidden_wait_ns\": %lld,\n"
-        "  \"exposed_wait_reduction\": %.3f,\n"
-        "  \"async_overlap_frac\": %.4f,\n"
-        "  \"predicted_overlap_frac\": %.4f\n"
-        "}\n",
-        repeats, static_cast<long long>(blocking.exposed_ns),
-        static_cast<long long>(blocking.hidden_ns),
-        static_cast<long long>(async.exposed_ns),
-        static_cast<long long>(async.hidden_ns), reduction,
-        async.overlap_frac, async.predicted_overlap_frac);
+    helix::bench::JsonWriter w;
+    w.begin_object();
+    w.nl(2).key("config").value("helix_two_fold p=2 comm-heavy (L=16, h=48, m=4)");
+    w.nl(2).key("repeats").value(repeats);
+    w.nl(2).key("blocking_exposed_wait_ns").value(blocking.exposed_ns);
+    w.nl(2).key("blocking_hidden_wait_ns").value(blocking.hidden_ns);
+    w.nl(2).key("async_exposed_wait_ns").value(async.exposed_ns);
+    w.nl(2).key("async_hidden_wait_ns").value(async.hidden_ns);
+    w.nl(2).key("exposed_wait_reduction").value(reduction, 3);
+    w.nl(2).key("async_overlap_frac").value(async.overlap_frac, 4);
+    w.nl(2).key("predicted_overlap_frac").value(async.predicted_overlap_frac, 4);
+    w.nl(0).end_object();
+    std::printf("%s\n", w.str().c_str());
     return 0;
   }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/filo.h"
+#include "json.h"
 #include "model/gpu_specs.h"
 #include "model/memory.h"
 #include "model/paper_cost.h"
@@ -189,18 +190,16 @@ inline std::vector<MeasuredStageMemory> measure_numeric_memory(
   return out;
 }
 
-/// Append one stage's measured allocator stats as a JSON object (the benches
-/// emit hand-rolled JSON; keep the field vocabulary identical everywhere).
-inline void append_measured_json(std::string& json,
+/// Append one stage's measured allocator stats as a JSON object (keep the
+/// field vocabulary identical across every bench that emits it).
+inline void append_measured_json(JsonWriter& json,
                                  const MeasuredStageMemory& s) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "{\"peak_allocated\":%lld,\"peak_reserved\":%lld,"
-                "\"fragmentation\":%.4f,\"model_bytes\":%lld}",
-                static_cast<long long>(s.peak_allocated),
-                static_cast<long long>(s.peak_reserved), s.fragmentation,
-                static_cast<long long>(s.model_bytes));
-  json += buf;
+  json.begin_object()
+      .key("peak_allocated").value(s.peak_allocated)
+      .key("peak_reserved").value(s.peak_reserved)
+      .key("fragmentation").value(s.fragmentation, 4)
+      .key("model_bytes").value(s.model_bytes)
+      .end_object();
 }
 
 }  // namespace helix::bench

@@ -1,0 +1,183 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Checked JSON emission for the bench --json outputs. The previous
+// hand-rolled strings had three failure modes this module removes:
+// interpolated names were not escaped (a quote or backslash in a method /
+// config label produced invalid JSON), numbers went through fixed-size
+// snprintf buffers that silently truncated, and separators were managed by
+// hand at every call site.
+namespace helix::bench {
+
+/// Escape `s` for embedding inside a JSON string literal (quotes around the
+/// result are the caller's job — JsonWriter adds them).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Append `v` formatted as %.<precision>f without a fixed-size buffer: the
+/// required length is measured first, so magnitudes like 1e300 (300+ digits)
+/// survive intact. Non-finite values become null (JSON has no inf/nan).
+inline void append_json_number(std::string& out, double v, int precision) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char small[64];
+  const int n = std::snprintf(small, sizeof(small), "%.*f", precision, v);
+  if (n < 0) {
+    out += "null";
+    return;
+  }
+  if (n < static_cast<int>(sizeof(small))) {
+    out.append(small, static_cast<std::size_t>(n));
+    return;
+  }
+  std::string big(static_cast<std::size_t>(n) + 1, '\0');
+  std::snprintf(big.data(), big.size(), "%.*f", precision, v);
+  big.resize(static_cast<std::size_t>(n));
+  out += big;
+}
+
+/// Streaming JSON writer: tracks the object/array nesting to place commas
+/// and reject malformed sequences (key outside an object, mismatched close),
+/// escapes every string, and formats numbers through append_json_number.
+/// Layout is explicit: nl(n) requests a line break plus an n-space indent
+/// before the next element (or closing bracket); inline separators are ", ".
+class JsonWriter {
+ public:
+  const std::string& str() const { return out_; }
+
+  /// Break the line and indent by `indent` spaces before the next token.
+  JsonWriter& nl(int indent) {
+    nl_pending_ = true;
+    indent_ = indent;
+    return *this;
+  }
+
+  JsonWriter& begin_object() { return begin('{', Frame::kObject); }
+  JsonWriter& end_object() { return end('}', Frame::kObject); }
+  JsonWriter& begin_array() { return begin('[', Frame::kArray); }
+  JsonWriter& end_array() { return end(']', Frame::kArray); }
+
+  JsonWriter& key(std::string_view k) {
+    if (stack_.empty() || stack_.back().kind != Frame::kObject) {
+      throw std::logic_error("JsonWriter: key outside an object");
+    }
+    if (has_key_) throw std::logic_error("JsonWriter: key after key");
+    next_element();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\": ";
+    has_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    start_value();
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    start_value();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    start_value();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v, int precision = 6) {
+    start_value();
+    append_json_number(out_, v, precision);
+    return *this;
+  }
+
+ private:
+  enum class Frame { kObject, kArray };
+  struct Level {
+    Frame kind;
+    int count = 0;
+  };
+
+  JsonWriter& begin(char open, Frame kind) {
+    start_value();
+    out_ += open;
+    stack_.push_back({kind, 0});
+    return *this;
+  }
+  JsonWriter& end(char close, Frame kind) {
+    if (stack_.empty() || stack_.back().kind != kind) {
+      throw std::logic_error("JsonWriter: mismatched close");
+    }
+    if (has_key_) throw std::logic_error("JsonWriter: close after dangling key");
+    flush_newline();
+    stack_.pop_back();
+    out_ += close;
+    return *this;
+  }
+
+  /// A value is either attached to the pending key or a new element.
+  void start_value() {
+    if (!stack_.empty() && stack_.back().kind == Frame::kObject) {
+      if (!has_key_) throw std::logic_error("JsonWriter: value without key");
+      has_key_ = false;
+      return;
+    }
+    next_element();
+  }
+  void next_element() {
+    const bool follows = stack_.empty() ? top_count_++ > 0
+                                        : stack_.back().count++ > 0;
+    if (follows) out_ += nl_pending_ ? "," : ", ";
+    flush_newline();
+  }
+  void flush_newline() {
+    if (!nl_pending_) return;
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(indent_ < 0 ? 0 : indent_), ' ');
+    nl_pending_ = false;
+  }
+
+  std::string out_;
+  std::vector<Level> stack_;
+  bool has_key_ = false;
+  bool nl_pending_ = false;
+  int indent_ = 0;
+  int top_count_ = 0;
+};
+
+}  // namespace helix::bench

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/trainer.h"
+
+// Cross-schedule differential-equivalence harness: configuration space.
+//
+// A CheckConfig pins one training problem — shape, optimizer, recompute,
+// thread count, async lookahead, step count and the data/init seeds — and
+// the harness trains it under every applicable schedule family, asserting
+// all of them land on the same weights as the sequential reference (see
+// DESIGN.md "Equivalence contract").
+namespace helix::check {
+
+struct CheckConfig {
+  int p = 2;             ///< pipeline stages
+  int m = 4;             ///< micro batches
+  int L = 4;             ///< transformer layers
+  int hidden = 16;
+  int heads = 2;
+  int seq = 8;
+  int vocab = 32;
+  int mlp_chunks = 1;
+  bool recompute = false;  ///< recomputation-without-attention (helix only)
+  bool adam = false;       ///< Adam instead of SGD
+  int threads = 1;         ///< intra-rank kernel threads
+  int lookahead = runtime::kUnboundedLookahead;  ///< async recv prefetch window
+  int steps = 2;           ///< training iterations compared
+  std::uint64_t data_seed = 1234;
+  std::uint64_t init_seed = 42;
+
+  std::string name() const;
+  nn::MiniGptConfig model() const;
+};
+
+/// Schedule families this config can legally train under (shape divisibility
+/// per core::validate_problem; recompute restricts to the helix families).
+std::vector<runtime::ScheduleFamily> applicable_families(const CheckConfig& c);
+
+const char* family_name(runtime::ScheduleFamily f);
+
+/// Short deterministic slice registered in ctest: covers every schedule
+/// family, both optimizers, recompute, chunked MLP and multi-threaded
+/// kernels in a few seconds.
+std::vector<CheckConfig> slice_configs();
+
+/// Seeded pseudo-random enumeration of `count` valid configs (splitmix64
+/// over the shape space; every returned config satisfies L % p == 0 so at
+/// least the layer-wise families apply, and m is biased toward multiples of
+/// 2p so the helix families are exercised often).
+std::vector<CheckConfig> generate_configs(std::uint64_t seed, int count);
+
+}  // namespace helix::check

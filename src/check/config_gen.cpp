@@ -1,0 +1,140 @@
+#include "check/config.h"
+
+#include <sstream>
+
+namespace helix::check {
+
+using runtime::ScheduleFamily;
+
+std::string CheckConfig::name() const {
+  std::ostringstream os;
+  os << "p" << p << "_m" << m << "_L" << L << "_h" << hidden << "x" << heads
+     << "_s" << seq << "_v" << vocab;
+  if (mlp_chunks > 1) os << "_c" << mlp_chunks;
+  if (recompute) os << "_rc";
+  os << (adam ? "_adam" : "_sgd");
+  if (threads > 1) os << "_t" << threads;
+  if (lookahead != runtime::kUnboundedLookahead) os << "_la" << lookahead;
+  os << "_k" << steps;
+  return os.str();
+}
+
+nn::MiniGptConfig CheckConfig::model() const {
+  return {.layers = L,
+          .hidden = hidden,
+          .heads = heads,
+          .seq = seq,
+          .batch = 1,
+          .vocab = vocab,
+          .micro_batches = m,
+          .lr = 0.05f};
+}
+
+std::vector<ScheduleFamily> applicable_families(const CheckConfig& c) {
+  std::vector<ScheduleFamily> out;
+  const bool layers_divide = c.L % c.p == 0;
+  if (!layers_divide) return out;  // no pipeline family admits this shape
+  if (!c.recompute) {
+    // Layer-wise families have no recomputation-without-attention analogue
+    // (it is a HelixPipe schedule feature): under recompute they are not
+    // applicable rather than silently trained without it.
+    out.push_back(ScheduleFamily::k1F1B);
+    out.push_back(ScheduleFamily::kGPipe);
+    out.push_back(ScheduleFamily::kZb1p);
+    if (c.L % (2 * c.p) == 0 && c.m % c.p == 0) {
+      out.push_back(ScheduleFamily::kInterleaved);
+    }
+  }
+  if (c.m % c.p == 0) out.push_back(ScheduleFamily::kHelixNaive);
+  if (c.m % (2 * c.p) == 0) {
+    out.push_back(ScheduleFamily::kHelixTwoFold);
+    out.push_back(ScheduleFamily::kHelixTuned);
+  }
+  return out;
+}
+
+const char* family_name(ScheduleFamily f) {
+  switch (f) {
+    case ScheduleFamily::kSequential: return "sequential";
+    case ScheduleFamily::k1F1B: return "1f1b";
+    case ScheduleFamily::kZb1p: return "zb1p";
+    case ScheduleFamily::kInterleaved: return "interleaved";
+    case ScheduleFamily::kGPipe: return "gpipe";
+    case ScheduleFamily::kHelixNaive: return "helix-naive";
+    case ScheduleFamily::kHelixTwoFold: return "helix-two-fold";
+    case ScheduleFamily::kHelixTuned: return "helix-tuned";
+  }
+  return "?";
+}
+
+std::vector<CheckConfig> slice_configs() {
+  std::vector<CheckConfig> out;
+  // Every family at its smallest interesting shape, SGD.
+  out.push_back({.p = 2, .m = 4, .L = 4, .steps = 2});
+  // Odd micro-batch count: layer-wise families only (m % p != 0).
+  out.push_back({.p = 2, .m = 3, .L = 4, .steps = 2});
+  // Multi-loop helix (m > 2p) routes helix-tuned through the list scheduler.
+  out.push_back({.p = 2, .m = 8, .L = 4, .hidden = 8, .heads = 1, .seq = 4,
+                 .vocab = 16, .steps = 2});
+  // Adam + recompute + chunked MLP on the helix families.
+  out.push_back({.p = 2, .m = 4, .L = 4, .mlp_chunks = 2, .recompute = true,
+                 .adam = true, .steps = 2});
+  // Adam across every family, 4 stages, 2 kernel threads, bounded lookahead.
+  out.push_back({.p = 4, .m = 8, .L = 8, .hidden = 8, .heads = 1, .seq = 4,
+                 .vocab = 16, .adam = true, .threads = 2, .lookahead = 1,
+                 .steps = 2});
+  return out;
+}
+
+namespace {
+
+/// splitmix64: deterministic, platform-independent stream for the generator.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int pick(std::uint64_t& st, std::initializer_list<int> choices) {
+  const auto i = splitmix64(st) % choices.size();
+  return *(choices.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+}  // namespace
+
+std::vector<CheckConfig> generate_configs(std::uint64_t seed, int count) {
+  std::vector<CheckConfig> out;
+  std::uint64_t st = seed;
+  while (static_cast<int>(out.size()) < count) {
+    CheckConfig c;
+    c.p = pick(st, {1, 2, 2, 3, 4});
+    // L: a multiple of p (and often of 2p, unlocking interleaved v=2).
+    c.L = c.p * pick(st, {1, 2, 2, 4});
+    // m: biased toward multiples of 2p so the helix families run often, but
+    // with raw values mixed in so layer-wise-only shapes are swept too.
+    switch (splitmix64(st) % 4) {
+      case 0: c.m = pick(st, {1, 2, 3, 5, 6}); break;
+      case 1: c.m = c.p * pick(st, {1, 2, 3}); break;
+      default: c.m = 2 * c.p * pick(st, {1, 1, 2}); break;
+    }
+    c.hidden = pick(st, {8, 16});
+    c.heads = c.hidden == 8 ? pick(st, {1, 2}) : pick(st, {2, 4});
+    c.seq = pick(st, {4, 8});
+    c.vocab = pick(st, {16, 32});
+    c.mlp_chunks = pick(st, {1, 1, 2, 4});
+    c.adam = splitmix64(st) % 2 == 0;
+    c.recompute = c.m % c.p == 0 && splitmix64(st) % 4 == 0;
+    c.threads = pick(st, {1, 1, 2});
+    c.lookahead = pick(st, {runtime::kUnboundedLookahead,
+                            runtime::kUnboundedLookahead, 0, 1, 4});
+    c.steps = pick(st, {1, 2, 2, 3});
+    c.data_seed = 1000 + splitmix64(st) % 9000;
+    c.init_seed = 10 + splitmix64(st) % 90;
+    if (applicable_families(c).empty()) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace helix::check

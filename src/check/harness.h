@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/config.h"
+
+// Differential-equivalence harness (the helix_check tool's engine).
+//
+// For one CheckConfig, run_config trains the mini-GPT k steps under every
+// applicable schedule family and checks, per family:
+//  1. IR invariants on the exact schedule the trainer executes: structure
+//     (matched byte-equal Send/Recv pairs, balanced memory, acyclicity),
+//     per-micro-batch semantic order, and exactly-once (mb, layer, op-kind)
+//     coverage (core::validate_*).
+//  2. Simulator leak detector on the same IR: StageStats::final_memory must
+//     return to base on every stage.
+//  3. Numeric equivalence, bit-identical (see DESIGN.md "Equivalence
+//     contract" for why no family needs a tolerance in this codebase):
+//     per-step micro-batch losses, final weights, and — under Adam — the
+//     union of per-rank optimizer moments against the sequential reference.
+//  4. Blocking vs async comm engines agree bit-identically (the async rerun
+//     is compared against both the blocking weights and the reference).
+namespace helix::check {
+
+struct FamilyReport {
+  std::string family;
+  std::string equivalence = "bit-identical";  ///< contract class asserted
+  std::vector<std::string> errors;            ///< empty = family passed
+  bool ok() const { return errors.empty(); }
+};
+
+struct ConfigReport {
+  CheckConfig config;
+  std::vector<FamilyReport> families;
+  bool ok() const {
+    for (const auto& f : families) {
+      if (!f.ok()) return false;
+    }
+    return !families.empty();
+  }
+};
+
+/// Train `cfg` under every applicable family and report all divergences
+/// (never throws on divergence; builder/runtime exceptions are captured as
+/// errors so one bad family cannot mask the others).
+ConfigReport run_config(const CheckConfig& cfg);
+
+/// Render a one-line (ok) or multi-line (divergent) human-readable summary.
+std::string render_report(const ConfigReport& report);
+
+}  // namespace helix::check

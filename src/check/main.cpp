@@ -1,0 +1,99 @@
+// helix_check: cross-schedule differential-equivalence sweep.
+//
+//   helix_check                      # default sweep: 24 seeded configs
+//   helix_check --configs=40         # bigger sweep
+//   helix_check --seed=7             # different region of the config space
+//   helix_check --budget-seconds=30  # stop starting new configs after 30s
+//   helix_check --slice              # the short deterministic ctest slice
+//   helix_check --list               # print configs without running them
+//
+// Exit status 0 iff every config trained to bit-identical weights under
+// every applicable schedule family (see DESIGN.md "Equivalence contract").
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/harness.h"
+
+namespace {
+
+bool parse_flag(const char* arg, const char* name, long* value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = std::strtol(arg + n + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long seed = 2026;
+  long count = 24;
+  long budget_seconds = 0;  // 0 = no budget
+  long steps_override = 0;  // 0 = per-config default
+  bool slice = false;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (parse_flag(a, "--seed", &seed) || parse_flag(a, "--configs", &count) ||
+        parse_flag(a, "--budget-seconds", &budget_seconds) ||
+        parse_flag(a, "--steps", &steps_override)) {
+      continue;
+    }
+    if (std::strcmp(a, "--slice") == 0) {
+      slice = true;
+    } else if (std::strcmp(a, "--list") == 0) {
+      list_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument %s\nusage: helix_check [--seed=N] "
+                   "[--configs=N] [--steps=K] [--budget-seconds=S] [--slice] "
+                   "[--list]\n",
+                   a);
+      return 2;
+    }
+  }
+
+  std::vector<helix::check::CheckConfig> configs =
+      slice ? helix::check::slice_configs()
+            : helix::check::generate_configs(static_cast<std::uint64_t>(seed),
+                                             static_cast<int>(count));
+  if (steps_override > 0) {
+    for (auto& c : configs) c.steps = static_cast<int>(steps_override);
+  }
+  if (list_only) {
+    for (const auto& c : configs) {
+      std::printf("%s\n", c.name().c_str());
+    }
+    return 0;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  int ran = 0;
+  int failed = 0;
+  int families = 0;
+  for (const auto& c : configs) {
+    if (budget_seconds > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      if (elapsed >= budget_seconds) {
+        std::printf("time budget reached after %d/%zu configs\n", ran,
+                    configs.size());
+        break;
+      }
+    }
+    const auto report = helix::check::run_config(c);
+    std::printf("%s\n", helix::check::render_report(report).c_str());
+    std::fflush(stdout);
+    ++ran;
+    families += static_cast<int>(report.families.size());
+    if (!report.ok()) ++failed;
+  }
+  std::printf("helix_check: %d configs, %d family runs, %d failed\n", ran,
+              families, failed);
+  return failed == 0 && ran > 0 ? 0 : 1;
+}

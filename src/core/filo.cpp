@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/partition.h"
+#include "core/problem_check.h"
 #include "core/reorder.h"
 
 namespace helix::core {
@@ -36,6 +37,9 @@ struct FlowState {
   std::vector<Handoff> attn_out;     ///< attn output en route to combo stage
   std::vector<Handoff> grad_ready;   ///< combo grad en route to attn stage
   std::vector<Handoff> grad_to_combo;///< attn grad en route to combo stage
+  /// Last forward op of combo c for mb g: the op whose recompute stashes the
+  /// backward-pass recompute of combo c replays ([L+1][m], set under rc).
+  std::vector<std::vector<OpId>> fwd_at_combo;
 
   explicit FlowState(int m)
       : combo_out(m, kNoOp), attn_ready(m), attn_out(m), grad_ready(m),
@@ -58,8 +62,7 @@ Schedule build_helix_schedule(const PipelineProblem& pr, const HelixOptions& opt
   const int p = pr.p;
   const int m = pr.m;
   const int L = pr.L;
-  if (L % p != 0) throw std::invalid_argument("L must be divisible by p");
-  check_filo_divisibility(m, p, opt.two_fold);
+  validate_problem(pr, helix_requirements(opt.two_fold, p));
   const int q = filo_loop_size(p, opt.two_fold);
   const int loops = m / q;
   const int per_fold = opt.two_fold ? 2 : 1;
@@ -67,6 +70,10 @@ Schedule build_helix_schedule(const PipelineProblem& pr, const HelixOptions& opt
 
   ScheduleBuilder b(opt.two_fold ? "helix-two-fold" : "helix-naive", p, m, L);
   FlowState flow(m);
+  if (rc) {
+    flow.fwd_at_combo.assign(static_cast<std::size_t>(L) + 1,
+                             std::vector<OpId>(static_cast<std::size_t>(m), kNoOp));
+  }
 
   // ----------------------------------------------------------------- forward
   // Layer-major sweep: all micro batches stream through combo c before the
@@ -106,6 +113,10 @@ Schedule build_helix_schedule(const PipelineProblem& pr, const HelixOptions& opt
             b.with_memory(rc ? 0 : pr.act.pre, 0);
           }
           flow.combo_out[g] = prev;  // at c == L this is FwdPost(L-1)
+          if (rc) {
+            flow.fwd_at_combo[static_cast<std::size_t>(c)]
+                             [static_cast<std::size_t>(g)] = prev;
+          }
           block_last = prev;
         }
         if (c == L) continue;
@@ -181,12 +192,22 @@ Schedule build_helix_schedule(const PipelineProblem& pr, const HelixOptions& opt
           OpId rc_post = kNoOp;
           OpId rc_pre = kNoOp;
           if (rc) {
+            // Recompute is anchored on the forward op whose stash it replays
+            // (the last forward op of combo c for this mb): any topological
+            // reordering — the tuned list scheduler in particular — must
+            // keep the recompute after the stash was written, but remains
+            // free to run it before the gradient arrives, overlapping it
+            // with the incoming transfer.
+            const OpId fwd = flow.fwd_at_combo[static_cast<std::size_t>(c)]
+                                              [static_cast<std::size_t>(g)];
             if (c > 0) {
-              rc_post = b.add(OpKind::kRecomputePost, owner, g, c - 1);
+              rc_post = b.add(OpKind::kRecomputePost, owner, g, c - 1,
+                              dep(fwd));
               b.with_memory(pr.act.post - pr.act.post_recompute, 0);
             }
             if (c < L) {
-              rc_pre = b.add(OpKind::kRecomputePre, owner, g, c, dep(rc_post));
+              rc_pre = b.add(OpKind::kRecomputePre, owner, g, c,
+                             deps2(fwd, rc_post));
               b.with_memory(pr.act.pre, 0);
             }
           }
@@ -257,7 +278,7 @@ Schedule build_helix_schedule(const PipelineProblem& pr, const HelixOptions& opt
   }
 
   for (int s = 0; s < p; ++s) {
-    b.add(OpKind::kOptimStep, s, -1, -1);
+    b.add_optim_step(s);
   }
   return std::move(b).finish();
 }

@@ -137,6 +137,20 @@ OpId ScheduleBuilder::add_recv(const PendingTransfer& t) {
   return recv;
 }
 
+OpId ScheduleBuilder::add_optim_step(int stage) {
+  if (stage < 0 || stage >= sched_.num_stages) {
+    throw std::out_of_range("stage out of range");
+  }
+  std::vector<OpId> deps;
+  for (const Op& o : sched_.stage_ops[static_cast<std::size_t>(stage)]) {
+    if (is_backward_b(o.kind) || is_backward_w(o.kind) ||
+        o.kind == OpKind::kEmbedBwd || o.kind == OpKind::kLmHeadLoss) {
+      deps.push_back(o.id);
+    }
+  }
+  return add(OpKind::kOptimStep, stage, -1, -1, std::move(deps));
+}
+
 Schedule ScheduleBuilder::finish() && { return std::move(sched_); }
 
 }  // namespace helix::core

@@ -162,6 +162,14 @@ class ScheduleBuilder {
                            DataSlot slot = DataSlot::kNone);
   OpId add_recv(const PendingTransfer& t);
 
+  /// Append the end-of-iteration OptimStep on `stage`, depending on every
+  /// gradient-producing op already emitted there (backward-B/-W, LmHeadLoss,
+  /// EmbedBwd). The explicit deps make the dependency graph self-describing:
+  /// any topological linearization — e.g. reorder_stage_programs's — applies
+  /// the optimizer only after the full gradient sum is accumulated, instead
+  /// of relying on the emitter's program order.
+  OpId add_optim_step(int stage);
+
   Schedule finish() &&;
 
   int next_id() const noexcept { return next_id_; }

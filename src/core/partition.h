@@ -38,17 +38,9 @@ constexpr int fold_on_stage(int layer, int stage, int p) {
   return ((stage - layer - 1) % p + p) % p;
 }
 
-/// Validated at schedule build time: the FILO schedule admits `p` micro
-/// batches per loop (2p for the two-fold variant), so m must divide evenly.
+/// Validated at schedule build time (core::validate_problem): the FILO
+/// schedule admits `p` micro batches per loop (2p for the two-fold variant),
+/// so m must divide evenly.
 inline int filo_loop_size(int p, bool two_fold) { return two_fold ? 2 * p : p; }
-
-inline void check_filo_divisibility(int m, int p, bool two_fold) {
-  const int q = filo_loop_size(p, two_fold);
-  if (m <= 0 || m % q != 0) {
-    throw std::invalid_argument(
-        "FILO schedule requires micro batches divisible by " +
-        std::to_string(q));
-  }
-}
 
 }  // namespace helix::core

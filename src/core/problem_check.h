@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "core/problem.h"
+
+// Shared up-front validation of a PipelineProblem against the shape
+// constraints of one schedule family. Every schedule builder calls
+// validate_problem before doing any planning work, so an invalid (p, m, L)
+// combination fails immediately with an actionable message instead of
+// surfacing deep inside list scheduling or a partition search as an opaque
+// logic_error (or, worse, an infinite greedy loop).
+namespace helix::core {
+
+/// Family-specific shape constraints on top of the universal ones
+/// (p >= 1, m >= 1, L >= 1, L divisible by p).
+struct ScheduleRequirements {
+  /// Family name used in error messages ("helix-two-fold", "ZB1P", ...).
+  std::string family;
+  /// m must be a multiple of this (FILO loop size p or 2p for HelixPipe,
+  /// p for interleaved 1F1B). 1 = no constraint.
+  int micro_batch_divisor = 1;
+  /// L must be divisible by p * this (virtual chunks of interleaved 1F1B).
+  /// 1 = the universal L % p == 0 check only.
+  int layer_divisor_per_stage = 1;
+  /// Families with a non-uniform layer partition (AdaPipe's DP) only need
+  /// L >= p, not L % p == 0.
+  bool uniform_layer_partition = true;
+  /// Human-readable reason for micro_batch_divisor, appended to the error
+  /// so the message explains the constraint, not just states it.
+  std::string micro_batch_reason;
+};
+
+/// Throws std::invalid_argument with an actionable message (family, the
+/// offending value, the violated constraint and the nearest valid choices)
+/// if `pr` cannot be scheduled under `req`. Returns normally otherwise.
+void validate_problem(const PipelineProblem& pr, const ScheduleRequirements& req);
+
+/// Convenience requirement sets for the built-in families.
+ScheduleRequirements layerwise_requirements(std::string family);
+ScheduleRequirements adapipe_requirements();
+ScheduleRequirements interleaved_requirements(int virtual_chunks, int p);
+ScheduleRequirements helix_requirements(bool two_fold, int p);
+
+}  // namespace helix::core

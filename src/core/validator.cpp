@@ -170,9 +170,19 @@ ValidationResult validate_semantics(const Schedule& sched) {
   // Index semantic ops by (mb, kind, layer); first occurrence wins (a
   // recompute re-execution of attention uses kRecomputeAttn, never kFwdAttn).
   std::map<std::tuple<int, OpKind, int>, OpId> sem;
+  std::map<int, OpId> deferred_head_w;  ///< mb -> decoupled LM-head W flush
   for (const Op* op : ops) {
     if (is_comm(op->kind) || is_recompute(op->kind) ||
         op->kind == OpKind::kOptimStep) {
+      continue;
+    }
+    if (op->kind == OpKind::kEmbedBwd && !op->combines_w) {
+      // Deferred LM-head backward-W flush (ZB1P): not part of the semantic
+      // chain. Identified by the decoupled flag, not by layer — at L == 1
+      // its layer (L-1) collides with the regular embedding backward's 0.
+      if (!deferred_head_w.emplace(static_cast<int>(op->mb), op->id).second) {
+        res.fail("duplicate deferred head backward-W " + op_desc(*op));
+      }
       continue;
     }
     const auto key = std::make_tuple(static_cast<int>(op->mb), op->kind,
@@ -223,6 +233,211 @@ ValidationResult validate_semantics(const Schedule& sched) {
                   "mb " + std::to_string(mb) + " BwdWPost layer " + std::to_string(l));
       check_order(get(mb, OpKind::kBwdPre, l), get(mb, OpKind::kBwdWPre, l),
                   "mb " + std::to_string(mb) + " BwdWPre layer " + std::to_string(l));
+    }
+    const auto dit = deferred_head_w.find(mb);
+    if (dit != deferred_head_w.end()) {
+      check_order(get(mb, OpKind::kLmHeadLoss, sched.num_layers - 1),
+                  dit->second,
+                  "mb " + std::to_string(mb) + " deferred head backward-W");
+    }
+  }
+
+  // A stage's OptimStep must be ordered after every gradient-producing op of
+  // that stage, or a reordered linearization could apply a partial gradient
+  // sum (the helix-tuned divergence the equivalence harness caught). One
+  // reverse reachability pass per OptimStep.
+  std::vector<std::vector<OpId>> radj(adj.size());
+  for (std::size_t u = 0; u < adj.size(); ++u) {
+    for (OpId v : adj[u]) {
+      radj[static_cast<std::size_t>(v)].push_back(static_cast<OpId>(u));
+    }
+  }
+  for (const Op* op : ops) {
+    if (op->kind != OpKind::kOptimStep) continue;
+    std::vector<bool> before(adj.size(), false);
+    std::queue<OpId> q;
+    q.push(op->id);
+    before[static_cast<std::size_t>(op->id)] = true;
+    while (!q.empty()) {
+      const OpId u = q.front();
+      q.pop();
+      for (OpId v : radj[static_cast<std::size_t>(u)]) {
+        if (!before[static_cast<std::size_t>(v)]) {
+          before[static_cast<std::size_t>(v)] = true;
+          q.push(v);
+        }
+      }
+    }
+    for (const Op& g : sched.stage_ops[static_cast<std::size_t>(op->stage)]) {
+      const bool produces_grad =
+          is_backward_b(g.kind) || is_backward_w(g.kind) ||
+          g.kind == OpKind::kEmbedBwd || g.kind == OpKind::kLmHeadLoss;
+      if (produces_grad && !before[static_cast<std::size_t>(g.id)]) {
+        res.fail("missing ordering: " + op_desc(g) + " -> " + op_desc(*op) +
+                 " (optimizer could apply a partial gradient sum)");
+      }
+    }
+  }
+  return res;
+}
+
+ValidationResult validate_coverage(const Schedule& sched) {
+  ValidationResult res;
+  const int m = sched.num_micro_batches;
+  const int L = sched.num_layers;
+
+  // Observed op multiset keyed (mb, kind, layer); combines_w of the
+  // backward-B / LmHeadLoss ops drives the expected backward-W set.
+  std::map<std::tuple<int, OpKind, int>, int> seen;
+  std::map<std::tuple<int, OpKind, int>, bool> combines;
+  std::map<int, int> deferred_head_w;  ///< mb -> decoupled LM-head W flushes
+  std::vector<int> optim_per_stage(static_cast<std::size_t>(sched.num_stages), 0);
+  bool any_head = false;
+
+  for (const auto& stage : sched.stage_ops) {
+    for (const Op& op : stage) {
+      if (is_comm(op.kind)) continue;
+      if (op.kind == OpKind::kOptimStep) {
+        ++optim_per_stage[static_cast<std::size_t>(op.stage)];
+        continue;
+      }
+      if (op.mb < 0 || op.mb >= m) {
+        res.fail(op_desc(op) + ": micro batch out of range [0, " +
+                 std::to_string(m) + ")");
+        continue;
+      }
+      if (op.layer < 0 || op.layer >= L) {
+        res.fail(op_desc(op) + ": layer out of range [0, " + std::to_string(L) +
+                 ")");
+        continue;
+      }
+      if (op.kind == OpKind::kEmbedBwd && !op.combines_w) {
+        // Deferred LM-head backward-W flush (ZB1P): tracked by flag rather
+        // than layer, because at L == 1 its layer (L-1) collides with the
+        // regular embedding backward's layer 0.
+        if (op.layer != L - 1) {
+          res.fail(op_desc(op) + ": deferred head backward-W must sit at "
+                   "layer L-1 (" + std::to_string(L - 1) + ")");
+        }
+        ++deferred_head_w[static_cast<int>(op.mb)];
+        continue;
+      }
+      const auto key = std::make_tuple(static_cast<int>(op.mb), op.kind,
+                                       static_cast<int>(op.layer));
+      ++seen[key];
+      combines[key] = op.combines_w;
+      if (op.kind == OpKind::kLmHeadLoss) any_head = true;
+    }
+  }
+  if (!res.ok) return res;
+
+  for (int s = 0; s < sched.num_stages; ++s) {
+    if (optim_per_stage[static_cast<std::size_t>(s)] != 1) {
+      res.fail("stage " + std::to_string(s) + ": expected exactly 1 OptimStep, got " +
+               std::to_string(optim_per_stage[static_cast<std::size_t>(s)]));
+    }
+  }
+
+  const auto count = [&](int mb, OpKind k, int layer) {
+    const auto it = seen.find(std::make_tuple(mb, k, layer));
+    return it == seen.end() ? 0 : it->second;
+  };
+  const auto combined = [&](int mb, OpKind k, int layer) {
+    const auto it = combines.find(std::make_tuple(mb, k, layer));
+    return it == combines.end() || it->second;
+  };
+
+  for (int mb = 0; mb < m; ++mb) {
+    // Expected exactly-once multiset for this micro batch.
+    std::map<std::pair<OpKind, int>, int> expect;
+    expect[{OpKind::kEmbedFwd, 0}] = 1;
+    for (int l = 0; l < L; ++l) {
+      expect[{OpKind::kFwdPre, l}] = 1;
+      expect[{OpKind::kFwdAttn, l}] = 1;
+      expect[{OpKind::kFwdPost, l}] = 1;
+      expect[{OpKind::kBwdPost, l}] = 1;
+      expect[{OpKind::kBwdAttn, l}] = 1;
+      expect[{OpKind::kBwdPre, l}] = 1;
+      if (!combined(mb, OpKind::kBwdPost, l)) expect[{OpKind::kBwdWPost, l}] = 1;
+      if (!combined(mb, OpKind::kBwdPre, l)) expect[{OpKind::kBwdWPre, l}] = 1;
+    }
+    if (any_head) expect[{OpKind::kLmHeadLoss, L - 1}] = 1;
+    expect[{OpKind::kEmbedBwd, 0}] = 1;
+    // Deferred LM-head/embedding backward-W (ZB1P's last-stage spike): a
+    // decoupled EmbedBwd at layer L-1, legal only when LmHeadLoss is
+    // decoupled. Counted by flag so L == 1 (where layers collide) works.
+    {
+      const int want_deferred =
+          (any_head && !combined(mb, OpKind::kLmHeadLoss, L - 1)) ? 1 : 0;
+      const auto it = deferred_head_w.find(mb);
+      const int got_deferred = it == deferred_head_w.end() ? 0 : it->second;
+      if (got_deferred != want_deferred) {
+        res.fail("mb " + std::to_string(mb) + ": expected " +
+                 std::to_string(want_deferred) +
+                 "x deferred head backward-W (decoupled EmbedBwd), got " +
+                 std::to_string(got_deferred));
+      }
+    }
+
+    for (const auto& [kl, want] : expect) {
+      const int got = count(mb, kl.first, kl.second);
+      if (got != want) {
+        res.fail("mb " + std::to_string(mb) + ": expected " +
+                 std::to_string(want) + "x " + to_string(kl.first) + "(layer " +
+                 std::to_string(kl.second) + "), got " + std::to_string(got));
+      }
+    }
+  }
+
+  // Anything observed but not expected (stray backward-W without a decoupled
+  // backward-B, a duplicated recompute, an extra EmbedBwd, ...).
+  for (const auto& [key, got] : seen) {
+    const auto& [mb, kind, layer] = key;
+    if (is_recompute(kind)) {
+      if (got > 1) {
+        res.fail("mb " + std::to_string(mb) + ": " + to_string(kind) +
+                 "(layer " + std::to_string(layer) + ") executed " +
+                 std::to_string(got) + " times (recompute is at most once)");
+      }
+      continue;
+    }
+    int want = 0;
+    switch (kind) {
+      case OpKind::kEmbedFwd: want = layer == 0 ? 1 : 0; break;
+      case OpKind::kFwdPre:
+      case OpKind::kFwdAttn:
+      case OpKind::kFwdPost:
+      case OpKind::kBwdPost:
+      case OpKind::kBwdAttn:
+      case OpKind::kBwdPre: want = 1; break;
+      case OpKind::kLmHeadLoss: want = layer == L - 1 ? 1 : 0; break;
+      case OpKind::kBwdWPost:
+        want = combined(mb, OpKind::kBwdPost, layer) ? 0 : 1;
+        break;
+      case OpKind::kBwdWPre:
+        want = combined(mb, OpKind::kBwdPre, layer) ? 0 : 1;
+        break;
+      case OpKind::kEmbedBwd:
+        // Deferred (decoupled) flushes were diverted to deferred_head_w
+        // above; only the regular embedding backward at layer 0 remains.
+        want = layer == 0 ? 1 : 0;
+        break;
+      default: want = 0; break;
+    }
+    if (got != want) {
+      res.fail("mb " + std::to_string(mb) + ": unexpected " +
+               std::to_string(got) + "x " + to_string(kind) + "(layer " +
+               std::to_string(layer) + "), expected " + std::to_string(want));
+    }
+  }
+
+  // LM-head modeling must be uniform across micro batches.
+  if (any_head) {
+    for (int mb = 0; mb < m; ++mb) {
+      if (count(mb, OpKind::kLmHeadLoss, L - 1) == 0) {
+        res.fail("mb " + std::to_string(mb) +
+                 ": LmHeadLoss missing while other micro batches model it");
+      }
     }
   }
   return res;

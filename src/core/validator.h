@@ -34,4 +34,19 @@ ValidationResult validate_structure(const Schedule& sched);
 /// edges); intended for test-sized schedules.
 ValidationResult validate_semantics(const Schedule& sched);
 
+/// Exactly-once coverage check: every (mb, layer, op-kind) of a full
+/// training iteration appears exactly once — no dropped and no duplicated
+/// work whatever the interleaving. Enforced rules:
+///  * per micro batch: one EmbedFwd, one Fwd{Pre,Attn,Post} and one
+///    Bwd{Post,Attn,Pre} per layer, one EmbedBwd(layer 0), and one
+///    LmHeadLoss iff the schedule models the LM head (all-or-no micro
+///    batches);
+///  * decoupled backward-W pairing: BwdW{Pre,Post}(mb, l) exists iff the
+///    matching Bwd{Pre,Post}(mb, l) carries combines_w == false, and the
+///    deferred LM-head/embedding backward-W (a second EmbedBwd at layer
+///    L-1, ZB1P Section 5.4) exists iff LmHeadLoss is decoupled;
+///  * recompute ops appear at most once per (mb, layer, kind);
+///  * exactly one OptimStep per stage.
+ValidationResult validate_coverage(const Schedule& sched);
+
 }  // namespace helix::core

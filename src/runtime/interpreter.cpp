@@ -260,8 +260,10 @@ void Interpreter::exec(const Op& op) {
       break;
     }
     case OpKind::kEmbedBwd: {
-      if (l == sched_.num_layers - 1) {
-        // Deferred LM-head backward-W on the last stage (ZB1P).
+      if (!op.combines_w) {
+        // Deferred LM-head backward-W on the last stage (ZB1P). Identified
+        // by the decoupled flag: with L == 1 its layer (L-1) coincides with
+        // the regular embedding backward's layer 0.
         const auto it = head_w_stash_.find(mb);
         if (it == head_w_stash_.end()) throw std::logic_error("missing head W stash");
         grads_.accumulate("wlm", mb,

@@ -76,6 +76,19 @@ core::Schedule build_numeric_schedule(const nn::MiniGptConfig& cfg,
       return core::build_helix_schedule(
           pr, {.two_fold = true,
                .recompute_without_attention = opt.recompute_without_attention});
+    case ScheduleFamily::kHelixTuned: {
+      // Same IR as two-fold when m equals one FILO loop; with more loops the
+      // per-stage programs are refined by list scheduling. The refinement is
+      // an executable linearization of the same dependency graph, so the
+      // numeric result must stay bit-identical — the equivalence harness
+      // pins that.
+      const core::UnitCostModel unit;
+      return core::build_helix_schedule_tuned(
+          pr,
+          {.two_fold = true,
+           .recompute_without_attention = opt.recompute_without_attention},
+          unit);
+    }
   }
   throw std::invalid_argument("unknown schedule family");
 }
@@ -111,6 +124,7 @@ std::vector<std::int64_t> predict_stage_peak_bytes(const nn::MiniGptConfig& cfg,
         break;
       case ScheduleFamily::kHelixNaive:
       case ScheduleFamily::kHelixTwoFold:
+      case ScheduleFamily::kHelixTuned:
         act = model::helix_stage_activation_bytes(
             d, ps, opt.recompute_without_attention, dt);
         outstanding_layers = m * lps;
@@ -167,7 +181,8 @@ IterationMetrics Trainer::train_step(const nn::Batch& batch) {
          .recompute_without_attention =
              opt_.recompute_without_attention &&
              (opt_.family == ScheduleFamily::kHelixNaive ||
-              opt_.family == ScheduleFamily::kHelixTwoFold),
+              opt_.family == ScheduleFamily::kHelixTwoFold ||
+              opt_.family == ScheduleFamily::kHelixTuned),
          .adam = opt_.optimizer == OptimizerKind::kAdam
                      ? &adam_states_[static_cast<std::size_t>(r)]
                      : nullptr,

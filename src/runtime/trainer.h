@@ -19,6 +19,7 @@ enum class ScheduleFamily {
   kGPipe,
   kHelixNaive,
   kHelixTwoFold,
+  kHelixTuned,  ///< two-fold + list-scheduling refinement (reorder_stage_programs)
 };
 
 enum class OptimizerKind { kSgd, kAdam };
@@ -75,6 +76,13 @@ class Trainer {
   /// Run one training iteration over `batch`; returns per-micro-batch
   /// losses from the LM-head stage.
   IterationMetrics train_step(const nn::Batch& batch);
+
+  /// Per-rank Adam state (empty maps under SGD). Ranks own disjoint
+  /// parameter subsets, so the union over ranks is the full optimizer state;
+  /// the equivalence harness compares it bitwise across schedule families.
+  const std::vector<nn::AdamState>& adam_states() const noexcept {
+    return adam_states_;
+  }
 
  private:
   nn::ModelParams& params_;

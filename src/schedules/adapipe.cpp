@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/problem_check.h"
 #include "schedules/step_cost.h"
 
 namespace helix::schedules {
@@ -21,6 +22,7 @@ struct StageChoice {
 
 AdaPipeResult plan_adapipe(const PipelineProblem& pr, const core::CostModel& cost,
                            const AdaPipeOptions& opt) {
+  core::validate_problem(pr, core::adapipe_requirements());
   const int p = pr.p;
   const int L = pr.L;
   const int m = pr.m;
@@ -95,7 +97,11 @@ AdaPipeResult plan_adapipe(const PipelineProblem& pr, const core::CostModel& cos
     // Infeasible even with full recomputation: fall back to uniform
     // partition with full recompute everywhere and report infeasibility.
     res.feasible = false;
-    res.plan.layers_per_stage = uniform_partition(L, p);
+    // Near-uniform split (AdaPipe never requires L % p == 0).
+    res.plan.layers_per_stage.assign(p, L / p);
+    for (int i = 0; i < L % p; ++i) {
+      ++res.plan.layers_per_stage[static_cast<std::size_t>(i)];
+    }
     res.plan.recompute_layers = res.plan.layers_per_stage;
   } else {
     int used = L;

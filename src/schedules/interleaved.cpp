@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/problem_check.h"
+
 namespace helix::schedules {
 
 using core::DataSlot;
@@ -134,12 +136,7 @@ Schedule build_interleaved_1f1b(const PipelineProblem& pr,
   const int p = pr.p;
   const int v = opt.virtual_chunks;
   if (v < 1) throw std::invalid_argument("virtual_chunks must be >= 1");
-  if (pr.L % (p * v) != 0) {
-    throw std::invalid_argument("L must be divisible by p * virtual_chunks");
-  }
-  if (pr.m % p != 0) {
-    throw std::invalid_argument("interleaved 1F1B requires m divisible by p");
-  }
+  core::validate_problem(pr, core::interleaved_requirements(v, p));
 
   // Per-stage virtual-step programs (Megatron's interleaved order).
   const int total = pr.m * v;  // virtual micro batches per stage
@@ -198,7 +195,7 @@ Schedule build_interleaved_1f1b(const PipelineProblem& pr,
       }
     }
   }
-  for (int s = 0; s < p; ++s) b.add(OpKind::kOptimStep, s, -1, -1);
+  for (int s = 0; s < p; ++s) b.add_optim_step(s);
   return std::move(b).finish();
 }
 

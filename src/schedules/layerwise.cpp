@@ -3,6 +3,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/problem_check.h"
+
 namespace helix::schedules {
 
 using core::kNoOp;
@@ -138,9 +140,11 @@ struct Emitter {
     }
     if (i == pr.p - 1 && pr.include_lm_head) {
       // Deferred LM-head / embedding backward-W releases the fp32 gradient
-      // stash (the ZB1P final-stage spike, Section 5.4).
+      // stash (the ZB1P final-stage spike, Section 5.4). Marked decoupled so
+      // interpreters/validators tell it apart from the regular embedding
+      // backward by flag, not by layer — at L == 1 the layers coincide.
       b.add(OpKind::kEmbedBwd, i, mb, pr.L - 1);
-      b.with_memory(0, pr.head_stash_bytes);
+      b.with_memory(0, pr.head_stash_bytes).decoupled();
     }
   }
 };
@@ -210,11 +214,12 @@ Schedule emit_layerwise(const PipelineProblem& pr, const LayerwisePlan& plan) {
       }
     }
   }
-  for (int s = 0; s < p; ++s) b.add(OpKind::kOptimStep, s, -1, -1);
+  for (int s = 0; s < p; ++s) b.add_optim_step(s);
   return std::move(b).finish();
 }
 
 LayerwisePlan plan_1f1b(const PipelineProblem& pr) {
+  core::validate_problem(pr, core::layerwise_requirements("1F1B"));
   LayerwisePlan plan;
   plan.name = "1F1B";
   plan.layers_per_stage = uniform_partition(pr.L, pr.p);
@@ -240,6 +245,7 @@ core::Schedule build_1f1b(const PipelineProblem& pr) {
 }
 
 LayerwisePlan plan_gpipe(const PipelineProblem& pr) {
+  core::validate_problem(pr, core::layerwise_requirements("GPipe"));
   LayerwisePlan plan;
   plan.name = "GPipe";
   plan.layers_per_stage = uniform_partition(pr.L, pr.p);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/problem_check.h"
 #include "schedules/step_cost.h"
 
 namespace helix::schedules {
@@ -17,6 +18,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 LayerwisePlan plan_zb1p(const PipelineProblem& pr, const core::CostModel& cost,
                         const Zb1pOptions& opt) {
+  core::validate_problem(pr, core::layerwise_requirements("ZB1P"));
   const int p = pr.p;
   const int m = pr.m;
   const int cap = opt.max_outstanding > 0 ? opt.max_outstanding

@@ -1,0 +1,148 @@
+// The bench --json emitter: escaping, checked number formatting (the old
+// fixed 256-byte snprintf buffer silently truncated), and structural comma
+// management. The round-trip tests unescape with an independent decoder.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "bench/common.h"
+#include "bench/json.h"
+
+namespace helix::bench {
+namespace {
+
+/// Minimal JSON string-literal decoder (the inverse of json_escape), kept
+/// independent of the production code so the round trip is meaningful.
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        const int code = std::stoi(s.substr(i + 1, 4), nullptr, 16);
+        out += static_cast<char>(code);
+        i += 4;
+        break;
+      }
+      default: ADD_FAILURE() << "bad escape \\" << s[i];
+    }
+  }
+  return out;
+}
+
+TEST(JsonEscape, WorstCaseRoundTrips) {
+  std::string worst = "he said \"quote\\path\"\n\ttab\rret\b\f";
+  worst += '\x01';
+  worst += '\x1f';
+  worst += "\xc3\xa9";  // UTF-8 passes through untouched
+  const std::string escaped = json_escape(worst);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_EQ(json_unescape(escaped), worst);
+}
+
+TEST(JsonEscape, PlainStringsAreUntouched)  {
+  EXPECT_EQ(json_escape("HelixPipe p=8 seq=131072"), "HelixPipe p=8 seq=131072");
+}
+
+TEST(JsonNumber, HugeMagnitudeIsNotTruncated) {
+  // %.4f of 1e300 needs ~306 characters — more than the old fixed buffer.
+  std::string out;
+  append_json_number(out, 1e300, 4);
+  EXPECT_GT(out.size(), 300u);
+  EXPECT_EQ(out.substr(0, 2), "10");
+  EXPECT_EQ(out.substr(out.size() - 5), ".0000");
+  EXPECT_EQ(std::stod(out), 1e300);
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  std::string out;
+  append_json_number(out, std::numeric_limits<double>::infinity(), 4);
+  EXPECT_EQ(out, "null");
+  out.clear();
+  append_json_number(out, std::numeric_limits<double>::quiet_NaN(), 4);
+  EXPECT_EQ(out, "null");
+}
+
+TEST(JsonWriter, CommasKeysAndNesting) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").begin_array().value(2).value(3).end_array();
+  w.key("c").begin_object().key("d").value(true).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\": 1, \"b\": [2, 3], \"c\": {\"d\": true}}");
+}
+
+TEST(JsonWriter, PrettyLayout) {
+  JsonWriter w;
+  w.begin_object();
+  w.nl(2).key("rows").begin_array();
+  w.nl(4).begin_object().key("x").value(1).end_object();
+  w.nl(4).begin_object().key("x").value(2).end_object();
+  w.nl(2).end_array();
+  w.nl(0).end_object();
+  EXPECT_EQ(w.str(),
+            "{\n  \"rows\": [\n    {\"x\": 1},\n    {\"x\": 2}\n  ]\n}");
+}
+
+TEST(JsonWriter, EscapesInterpolatedStrings) {
+  JsonWriter w;
+  w.begin_object().key("method\"x").value("a\\b\"c\nd").end_object();
+  EXPECT_EQ(w.str(), "{\"method\\\"x\": \"a\\\\b\\\"c\\nd\"}");
+}
+
+TEST(JsonWriter, RejectsMalformedSequences) {
+  EXPECT_THROW(JsonWriter().key("k"), std::logic_error);  // key at top level
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object().key("k");
+    EXPECT_THROW(w.end_object(), std::logic_error);  // dangling key
+  }
+}
+
+TEST(MeasuredJson, WorstCaseValuesSurvive) {
+  MeasuredStageMemory s;
+  s.peak_allocated = std::numeric_limits<std::int64_t>::min();
+  s.peak_reserved = std::numeric_limits<std::int64_t>::max();
+  s.fragmentation = -1e300;  // would have truncated the old 256-byte buffer
+  s.model_bytes = std::numeric_limits<std::int64_t>::max();
+  JsonWriter w;
+  append_measured_json(w, s);
+  const std::string& out = w.str();
+  EXPECT_GT(out.size(), 300u);
+  EXPECT_NE(out.find("\"peak_allocated\": -9223372036854775808"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"peak_reserved\": 9223372036854775807"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"model_bytes\": 9223372036854775807"),
+            std::string::npos);
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '}');
+}
+
+}  // namespace
+}  // namespace helix::bench

@@ -69,6 +69,8 @@ TEST_P(AllGenerators, StructureAndSemantics) {
     for (const auto& e : structural.errors) ADD_FAILURE() << e;
     const auto semantic = core::validate_semantics(sched);
     for (const auto& e : semantic.errors) ADD_FAILURE() << e;
+    const auto coverage = core::validate_coverage(sched);
+    for (const auto& e : coverage.errors) ADD_FAILURE() << e;
   }
 }
 

@@ -6,6 +6,7 @@
 #include "core/cost.h"
 #include "core/filo.h"
 #include "core/validator.h"
+#include "schedules/zb1p.h"
 #include "sim/simulator.h"
 
 namespace helix::core {
@@ -117,6 +118,99 @@ TEST(ValidatorNegative, DetectsMissingSemanticOrder) {
   attn->mb = static_cast<std::int16_t>(attn->mb == 0 ? 1 : 0);
   const auto r = validate_semantics(s);
   EXPECT_FALSE(r.ok);
+}
+
+TEST(CoverageNegative, BaselineCoversEverything) {
+  auto s = valid();
+  const auto r = validate_coverage(s);
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+}
+
+TEST(CoverageNegative, DetectsDroppedOp) {
+  auto s = valid();
+  for (auto& stage : s.stage_ops) {
+    for (std::size_t i = 0; i < stage.size(); ++i) {
+      if (stage[i].kind == OpKind::kBwdAttn) {
+        stage.erase(stage.begin() + static_cast<std::ptrdiff_t>(i));
+        const auto r = validate_coverage(s);
+        EXPECT_FALSE(r.ok);
+        return;
+      }
+    }
+  }
+  FAIL() << "no BwdAttn found";
+}
+
+TEST(CoverageNegative, DetectsDuplicatedOp) {
+  auto s = valid();
+  auto& stage = s.stage_ops[0];
+  for (const auto& op : stage) {
+    if (op.kind == OpKind::kFwdPost) {
+      stage.push_back(op);  // same (mb, layer) executed twice
+      break;
+    }
+  }
+  EXPECT_FALSE(validate_coverage(s).ok);
+}
+
+TEST(CoverageNegative, DetectsStrayBackwardW) {
+  auto s = valid();
+  // A backward-W without a decoupled backward-B is double-counted gradient.
+  Op stray;
+  stray.id = static_cast<OpId>(s.total_ops());
+  stray.kind = OpKind::kBwdWPre;
+  stray.stage = 0;
+  stray.mb = 0;
+  stray.layer = 0;
+  s.stage_ops[0].push_back(stray);
+  EXPECT_FALSE(validate_coverage(s).ok);
+}
+
+TEST(CoverageNegative, DetectsMissingOptimStep) {
+  auto s = valid();
+  for (auto& stage : s.stage_ops) {
+    for (std::size_t i = 0; i < stage.size(); ++i) {
+      if (stage[i].kind == OpKind::kOptimStep) {
+        stage.erase(stage.begin() + static_cast<std::ptrdiff_t>(i));
+        EXPECT_FALSE(validate_coverage(s).ok);
+        return;
+      }
+    }
+  }
+  FAIL() << "no OptimStep found";
+}
+
+TEST(CoverageNegative, DetectsMicroBatchOutOfRange) {
+  auto s = valid();
+  Op* fwd = find_op(s, OpKind::kFwdPre);
+  ASSERT_NE(fwd, nullptr);
+  fwd->mb = static_cast<std::int16_t>(s.num_micro_batches);
+  EXPECT_FALSE(validate_coverage(s).ok);
+}
+
+TEST(CoverageNegative, Zb1pDecoupledPairingHolds) {
+  auto pr = problem();
+  pr.include_lm_head = true;
+  pr.head_stash_bytes = 4;
+  pr.logits_transient_bytes = 8;
+  auto s = schedules::build_zb1p(pr, UnitCostModel{});
+  const auto r = validate_coverage(s);
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+}
+
+TEST(CoverageNegative, DeferredEmbedBwdRequiresDecoupledHead) {
+  auto pr = problem();
+  pr.include_lm_head = true;
+  pr.head_stash_bytes = 4;
+  pr.logits_transient_bytes = 8;
+  auto s = schedules::build_zb1p(pr, UnitCostModel{});
+  // Claim the LM head already combined its backward-W: the deferred second
+  // EmbedBwd at layer L-1 now double-counts the head gradient.
+  Op* head = find_op(s, OpKind::kLmHeadLoss);
+  ASSERT_NE(head, nullptr);
+  ASSERT_FALSE(head->combines_w);
+  head->combines_w = true;
+  EXPECT_FALSE(validate_coverage(s).ok);
 }
 
 TEST(ValidatorNegative, SimulatorRejectsNonDenseIds) {

@@ -200,9 +200,13 @@ TEST(RuntimeTrace, RankSummariesCoverEveryRank) {
     EXPECT_GT(s.bytes_sent, 0);
     EXPECT_GT(s.bytes_received, 0);
     EXPECT_GT(s.live_peak_bytes, 0);
-    // Async delivery can fulfill a prefetched recv directly, bypassing the
-    // mailbox queue entirely — depth only provably reaches 1 when blocking.
-    EXPECT_GE(s.mailbox_depth_peak, async_comm_forced() ? 0 : 1);
+    // Mailbox depth only rises when a message arrives before its receive is
+    // posted. Either engine can legally keep the queue empty for the whole
+    // run — the blocking engine too, when the receiver's thread happens to
+    // post each recv before the sender delivers (World::deliver fulfills a
+    // pending recv directly, bypassing the queue; a scheduling race seen
+    // under parallel ctest load) — so no minimum depth can be asserted.
+    EXPECT_GE(s.mailbox_depth_peak, 0);
   }
   // The pipeline moves the same bytes out as in overall (p2p only).
   EXPECT_EQ(run.metrics.rank_summaries[0].bytes_sent +
