@@ -1,17 +1,52 @@
 // Fig. 2 reproduction: ASCII timelines of the 1F1B schedule and the HelixPipe
 // FILO schedule for 4 micro batches executing 8 layers over 4 pipeline
 // stages, with execution time ratio pre:attn:post = 1:3:2.
+//
+// Usage: bench_fig2_schedules [--json FILE]
+//   --json writes the two schedules' makespans, bubbles and the speedup
+//   ratio as machine-readable output next to the ASCII tables.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "core/cost.h"
 #include "core/filo.h"
+#include "json.h"
 #include "schedules/layerwise.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
 using namespace helix;
+using bench::JsonWriter;
 
-int main() {
+namespace {
+
+void append_schedule_json(JsonWriter& json, const char* key,
+                          const core::Schedule& sched,
+                          const sim::SimResult& res) {
+  json.nl(2).key(key).begin_object()
+      .key("name").value(sched.name)
+      .key("makespan_units").value(res.makespan, 3)
+      .key("stage0_bubble_units").value(res.stages[0].bubble, 3);
+  json.key("stage_bubbles").begin_array();
+  for (const auto& st : res.stages) json.value(st.bubble, 3);
+  json.end_array().end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
   core::PipelineProblem pr;
   pr.p = 4;
   pr.m = 4;
@@ -40,5 +75,19 @@ int main() {
               rh.makespan, rh.makespan - pr.m * (pr.L / pr.p) * 18.0, 3.0 * 3 * 3);
   std::printf("\nHelixPipe finishes the same work in %.0f%% of 1F1B's time.\n",
               100.0 * rh.makespan / rf.makespan);
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.nl(2).key("p").value(pr.p);
+    json.nl(2).key("m").value(pr.m);
+    json.nl(2).key("L").value(pr.L);
+    append_schedule_json(json, "f1b", f1b, rf);
+    append_schedule_json(json, "helix_naive", hx, rh);
+    json.nl(2).key("helix_vs_1f1b_makespan_ratio").value(rh.makespan / rf.makespan, 4);
+    json.nl(0).end_object();
+    std::ofstream(json_path) << json.str() << "\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

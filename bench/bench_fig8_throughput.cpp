@@ -7,7 +7,14 @@
 // The configuration grid is embarrassingly parallel (run_experiment is pure),
 // so the cells are evaluated on the shared kernel thread pool (HELIX_THREADS)
 // and printed afterwards in the original deterministic order.
+//
+// Usage: bench_fig8_throughput [--json FILE]
+//   --json writes every grid cell (cluster, model, p, seq, per-method
+//   tokens/s and OOM flags) as machine-readable output.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "common.h"
@@ -27,7 +34,16 @@ struct Cell {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
   // Pass 1: enumerate the grid.
   std::vector<Cell> cells;
   for (const auto& cluster : {model::h20_cluster(), model::a800_cluster()}) {
@@ -105,5 +121,31 @@ int main() {
       "baseline by 28%%/20%%/26%% for 1.3B/3B/7B at 128k with p=8 on H20,\n"
       "and by 16%%/13%%/13%% on A800; gains grow with sequence length and\n"
       "shrink on A800 (faster compute, slower interconnect).\n");
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.nl(2).key("cells").begin_array();
+    for (const Cell& cell : cells) {
+      json.nl(4).begin_object()
+          .key("cluster").value(cell.config.cluster.name)
+          .key("model").value(cell.config.model.name)
+          .key("p").value(cell.config.p)
+          .key("seq").value(static_cast<std::int64_t>(cell.config.seq));
+      json.key("tokens_per_s").begin_array();
+      for (int k = 0; k < 4; ++k) json.value(cell.results[k], 1);
+      json.end_array();
+      json.key("oom").begin_array();
+      for (int k = 0; k < 4; ++k) json.value(cell.oom[k]);
+      json.end_array();
+      json.key("methods").begin_array();
+      for (const Method m : all_methods()) json.value(to_string(m));
+      json.end_array().end_object();
+    }
+    json.nl(2).end_array();
+    json.nl(0).end_object();
+    std::ofstream(json_path) << json.str() << "\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

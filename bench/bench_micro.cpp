@@ -8,6 +8,7 @@
 #include "core/filo.h"
 #include "core/validator.h"
 #include "mem/caching_allocator.h"
+#include "obs/prof.h"
 #include "par/thread_pool.h"
 #include "schedules/layerwise.h"
 #include "schedules/zb1p.h"
@@ -82,6 +83,39 @@ void BM_ValidateStructure(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ValidateStructure);
+
+// Overhead of the self-profiling registry (obs/prof.h) per instrumented
+// scope. Detached is the cost every production run pays at each site (the
+// claim: one relaxed atomic load, no clock read); attached is what a
+// profiled bench pays on top of the two now_ns() calls it needs anyway.
+void BM_ProfScopeDetached(benchmark::State& state) {
+  obs::prof::detach();
+  for (auto _ : state) {
+    HELIX_PROF_SCOPE("micro.prof_overhead");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ProfScopeDetached);
+
+void BM_ProfScopeAttached(benchmark::State& state) {
+  obs::prof::Registry reg;
+  obs::prof::AttachGuard guard(reg);
+  for (auto _ : state) {
+    HELIX_PROF_SCOPE("micro.prof_overhead");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ProfScopeAttached);
+
+void BM_ProfCountAttached(benchmark::State& state) {
+  obs::prof::Registry reg;
+  obs::prof::AttachGuard guard(reg);
+  for (auto _ : state) {
+    HELIX_PROF_COUNT("micro.prof_counter", 1);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ProfCountAttached);
 
 void BM_AllocatorChurn(benchmark::State& state) {
   using namespace helix::mem;

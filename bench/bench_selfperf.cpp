@@ -1,0 +1,319 @@
+// Self-performance baselines: how fast is the *infrastructure* itself —
+// schedule construction, simulation + critical-path analysis, and k steps of
+// numerical pipeline training — across a fixed configuration grid. Emits
+// BENCH_selfperf.json (schema below) whose stable metric keys let
+// tools/perf_compare diff two runs and flag regressions; the committed
+// baseline at the repo root is the reference point CI compares against.
+//
+//   bench_selfperf [--quick] [--json FILE]
+//     --quick   smaller grid + fewer reps (the CI configuration)
+//     --json    output path (default BENCH_selfperf.json)
+//
+// Measurement discipline: every metric runs `warmup` throwaway iterations,
+// then `reps` timed ones, and reports the trimmed mean (drop min and max)
+// plus the min/max themselves so perf_compare can judge noise. The profiling
+// registry (obs/prof.h) is attached for the whole run with one phase per
+// section, and its per-phase report is embedded in the JSON — including the
+// "sim.mem_events.reallocs" counter, which this bench asserts is zero (the
+// simulator reserves its memory-event vectors exactly; a nonzero count is a
+// regression and exits 1).
+//
+// JSON schema (schema_version 1):
+//   { "schema_version": 1, "bench": "selfperf", "mode": "quick"|"full",
+//     "metrics": [ {"key", "unit", "reps", "trimmed_mean_s", "min_s",
+//                   "max_s"} ],
+//     "counters": [ {"key", "value"} ],
+//     "prof": [ {"phase", "site", "kind", "count", "total_ns", "max_ns",
+//                "value"} ] }
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/filo.h"
+#include "json.h"
+#include "nn/model.h"
+#include "obs/prof.h"
+#include "runtime/trainer.h"
+#include "schedules/interleaved.h"
+#include "schedules/layerwise.h"
+#include "schedules/zb1p.h"
+#include "sim/critical_path.h"
+#include "sim/simulator.h"
+
+using namespace helix;
+
+namespace {
+
+struct Metric {
+  std::string key;
+  int reps = 0;
+  double trimmed_mean_s = 0;
+  double min_s = 0;
+  double max_s = 0;
+};
+
+struct Harness {
+  bool quick = false;
+  std::vector<Metric> metrics;
+
+  /// Time `fn` warmup+reps times; record the trimmed mean under `key`.
+  void measure(const std::string& key, const std::function<void()>& fn) {
+    const int warmup = 2;
+    const int reps = quick ? 5 : 9;
+    for (int i = 0; i < warmup; ++i) fn();
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+      bench::Stopwatch sw;
+      fn();
+      samples.push_back(sw.seconds());
+    }
+    std::sort(samples.begin(), samples.end());
+    Metric m;
+    m.key = key;
+    m.reps = reps;
+    m.min_s = samples.front();
+    m.max_s = samples.back();
+    // Trimmed mean: drop the extremes when there are enough samples.
+    const std::size_t lo = samples.size() >= 3 ? 1 : 0;
+    const std::size_t hi = samples.size() >= 3 ? samples.size() - 1 : samples.size();
+    m.trimmed_mean_s =
+        std::accumulate(samples.begin() + static_cast<std::ptrdiff_t>(lo),
+                        samples.begin() + static_cast<std::ptrdiff_t>(hi), 0.0) /
+        static_cast<double>(hi - lo);
+    std::printf("  %-40s %10.3f ms  (min %.3f, max %.3f, n=%d)\n", key.c_str(),
+                1e3 * m.trimmed_mean_s, 1e3 * m.min_s, 1e3 * m.max_s, reps);
+    metrics.push_back(std::move(m));
+  }
+};
+
+struct Family {
+  const char* key;
+  std::function<core::Schedule(const core::PipelineProblem&,
+                               const core::CostModel&)> build;
+};
+
+const std::vector<Family>& schedule_families() {
+  static const std::vector<Family> families{
+      {"1f1b", [](const auto& pr, const auto&) { return schedules::build_1f1b(pr); }},
+      {"gpipe", [](const auto& pr, const auto&) { return schedules::build_gpipe(pr); }},
+      {"zb1p", [](const auto& pr, const auto& cost) { return schedules::build_zb1p(pr, cost); }},
+      {"interleaved",
+       [](const auto& pr, const auto&) {
+         return schedules::build_interleaved_1f1b(pr, {.virtual_chunks = 2});
+       }},
+      {"helix_naive",
+       [](const auto& pr, const auto&) {
+         return core::build_helix_schedule(
+             pr, {.two_fold = false, .recompute_without_attention = false});
+       }},
+      {"helix_two_fold",
+       [](const auto& pr, const auto&) {
+         return core::build_helix_schedule(
+             pr, {.two_fold = true, .recompute_without_attention = false});
+       }},
+      {"helix_tuned",
+       [](const auto& pr, const auto& cost) {
+         return core::build_helix_schedule_tuned(
+             pr, {.two_fold = true, .recompute_without_attention = false}, cost);
+       }},
+  };
+  return families;
+}
+
+core::PipelineProblem grid_problem(int p) {
+  core::PipelineProblem pr;
+  pr.p = p;
+  pr.m = 2 * p;  // two-fold requires m % 2p == 0; 1F1B warmup fills at m=2p
+  pr.L = 4 * p;  // interleaved (v=2) requires L % (v*p) == 0
+  pr.comm.boundary = 1;
+  pr.comm.pre_to_attn = 1;
+  pr.comm.attn_to_post = 1;
+  pr.include_lm_head = false;
+  // Table 1 activation ratios so the simulator's memory timeline actually
+  // runs — the realloc canary is vacuous on a schedule with no mem events.
+  pr.act.pre = 2;
+  pr.act.attn = 3;
+  pr.act.post = 11;
+  pr.act.attn_recompute = 2;
+  pr.act.post_recompute = 2;
+  return pr;
+}
+
+std::string grid_key(const char* section, const char* family,
+                     const core::PipelineProblem& pr) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s/%s/p%d_m%d_L%d", section, family, pr.p,
+                pr.m, pr.L);
+  return buf;
+}
+
+void bench_build(Harness& h, obs::prof::Registry& reg,
+                 const std::vector<int>& pipeline_sizes) {
+  reg.set_phase("build");
+  std::printf("schedule construction\n");
+  core::UnitCostModel::Units u;
+  u.seconds_per_elem = 0.1;
+  const core::UnitCostModel cost{u};
+  for (const int p : pipeline_sizes) {
+    const core::PipelineProblem pr = grid_problem(p);
+    for (const Family& f : schedule_families()) {
+      h.measure(grid_key("build", f.key, pr), [&] {
+        const core::Schedule s = f.build(pr, cost);
+        if (s.num_stages != pr.p) std::abort();  // keep the result observable
+      });
+    }
+  }
+}
+
+void bench_simulate(Harness& h, obs::prof::Registry& reg,
+                    const std::vector<int>& pipeline_sizes) {
+  reg.set_phase("simulate");
+  std::printf("simulation + critical path\n");
+  core::UnitCostModel::Units u;
+  u.seconds_per_elem = 0.1;
+  const core::UnitCostModel cost{u};
+  for (const int p : pipeline_sizes) {
+    const core::PipelineProblem pr = grid_problem(p);
+    for (const Family& f : schedule_families()) {
+      const core::Schedule sched = f.build(pr, cost);
+      const sim::Simulator simulator(cost);
+      h.measure(grid_key("sim", f.key, pr), [&] {
+        const sim::SimResult r = simulator.run(sched);
+        if (r.makespan <= 0) std::abort();
+      });
+      const sim::SimResult res = simulator.run(sched);
+      h.measure(grid_key("critical_path", f.key, pr), [&] {
+        const sim::CriticalPathReport r = sim::critical_path(sched, res);
+        if (r.chain.empty()) std::abort();
+      });
+    }
+  }
+}
+
+void bench_train(Harness& h, obs::prof::Registry& reg, bool quick) {
+  reg.set_phase("train");
+  std::printf("numerical training (mini-GPT, %d steps)\n", quick ? 1 : 2);
+  const int steps = quick ? 1 : 2;
+  struct TrainCase {
+    const char* family_key;
+    runtime::ScheduleFamily family;
+  };
+  const std::vector<TrainCase> cases{
+      {"1f1b", runtime::ScheduleFamily::k1F1B},
+      {"helix_two_fold", runtime::ScheduleFamily::kHelixTwoFold},
+  };
+  const std::vector<int> sizes = quick ? std::vector<int>{2} : std::vector<int>{2, 4};
+  for (const int p : sizes) {
+    for (const TrainCase& c : cases) {
+      for (const bool async : {false, true}) {
+        const nn::MiniGptConfig cfg{.layers = p, .hidden = 32, .heads = 4,
+                                    .seq = 64, .batch = 1, .vocab = 64,
+                                    .micro_batches = 2 * p, .lr = 0.03f};
+        const nn::Batch batch = nn::Batch::random(cfg, 11);
+        char key[128];
+        std::snprintf(key, sizeof(key), "train/%s/p%d_%s_steps%d", c.family_key,
+                      p, async ? "async" : "blocking", steps);
+        h.measure(key, [&] {
+          nn::ModelParams params = nn::ModelParams::init(cfg, 3);
+          runtime::Trainer trainer(params, {.family = c.family,
+                                            .pipeline_stages = p,
+                                            .async_comm = async});
+          for (int s = 0; s < steps; ++s) (void)trainer.train_step(batch);
+        });
+      }
+    }
+  }
+}
+
+void write_json(const std::string& path, const Harness& h,
+                const obs::prof::Report& prof, bool quick) {
+  bench::JsonWriter json;
+  json.begin_object();
+  json.nl(2).key("schema_version").value(1);
+  json.nl(2).key("bench").value("selfperf");
+  json.nl(2).key("mode").value(quick ? "quick" : "full");
+  json.nl(2).key("metrics").begin_array();
+  for (const Metric& m : h.metrics) {
+    json.nl(4).begin_object()
+        .key("key").value(m.key)
+        .key("unit").value("s")
+        .key("reps").value(m.reps)
+        .key("trimmed_mean_s").value(m.trimmed_mean_s, 9)
+        .key("min_s").value(m.min_s, 9)
+        .key("max_s").value(m.max_s, 9)
+        .end_object();
+  }
+  json.nl(2).end_array();
+  json.nl(2).key("counters").begin_array();
+  for (const auto& row : prof.rows) {
+    if (row.kind != obs::prof::SiteKind::kCounter) continue;
+    json.nl(4).begin_object()
+        .key("key").value(row.phase.empty() ? row.site : row.phase + "/" + row.site)
+        .key("value").value(row.stats.value)
+        .end_object();
+  }
+  json.nl(2).end_array();
+  json.nl(2).key("prof").begin_array();
+  for (const auto& row : prof.rows) {
+    json.nl(4).begin_object()
+        .key("phase").value(row.phase)
+        .key("site").value(row.site)
+        .key("kind").value(row.kind == obs::prof::SiteKind::kTimer ? "timer"
+                                                                   : "counter")
+        .key("count").value(row.stats.count)
+        .key("total_ns").value(row.stats.total_ns)
+        .key("max_ns").value(row.stats.max_ns)
+        .key("value").value(row.stats.value)
+        .end_object();
+  }
+  json.nl(2).end_array();
+  json.nl(0).end_object();
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_selfperf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+
+  Harness h;
+  h.quick = quick;
+  obs::prof::Registry reg;
+  obs::prof::AttachGuard guard(reg);
+
+  const std::vector<int> pipeline_sizes =
+      quick ? std::vector<int>{4, 8} : std::vector<int>{4, 8, 16};
+  bench_build(h, reg, pipeline_sizes);
+  bench_simulate(h, reg, pipeline_sizes);
+  bench_train(h, reg, quick);
+
+  const obs::prof::Report prof = reg.report();
+  std::printf("\n%s\n", obs::prof::render(prof).c_str());
+  write_json(json_path, h, prof, quick);
+
+  // The simulator reserves its memory-event vectors exactly; any mid-run
+  // reallocation is a regression this bench is the canary for.
+  const std::int64_t reallocs = prof.counter_total("sim.mem_events.reallocs");
+  if (reallocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: simulator memory-event vectors reallocated %lld times "
+                 "mid-run (expected 0)\n",
+                 static_cast<long long>(reallocs));
+    return 1;
+  }
+  return 0;
+}

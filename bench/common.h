@@ -11,7 +11,9 @@
 #include "model/memory.h"
 #include "model/paper_cost.h"
 #include "model/problem_factory.h"
+#include "obs/clock.h"
 #include "obs/memory.h"
+#include "obs/prof.h"
 #include "runtime/trainer.h"
 #include "schedules/adapipe.h"
 #include "schedules/layerwise.h"
@@ -40,6 +42,21 @@ inline const char* to_string(Method m) {
   return "?";
 }
 
+/// Wall-clock stopwatch on obs::now_ns — the same monotonic clock every
+/// instrumentation site in the repo uses, so bench timings, prof scopes and
+/// trace spans all live on one comparable timeline (no per-bench ad-hoc
+/// std::chrono arithmetic).
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(obs::now_ns()) {}
+  void restart() { start_ns_ = obs::now_ns(); }
+  std::int64_t elapsed_ns() const { return obs::now_ns() - start_ns_; }
+  double seconds() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+ private:
+  std::int64_t start_ns_;
+};
+
 inline const std::vector<Method>& all_methods() {
   static const std::vector<Method> m{Method::kOneF1B, Method::kZb1p,
                                      Method::kAdaPipe, Method::kHelix};
@@ -67,6 +84,7 @@ struct ExperimentResult {
 };
 
 inline ExperimentResult run_experiment(Method method, const ExperimentConfig& e) {
+  HELIX_PROF_SCOPE("bench.run_experiment");
   const int m = 2 * e.p;  // global batch = 2x pipeline size (Section 5.1)
   model::TrainSetup setup{.seq_len = e.seq,
                           .micro_batch = 1,
@@ -115,7 +133,11 @@ inline ExperimentResult run_experiment(Method method, const ExperimentConfig& e)
       break;
   }
 
-  const sim::SimResult res = sim::Simulator(cost).run(sched, base);
+  sim::SimResult res;
+  {
+    HELIX_PROF_SCOPE("bench.simulate");
+    res = sim::Simulator(cost).run(sched, base);
+  }
   ExperimentResult out;
   out.iteration_seconds = res.makespan;
   out.tokens_per_second = static_cast<double>(m) * static_cast<double>(e.seq) /

@@ -2,7 +2,9 @@
 // and export any of them as Chrome trace JSON for chrome://tracing.
 //
 //   schedule_visualizer [method] [p] [m] [L] [--comm RATIO] [--trace FILE]
+//                       [--critical [ROWS]]
 //     method: 1f1b | gpipe | zb1p | helix | helix2 | helix2rc   (default all)
+//     --critical: append the makespan-binding op chain (default 40 rows)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -12,6 +14,7 @@
 #include "core/filo.h"
 #include "schedules/layerwise.h"
 #include "schedules/zb1p.h"
+#include "sim/critical_path.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -37,7 +40,8 @@ core::Schedule build(const std::string& method, const core::PipelineProblem& pr,
 }
 
 void show(const std::string& method, const core::PipelineProblem& pr,
-          double comm_ratio, const std::string& trace_file) {
+          double comm_ratio, const std::string& trace_file,
+          std::size_t critical_rows) {
   core::UnitCostModel::Units u;
   u.seconds_per_elem = comm_ratio * 3.0;  // relative to the 3-unit attention
   const core::UnitCostModel cost{u};
@@ -56,6 +60,10 @@ void show(const std::string& method, const core::PipelineProblem& pr,
                   sched, res, {.time_per_col = res.makespan / 150.0, .max_cols = 150,
                                .show_comm = comm_ratio > 0})
                   .c_str());
+  const auto critical = sim::critical_path(sched, res);
+  std::printf("%s", critical_rows > 0
+                        ? sim::render_critical_path(critical, sched, critical_rows).c_str()
+                        : sim::render_critical_path(critical).c_str());
   if (!trace_file.empty()) {
     std::ofstream out(trace_file);
     out << sim::to_chrome_trace(sched, res);
@@ -77,17 +85,24 @@ int main(int argc, char** argv) {
   pr.include_lm_head = false;
   double comm_ratio = 0.0;
   std::string trace_file;
+  std::size_t critical_rows = 0;
   for (int i = 5; i < argc; ++i) {
     if (std::strcmp(argv[i], "--comm") == 0 && i + 1 < argc) comm_ratio = std::atof(argv[++i]);
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) trace_file = argv[++i];
+    if (std::strcmp(argv[i], "--critical") == 0) {
+      critical_rows = 40;
+      if (i + 1 < argc && std::atoi(argv[i + 1]) > 0) {
+        critical_rows = static_cast<std::size_t>(std::atoi(argv[++i]));
+      }
+    }
   }
   try {
     if (method == "all") {
       for (const char* m : {"1f1b", "gpipe", "zb1p", "helix", "helix2"}) {
-        show(m, pr, comm_ratio, "");
+        show(m, pr, comm_ratio, "", critical_rows);
       }
     } else {
-      show(method, pr, comm_ratio, trace_file);
+      show(method, pr, comm_ratio, trace_file, critical_rows);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -8,6 +8,7 @@
 #include "core/cost.h"
 #include "core/validator.h"
 #include "nn/reference.h"
+#include "obs/prof.h"
 #include "sim/simulator.h"
 
 namespace helix::check {
@@ -144,6 +145,7 @@ void check_losses(const std::vector<std::vector<double>>& got,
 }  // namespace
 
 ConfigReport run_config(const CheckConfig& cfg) {
+  HELIX_PROF_SCOPE("check.config");
   ConfigReport report;
   report.config = cfg;
   const nn::MiniGptConfig model = cfg.model();
@@ -162,6 +164,7 @@ ConfigReport run_config(const CheckConfig& cfg) {
   }
 
   for (const ScheduleFamily family : applicable_families(cfg)) {
+    HELIX_PROF_SCOPE("check.family");
     FamilyReport rep;
     rep.family = family_name(family);
     try {

@@ -6,6 +6,7 @@
 #include "core/partition.h"
 #include "core/problem_check.h"
 #include "core/reorder.h"
+#include "obs/prof.h"
 
 namespace helix::core {
 
@@ -59,6 +60,14 @@ std::vector<OpId> deps2(OpId a, OpId b) {
 }  // namespace
 
 Schedule build_helix_schedule(const PipelineProblem& pr, const HelixOptions& opt) {
+  // Two sites behind one entry point; the SCOPE macro's static-local id
+  // would freeze on whichever variant ran first, so intern both.
+  static const obs::prof::SiteId kNaiveSite = obs::prof::intern(
+      "build.helix_naive", obs::prof::SiteKind::kTimer);
+  static const obs::prof::SiteId kTwoFoldSite = obs::prof::intern(
+      "build.helix_two_fold", obs::prof::SiteKind::kTimer);
+  const obs::prof::ScopedTimer prof_timer(opt.two_fold ? kTwoFoldSite
+                                                       : kNaiveSite);
   const int p = pr.p;
   const int m = pr.m;
   const int L = pr.L;
@@ -286,6 +295,7 @@ Schedule build_helix_schedule(const PipelineProblem& pr, const HelixOptions& opt
 Schedule build_helix_schedule_tuned(const PipelineProblem& problem,
                                     const HelixOptions& options,
                                     const CostModel& cost) {
+  HELIX_PROF_SCOPE("build.helix_tuned");
   Schedule s = build_helix_schedule(problem, options);
   const int q = filo_loop_size(problem.p, options.two_fold);
   if (problem.m > q) s = reorder_stage_programs(s, cost);

@@ -113,6 +113,7 @@ ReconciliationReport reconcile(const core::Schedule& sched,
                                const std::vector<std::int64_t>& model_stage_bytes) {
   ReconciliationReport report;
   report.predicted_makespan_s = predicted.makespan;
+  report.critical = sim::critical_path(sched, predicted);
   const MeasuredRun measured = measured_stats(trace);
   report.measured_makespan_s = measured.makespan_s;
   const std::vector<const core::Op*> ops_by_id = sched.op_index();
@@ -378,6 +379,7 @@ std::string render_reconciliation(const ReconciliationReport& report) {
                       : "");
     os << line;
   }
+  os << sim::render_critical_path(report.critical);
   return os.str();
 }
 

@@ -7,6 +7,7 @@
 #include "core/ir.h"
 #include "obs/recorder.h"
 #include "par/thread_pool.h"
+#include "sim/critical_path.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -121,6 +122,10 @@ struct ReconciliationReport {
   double predicted_overlap_frac = 1.0;
   double measured_overlap_frac = 1.0;
   MemoryReconciliation memory;  ///< populated only with memory tracking on
+  /// Critical-path analysis of the simulator's prediction: the chain of ops
+  /// binding the predicted makespan and each stage's bubble decomposed by
+  /// cause — the "why" behind the predicted bubble fractions above.
+  sim::CriticalPathReport critical;
 
   bool all_orders_match_ir() const noexcept {
     for (const auto& s : stages) {

@@ -1,0 +1,249 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace helix::obs::prof {
+
+// ------------------------------------------------------------- site table
+//
+// Process-global and append-only: SiteIds stay valid across registry
+// attach/detach cycles, so the static-local site ids baked into call sites
+// by HELIX_PROF_SCOPE never dangle.
+
+namespace {
+
+struct SiteTable {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::vector<SiteKind> kinds;
+  std::map<std::string, SiteId, std::less<>> by_name;
+};
+
+SiteTable& sites() {
+  static SiteTable* table = new SiteTable();  // never destroyed: sites may be
+  return *table;                              // interned during static init
+}
+
+std::atomic<Registry*> g_active{nullptr};
+std::atomic<std::uint64_t> g_next_gen{1};
+
+}  // namespace
+
+SiteId intern(std::string_view name, SiteKind kind) {
+  SiteTable& t = sites();
+  std::lock_guard<std::mutex> lock(t.mu);
+  const auto it = t.by_name.find(name);
+  if (it != t.by_name.end()) {
+    if (t.kinds[static_cast<std::size_t>(it->second)] != kind) {
+      throw std::logic_error("prof site '" + std::string(name) +
+                             "' interned as both timer and counter");
+    }
+    return it->second;
+  }
+  const SiteId id = static_cast<SiteId>(t.names.size());
+  t.names.emplace_back(name);
+  t.kinds.push_back(kind);
+  t.by_name.emplace(std::string(name), id);
+  return id;
+}
+
+std::size_t site_count() {
+  SiteTable& t = sites();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.names.size();
+}
+
+const std::string& site_name(SiteId id) {
+  SiteTable& t = sites();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.names.at(static_cast<std::size_t>(id));
+}
+
+SiteKind site_kind(SiteId id) {
+  SiteTable& t = sites();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.kinds.at(static_cast<std::size_t>(id));
+}
+
+// --------------------------------------------------------------- registry
+
+/// One recording thread's private accumulation: cells[phase][site]. Only the
+/// owner thread writes; report()/reset() read at quiescent points (the
+/// region-end joins of comm::World / par::ThreadPool establish the needed
+/// happens-before, same as every other shard in src/obs).
+struct Registry::Shard {
+  std::vector<std::vector<SiteStats>> cells;
+
+  SiteStats& at(std::int32_t phase, SiteId site) {
+    const auto p = static_cast<std::size_t>(phase);
+    if (p >= cells.size()) cells.resize(p + 1);
+    auto& row = cells[p];
+    const auto s = static_cast<std::size_t>(site);
+    if (s >= row.size()) row.resize(s + 1);
+    return row[s];
+  }
+};
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<std::string> phase_names{""};  ///< id 0 = unnamed phase
+};
+
+namespace {
+
+/// Thread-local shard cache, validated by registry generation so a stale
+/// entry from a destroyed registry can never be written through.
+struct TlsRef {
+  std::uint64_t gen = 0;
+  void* shard = nullptr;  ///< Registry::Shard* (private type; cast at use)
+};
+thread_local TlsRef tls_ref;
+
+}  // namespace
+
+Registry::Registry()
+    : impl_(new Impl()), gen_(g_next_gen.fetch_add(1, std::memory_order_relaxed)) {}
+
+Registry::~Registry() {
+  if (g_active.load(std::memory_order_relaxed) == this) detach();
+  delete impl_;
+}
+
+Registry::Shard& Registry::local_shard() noexcept {
+  if (tls_ref.gen == gen_) return *static_cast<Shard*>(tls_ref.shard);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->shards.push_back(std::make_unique<Shard>());
+  tls_ref = {gen_, impl_->shards.back().get()};
+  return *impl_->shards.back();
+}
+
+void Registry::set_phase(std::string_view phase) {
+  std::int32_t id;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto& names = impl_->phase_names;
+    const auto it = std::find(names.begin(), names.end(), phase);
+    if (it != names.end()) {
+      id = static_cast<std::int32_t>(it - names.begin());
+    } else {
+      id = static_cast<std::int32_t>(names.size());
+      names.emplace_back(phase);
+    }
+  }
+  phase_.store(id, std::memory_order_relaxed);
+}
+
+void Registry::record_timer(SiteId site, std::int64_t ns) noexcept {
+  SiteStats& s = local_shard().at(phase_.load(std::memory_order_relaxed), site);
+  ++s.count;
+  s.total_ns += ns;
+  s.max_ns = std::max(s.max_ns, ns);
+}
+
+void Registry::record_count(SiteId site, std::int64_t v) noexcept {
+  SiteStats& s = local_shard().at(phase_.load(std::memory_order_relaxed), site);
+  ++s.count;
+  s.value += v;
+}
+
+Report Registry::report() const {
+  Report out;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  // Merge shards into (phase, site) cells.
+  std::map<std::pair<std::string, std::string>, std::pair<SiteKind, SiteStats>>
+      merged;
+  for (const auto& shard : impl_->shards) {
+    for (std::size_t p = 0; p < shard->cells.size(); ++p) {
+      for (std::size_t s = 0; s < shard->cells[p].size(); ++s) {
+        const SiteStats& st = shard->cells[p][s];
+        if (st.empty()) continue;
+        auto key = std::make_pair(impl_->phase_names.at(p),
+                                  site_name(static_cast<SiteId>(s)));
+        auto& cell = merged[std::move(key)];
+        cell.first = site_kind(static_cast<SiteId>(s));
+        cell.second.merge(st);
+      }
+    }
+  }
+  out.rows.reserve(merged.size());
+  for (auto& [key, cell] : merged) {
+    out.rows.push_back({key.first, key.second, cell.first, cell.second});
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& shard : impl_->shards) {
+    for (auto& row : shard->cells) {
+      std::fill(row.begin(), row.end(), SiteStats{});
+    }
+  }
+}
+
+void attach(Registry* r) { g_active.store(r, std::memory_order_release); }
+
+void detach() { g_active.store(nullptr, std::memory_order_release); }
+
+Registry* active() noexcept { return g_active.load(std::memory_order_acquire); }
+
+// ----------------------------------------------------------------- report
+
+const SiteStats* Report::find(std::string_view phase,
+                              std::string_view site) const {
+  for (const auto& row : rows) {
+    if (row.phase == phase && row.site == site) return &row.stats;
+  }
+  return nullptr;
+}
+
+std::int64_t Report::counter_total(std::string_view site) const {
+  std::int64_t total = 0;
+  for (const auto& row : rows) {
+    if (row.site == site && row.kind == SiteKind::kCounter) {
+      total += row.stats.value;
+    }
+  }
+  return total;
+}
+
+std::string render(const Report& report) {
+  std::ostringstream os;
+  os << "self-performance profile (per phase x site)\n";
+  os << "  phase        site                            count     total"
+        "       mean        max     value\n";
+  char line[192];
+  for (const auto& row : report.rows) {
+    const auto& s = row.stats;
+    if (row.kind == SiteKind::kTimer) {
+      const double mean =
+          s.count > 0 ? static_cast<double>(s.total_ns) /
+                            static_cast<double>(s.count)
+                      : 0.0;
+      std::snprintf(line, sizeof(line),
+                    "  %-12s %-30s %8lld %8.3fms %8.1fus %8.3fms         -\n",
+                    row.phase.empty() ? "-" : row.phase.c_str(),
+                    row.site.c_str(), static_cast<long long>(s.count),
+                    static_cast<double>(s.total_ns) * 1e-6, mean * 1e-3,
+                    static_cast<double>(s.max_ns) * 1e-6);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %-12s %-30s %8lld         -          -          - %9lld\n",
+                    row.phase.empty() ? "-" : row.phase.c_str(),
+                    row.site.c_str(), static_cast<long long>(s.count),
+                    static_cast<long long>(s.value));
+    }
+    os << line;
+  }
+  if (report.rows.empty()) os << "  (no samples)\n";
+  return os.str();
+}
+
+}  // namespace helix::obs::prof

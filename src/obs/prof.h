@@ -1,0 +1,202 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.h"
+
+// Self-performance observability: a profiling registry for the repo's *own*
+// hot paths (simulator relaxation, schedule builders, interpreter dispatch,
+// helix_check sweeps), as opposed to src/obs's workload metrics which
+// instrument the *trained model's* execution.
+//
+// Surface: named scoped timers (HELIX_PROF_SCOPE) and monotonic counters
+// (HELIX_PROF_COUNT) — the latter also serve as allocation counters, e.g.
+// the simulator counts mid-run vector reallocations through one. Sites are
+// interned once per call site into a process-global table (a mutex is taken
+// only on the first execution of each site's static initializer); recording
+// is a thread-local array update with no locks or atomics beyond one relaxed
+// load of the active-registry pointer.
+//
+// Detachment contract (tested in tests/obs/prof_test.cpp):
+//  * with no registry attached, a ScopedTimer constructor is one relaxed
+//    atomic load and the destructor a branch — no clock reads, no shard
+//    creation, no allocation — and counters are a load+branch;
+//  * instrumentation never reads or writes workload data, so numerics are
+//    bit-identical with a registry attached or detached;
+//  * compiling with -DHELIX_PROF_DISABLED erases the macros entirely.
+//
+// Aggregation: each recording thread owns a shard (registered under the
+// registry mutex on first use, written lock-free afterwards). Shard cells
+// are keyed (phase, site): set_phase() names the current phase (e.g. one
+// bench section) via a relaxed atomic the hot path reads at record time, so
+// per-phase aggregates need no flush barrier. report() merges all shards;
+// like TraceCollector, it must be called at a quiescent point — no other
+// thread inside an instrumented scope (the post-join discipline every
+// caller in this repo already follows).
+namespace helix::obs::prof {
+
+using SiteId = std::int32_t;
+
+enum class SiteKind : std::uint8_t { kTimer, kCounter };
+
+/// Intern `name` into the process-global site table (ids are stable for the
+/// process lifetime and shared across registries). Re-interning an existing
+/// name returns the same id; the kind must match.
+SiteId intern(std::string_view name, SiteKind kind);
+
+/// Number of interned sites so far.
+std::size_t site_count();
+const std::string& site_name(SiteId id);
+SiteKind site_kind(SiteId id);
+
+/// Aggregate for one (phase, site) cell.
+struct SiteStats {
+  std::int64_t count = 0;     ///< timer stops or counter add() calls
+  std::int64_t total_ns = 0;  ///< timers: summed scope duration
+  std::int64_t max_ns = 0;    ///< timers: longest single scope
+  std::int64_t value = 0;     ///< counters: summed addend
+
+  bool empty() const noexcept { return count == 0; }
+  void merge(const SiteStats& o) noexcept {
+    count += o.count;
+    total_ns += o.total_ns;
+    max_ns = max_ns > o.max_ns ? max_ns : o.max_ns;
+    value += o.value;
+  }
+};
+
+struct ReportRow {
+  std::string phase;
+  std::string site;
+  SiteKind kind = SiteKind::kTimer;
+  SiteStats stats;
+};
+
+/// Snapshot of a registry's aggregates, sorted by (phase, site name).
+struct Report {
+  std::vector<ReportRow> rows;
+
+  /// Stats for one (phase, site) cell, or nullptr if never recorded.
+  const SiteStats* find(std::string_view phase, std::string_view site) const;
+  /// Summed counter value of `site` across every phase (0 if absent).
+  std::int64_t counter_total(std::string_view site) const;
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Name the phase subsequent records are attributed to ("" initially).
+  /// Callable at any time; records attribute to the phase current at their
+  /// record time (relaxed visibility — a racing record may land on either
+  /// side, which is fine for phase boundaries drawn between bench sections).
+  void set_phase(std::string_view phase);
+
+  /// Merge every thread shard into (phase, site) aggregates. Quiescent-point
+  /// only: no other thread may be inside an instrumented scope.
+  Report report() const;
+
+  /// Drop all recorded data (shards stay registered). Quiescent-point only.
+  void reset();
+
+  // Hot-path entry points (used via ScopedTimer / count(), not directly).
+  void record_timer(SiteId site, std::int64_t ns) noexcept;
+  void record_count(SiteId site, std::int64_t v) noexcept;
+
+ private:
+  struct Shard;
+  Shard& local_shard() noexcept;
+
+  struct Impl;
+  Impl* impl_;
+  std::uint64_t gen_;  ///< unique per Registry instance (tls validation)
+  std::atomic<std::int32_t> phase_{0};
+};
+
+/// Attach `r` as the process-global active registry (nullptr detaches).
+/// The caller owns the registry and must detach before destroying it.
+void attach(Registry* r);
+void detach();
+Registry* active() noexcept;
+
+/// RAII attach/detach for benches and tests.
+struct AttachGuard {
+  explicit AttachGuard(Registry& r) { attach(&r); }
+  ~AttachGuard() { detach(); }
+  AttachGuard(const AttachGuard&) = delete;
+  AttachGuard& operator=(const AttachGuard&) = delete;
+};
+
+/// Add `v` to counter `site` on the active registry (no-op when detached).
+inline void count(SiteId site, std::int64_t v) noexcept {
+  if (Registry* r = active()) r->record_count(site, v);
+}
+
+/// Named scoped timer. Captures the active registry once at construction:
+/// a registry attached mid-scope does not see the scope, and one detached
+/// mid-scope still receives it (the caller keeps it alive until detach
+/// returns, per the attach() ownership contract).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(SiteId site) noexcept : reg_(active()) {
+    if (reg_ != nullptr) {
+      site_ = site;
+      start_ns_ = now_ns();
+    }
+  }
+  ~ScopedTimer() {
+    if (reg_ != nullptr) reg_->record_timer(site_, now_ns() - start_ns_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Registry* reg_;
+  SiteId site_ = 0;
+  std::int64_t start_ns_ = 0;
+};
+
+/// Fixed-width table of a report, for terminals and logs.
+std::string render(const Report& report);
+
+}  // namespace helix::obs::prof
+
+#define HELIX_PROF_CAT2(a, b) a##b
+#define HELIX_PROF_CAT(a, b) HELIX_PROF_CAT2(a, b)
+
+#if defined(HELIX_PROF_DISABLED)
+
+#define HELIX_PROF_SCOPE(name)
+#define HELIX_PROF_COUNT(name, v) \
+  do {                            \
+  } while (0)
+
+#else
+
+/// Time the enclosing scope under site `name` (a string literal).
+#define HELIX_PROF_SCOPE(name)                                               \
+  static const ::helix::obs::prof::SiteId HELIX_PROF_CAT(                    \
+      helix_prof_site_, __LINE__) =                                          \
+      ::helix::obs::prof::intern(name, ::helix::obs::prof::SiteKind::kTimer); \
+  const ::helix::obs::prof::ScopedTimer HELIX_PROF_CAT(helix_prof_scope_,    \
+                                                       __LINE__)(            \
+      HELIX_PROF_CAT(helix_prof_site_, __LINE__))
+
+/// Add `v` to monotonic counter `name` (a string literal).
+#define HELIX_PROF_COUNT(name, v)                                         \
+  do {                                                                    \
+    static const ::helix::obs::prof::SiteId helix_prof_count_site_ =      \
+        ::helix::obs::prof::intern(                                       \
+            name, ::helix::obs::prof::SiteKind::kCounter);                \
+    ::helix::obs::prof::count(helix_prof_count_site_,                     \
+                              static_cast<std::int64_t>(v));              \
+  } while (0)
+
+#endif  // HELIX_PROF_DISABLED

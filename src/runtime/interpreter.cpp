@@ -6,6 +6,7 @@
 
 #include "obs/clock.h"
 #include "obs/memory.h"
+#include "obs/prof.h"
 
 namespace helix::runtime {
 
@@ -426,6 +427,7 @@ void Interpreter::exec_traced(const Op& op, std::uint64_t tid) {
 }
 
 void Interpreter::do_op(const Op& op, bool traced, std::uint64_t tid) {
+  HELIX_PROF_SCOPE("runtime.exec");
   if (traced) {
     exec_traced(op, tid);
   } else {
@@ -479,7 +481,9 @@ void Interpreter::post_ready_sends(bool traced, std::uint64_t tid) {
 }
 
 IterationMetrics Interpreter::run() {
+  HELIX_PROF_SCOPE("runtime.run");
   const auto& program = sched_.stage_ops[static_cast<std::size_t>(rank_)];
+  HELIX_PROF_COUNT("runtime.ops", program.size());
   const bool traced = opt_.spans != nullptr || opt_.runtime_metrics != nullptr ||
                       opt_.memory != nullptr;
   const std::uint64_t tid =

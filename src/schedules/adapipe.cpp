@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/problem_check.h"
+#include "obs/prof.h"
 #include "schedules/step_cost.h"
 
 namespace helix::schedules {
@@ -130,6 +131,7 @@ AdaPipeResult plan_adapipe(const PipelineProblem& pr, const core::CostModel& cos
 
 core::Schedule build_adapipe(const PipelineProblem& pr, const core::CostModel& cost,
                              const AdaPipeOptions& opt) {
+  HELIX_PROF_SCOPE("build.adapipe");
   return emit_layerwise(pr, plan_adapipe(pr, cost, opt).plan);
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/problem_check.h"
+#include "obs/prof.h"
 
 namespace helix::schedules {
 
@@ -133,6 +134,7 @@ struct Emitter {
 
 Schedule build_interleaved_1f1b(const PipelineProblem& pr,
                                 const InterleavedOptions& opt) {
+  HELIX_PROF_SCOPE("build.interleaved");
   const int p = pr.p;
   const int v = opt.virtual_chunks;
   if (v < 1) throw std::invalid_argument("virtual_chunks must be >= 1");

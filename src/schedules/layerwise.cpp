@@ -1,4 +1,5 @@
 #include "schedules/layerwise.h"
+#include "obs/prof.h"
 
 #include <numeric>
 #include <stdexcept>
@@ -241,6 +242,7 @@ LayerwisePlan plan_1f1b(const PipelineProblem& pr) {
 }
 
 core::Schedule build_1f1b(const PipelineProblem& pr) {
+  HELIX_PROF_SCOPE("build.1f1b");
   return emit_layerwise(pr, plan_1f1b(pr));
 }
 
@@ -260,6 +262,7 @@ LayerwisePlan plan_gpipe(const PipelineProblem& pr) {
 }
 
 core::Schedule build_gpipe(const PipelineProblem& pr) {
+  HELIX_PROF_SCOPE("build.gpipe");
   return emit_layerwise(pr, plan_gpipe(pr));
 }
 

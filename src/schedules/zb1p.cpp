@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/problem_check.h"
+#include "obs/prof.h"
 #include "schedules/step_cost.h"
 
 namespace helix::schedules {
@@ -145,6 +146,7 @@ LayerwisePlan plan_zb1p(const PipelineProblem& pr, const core::CostModel& cost,
 
 core::Schedule build_zb1p(const PipelineProblem& pr, const core::CostModel& cost,
                           const Zb1pOptions& opt) {
+  HELIX_PROF_SCOPE("build.zb1p");
   return emit_layerwise(pr, plan_zb1p(pr, cost, opt));
 }
 

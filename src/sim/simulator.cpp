@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/prof.h"
+
 namespace helix::sim {
 
 using core::Op;
@@ -12,24 +14,24 @@ using core::OpId;
 using core::OpKind;
 using core::Schedule;
 
-SimResult Simulator::run(const Schedule& sched,
-                         const std::vector<std::int64_t>& base_memory) const {
-  const std::vector<const Op*> ops = sched.op_index();
-  const std::size_t n = ops.size();
+ScheduleGraph ScheduleGraph::build(const Schedule& sched) {
+  HELIX_PROF_SCOPE("sim.build_graph");
+  ScheduleGraph g;
+  g.ops = sched.op_index();
+  const std::size_t n = g.ops.size();
   for (std::size_t i = 0; i < n; ++i) {
-    if (ops[i] == nullptr) throw std::logic_error("non-dense op ids");
+    if (g.ops[i] == nullptr) throw std::logic_error("non-dense op ids");
   }
 
-  // Successor lists and predecessor counts over dependency edges, per-stage
-  // stream edges, and Send->Recv tag edges.
-  std::vector<std::vector<OpId>> succ(n);
-  std::vector<int> preds(n, 0);
-  const auto add_edge = [&](OpId from, OpId to) {
-    succ[static_cast<std::size_t>(from)].push_back(to);
-    ++preds[static_cast<std::size_t>(to)];
+  g.succ.resize(n);
+  g.preds.assign(n, 0);
+  const auto add_edge = [&g](OpId from, OpId to) {
+    g.succ[static_cast<std::size_t>(from)].push_back(to);
+    ++g.preds[static_cast<std::size_t>(to)];
+    ++g.num_edges;
   };
 
-  for (const Op* op : ops) {
+  for (const Op* op : g.ops) {
     for (OpId d : op->deps) {
       if (d < 0 || static_cast<std::size_t>(d) >= n) {
         throw std::logic_error("dependency on unknown op");
@@ -38,35 +40,46 @@ SimResult Simulator::run(const Schedule& sched,
     }
   }
   // Stream edges: consecutive compute ops / consecutive comm ops per stage.
+  // The pass also fills stream_pred, the relaxation's edge classifier.
+  g.stream_pred.assign(n, core::kNoOp);
   for (const auto& stage : sched.stage_ops) {
     OpId prev_compute = core::kNoOp;
     OpId prev_comm = core::kNoOp;
     for (const Op& op : stage) {
-      if (core::is_comm(op.kind)) {
-        if (prev_comm != core::kNoOp) add_edge(prev_comm, op.id);
-        prev_comm = op.id;
-      } else {
-        if (prev_compute != core::kNoOp) add_edge(prev_compute, op.id);
-        prev_compute = op.id;
-      }
+      OpId& prev = core::is_comm(op.kind) ? prev_comm : prev_compute;
+      if (prev != core::kNoOp) add_edge(prev, op.id);
+      g.stream_pred[static_cast<std::size_t>(op.id)] = prev;
+      prev = op.id;
     }
   }
   // Tag edges: recv completion requires send completion.
   std::map<std::int32_t, OpId> send_by_tag;
-  for (const Op* op : ops) {
+  for (const Op* op : g.ops) {
     if (op->kind == OpKind::kSend) {
       if (!send_by_tag.emplace(op->tag, op->id).second) {
         throw std::logic_error("duplicate send tag");
       }
     }
   }
-  for (const Op* op : ops) {
+  g.matching_send.assign(n, core::kNoOp);
+  for (const Op* op : g.ops) {
     if (op->kind == OpKind::kRecv) {
       const auto it = send_by_tag.find(op->tag);
       if (it == send_by_tag.end()) throw std::logic_error("recv without send");
       add_edge(it->second, op->id);
+      g.matching_send[static_cast<std::size_t>(op->id)] = it->second;
     }
   }
+  HELIX_PROF_COUNT("sim.graph.edges", g.num_edges);
+  return g;
+}
+
+SimResult Simulator::run(const Schedule& sched,
+                         const std::vector<std::int64_t>& base_memory) const {
+  HELIX_PROF_SCOPE("sim.run");
+  const ScheduleGraph graph = ScheduleGraph::build(sched);
+  const std::vector<const Op*>& ops = graph.ops;
+  const std::size_t n = ops.size();
 
   // Kahn relaxation: start = max over incoming edge end-times, split by
   // edge semantics (stream predecessor vs data dependency vs data arrival).
@@ -74,6 +87,7 @@ SimResult Simulator::run(const Schedule& sched,
   res.op_times.assign(n, {});
   res.stages.resize(static_cast<std::size_t>(sched.num_stages));
 
+  std::vector<int> preds = graph.preds;  // consumed by the relaxation
   std::vector<double> stream_ready(n, 0.0);  // prev op in same stream ended
   std::vector<double> deps_ready(n, 0.0);    // explicit deps ended
   std::vector<double> data_ready(n, 0.0);    // matching send ended (recvs)
@@ -83,77 +97,63 @@ SimResult Simulator::run(const Schedule& sched,
     if (preds[i] == 0) ready.push(static_cast<OpId>(i));
   }
 
-  // Pre-compute edge classification: for each op, remember its stream
-  // predecessor and matching send.
-  std::vector<OpId> stream_pred(n, core::kNoOp);
-  for (const auto& stage : sched.stage_ops) {
-    OpId prev_compute = core::kNoOp;
-    OpId prev_comm = core::kNoOp;
-    for (const Op& op : stage) {
-      if (core::is_comm(op.kind)) {
-        stream_pred[static_cast<std::size_t>(op.id)] = prev_comm;
-        prev_comm = op.id;
-      } else {
-        stream_pred[static_cast<std::size_t>(op.id)] = prev_compute;
-        prev_compute = op.id;
-      }
-    }
-  }
-  std::vector<OpId> matching_send(n, core::kNoOp);
-  for (const Op* op : ops) {
-    if (op->kind == OpKind::kRecv) {
-      matching_send[static_cast<std::size_t>(op->id)] = send_by_tag[op->tag];
-    }
-  }
-
   std::size_t processed = 0;
-  while (!ready.empty()) {
-    const OpId id = ready.front();
-    ready.pop();
-    ++processed;
-    const Op& op = *ops[static_cast<std::size_t>(id)];
-    const std::size_t ui = static_cast<std::size_t>(id);
+  std::size_t pushed = ready.size();
+  {
+    HELIX_PROF_SCOPE("sim.relax");
+    while (!ready.empty()) {
+      const OpId id = ready.front();
+      ready.pop();
+      ++processed;
+      const Op& op = *ops[static_cast<std::size_t>(id)];
+      const std::size_t ui = static_cast<std::size_t>(id);
 
-    double start = std::max(stream_ready[ui], deps_ready[ui]);
-    double end = start;
-    auto& st = res.stages[static_cast<std::size_t>(op.stage)];
-    switch (op.kind) {
-      case OpKind::kSend:
-        end = start + cost_.transfer_seconds(op.comm_elems);
-        st.comm_busy += end - start;
-        break;
-      case OpKind::kRecv:
-        end = std::max(start, data_ready[ui]);
-        st.recv_wait += end - start;
-        break;
-      default: {
-        end = start + cost_.compute_seconds(op);
-        st.compute_busy += end - start;
-        break;
-      }
-    }
-    res.op_times[ui] = {start, end};
-    res.makespan = std::max(res.makespan, end);
-
-    for (OpId s : succ[ui]) {
-      const std::size_t us = static_cast<std::size_t>(s);
-      if (stream_pred[us] == id) {
-        stream_ready[us] = std::max(stream_ready[us], end);
-      }
-      if (matching_send[us] == id) {
-        data_ready[us] = std::max(data_ready[us], end);
-      }
-      // The same edge can also be an explicit dependency; check directly.
-      const Op& sop = *ops[us];
-      for (OpId d : sop.deps) {
-        if (d == id) {
-          deps_ready[us] = std::max(deps_ready[us], end);
+      double start = std::max(stream_ready[ui], deps_ready[ui]);
+      double end = start;
+      auto& st = res.stages[static_cast<std::size_t>(op.stage)];
+      switch (op.kind) {
+        case OpKind::kSend:
+          end = start + cost_.transfer_seconds(op.comm_elems);
+          st.comm_busy += end - start;
+          break;
+        case OpKind::kRecv:
+          end = std::max(start, data_ready[ui]);
+          st.recv_wait += end - start;
+          break;
+        default: {
+          end = start + cost_.compute_seconds(op);
+          st.compute_busy += end - start;
           break;
         }
       }
-      if (--preds[us] == 0) ready.push(s);
+      res.op_times[ui] = {start, end};
+      res.makespan = std::max(res.makespan, end);
+
+      for (OpId s : graph.succ[ui]) {
+        const std::size_t us = static_cast<std::size_t>(s);
+        if (graph.stream_pred[us] == id) {
+          stream_ready[us] = std::max(stream_ready[us], end);
+        }
+        if (graph.matching_send[us] == id) {
+          data_ready[us] = std::max(data_ready[us], end);
+        }
+        // The same edge can also be an explicit dependency; check directly.
+        const Op& sop = *ops[us];
+        for (OpId d : sop.deps) {
+          if (d == id) {
+            deps_ready[us] = std::max(deps_ready[us], end);
+            break;
+          }
+        }
+        if (--preds[us] == 0) {
+          ready.push(s);
+          ++pushed;
+        }
+      }
     }
   }
+  HELIX_PROF_COUNT("sim.events.popped", processed);
+  HELIX_PROF_COUNT("sim.events.pushed", pushed);
   if (processed != n) {
     throw std::logic_error("schedule has a dependency cycle (" +
                            std::to_string(n - processed) + " ops stuck)");
@@ -162,23 +162,47 @@ SimResult Simulator::run(const Schedule& sched,
   // Bubble per stage.
   for (auto& st : res.stages) st.bubble = res.makespan - st.compute_busy;
 
-  // Memory timelines.
+  // Memory timelines. The per-stage event vectors are sized exactly from a
+  // counting pass over the schedule's ops before any append, so the append
+  // loop never reallocates mid-run — the "sim.mem_events.reallocs" counter
+  // proves it (asserted zero in tests and surfaced by bench_selfperf).
+  HELIX_PROF_SCOPE("sim.memory_timeline");
   struct MemEvent {
     double t;
     std::int64_t delta;
   };
   std::vector<std::vector<MemEvent>> events(
       static_cast<std::size_t>(sched.num_stages));
+  {
+    std::vector<std::size_t> counts(static_cast<std::size_t>(sched.num_stages),
+                                    0);
+    for (const Op* op : ops) {
+      auto& c = counts[static_cast<std::size_t>(op->stage)];
+      if (op->alloc_bytes + op->transient_bytes != 0) ++c;
+      if (op->free_bytes + op->transient_bytes != 0) ++c;
+    }
+    std::int64_t total = 0;
+    for (int s = 0; s < sched.num_stages; ++s) {
+      events[static_cast<std::size_t>(s)].reserve(
+          counts[static_cast<std::size_t>(s)]);
+      total += static_cast<std::int64_t>(counts[static_cast<std::size_t>(s)]);
+    }
+    HELIX_PROF_COUNT("sim.mem_events.appended", total);
+  }
+  std::int64_t reallocs = 0;
   for (const Op* op : ops) {
     const auto& ot = res.op_times[static_cast<std::size_t>(op->id)];
     auto& ev = events[static_cast<std::size_t>(op->stage)];
+    const std::size_t cap = ev.capacity();
     if (op->alloc_bytes + op->transient_bytes != 0) {
       ev.push_back({ot.start, op->alloc_bytes + op->transient_bytes});
     }
     if (op->free_bytes + op->transient_bytes != 0) {
       ev.push_back({ot.end, -(op->free_bytes + op->transient_bytes)});
     }
+    if (ev.capacity() != cap) ++reallocs;
   }
+  HELIX_PROF_COUNT("sim.mem_events.reallocs", reallocs);
   for (int s = 0; s < sched.num_stages; ++s) {
     auto& ev = events[static_cast<std::size_t>(s)];
     std::stable_sort(ev.begin(), ev.end(),

@@ -30,6 +30,26 @@ struct OpTime {
   double end = 0;
 };
 
+/// Dependency structure of a schedule, precomputed once and shared by the
+/// simulator's relaxation loop and the critical-path analyzer
+/// (sim/critical_path.h): successor lists and predecessor counts over
+/// explicit dependency edges, per-stage stream edges (consecutive compute /
+/// consecutive comm ops), and Send->Recv tag edges — plus, per op, its
+/// stream predecessor and (for Recvs) the matching Send, which is how the
+/// relaxation classifies an incoming edge's semantics.
+struct ScheduleGraph {
+  std::vector<const core::Op*> ops;           ///< dense op index
+  std::vector<std::vector<core::OpId>> succ;  ///< all outgoing edges
+  std::vector<int> preds;                     ///< incoming edge counts
+  std::vector<core::OpId> stream_pred;        ///< same-stream predecessor
+  std::vector<core::OpId> matching_send;      ///< Recv -> Send (else kNoOp)
+  std::size_t num_edges = 0;
+
+  /// Throws std::logic_error on malformed IR (non-dense ids, dependency on
+  /// an unknown op, duplicate send tag, recv without send).
+  static ScheduleGraph build(const core::Schedule& sched);
+};
+
 struct StageStats {
   double compute_busy = 0;   ///< total compute-op time
   double comm_busy = 0;      ///< total send time (transfer occupancy)
