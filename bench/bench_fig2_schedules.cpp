@@ -14,6 +14,7 @@
 #include "core/filo.h"
 #include "json.h"
 #include "schedules/layerwise.h"
+#include "schedules/zb1p.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -76,6 +77,13 @@ int main(int argc, char** argv) {
   std::printf("\nHelixPipe finishes the same work in %.0f%% of 1F1B's time.\n",
               100.0 * rh.makespan / rf.makespan);
 
+  std::printf("\nZB2P — exact W placement, min(2p, m) outstanding micro batches\n");
+  const auto zb2 = schedules::build_zb2p(pr, unit);
+  const auto rz = sim.run(zb2);
+  std::printf("%s", sim::render_ascii_timeline(zb2, rz, opt).c_str());
+  std::printf("makespan %.0f units, per-stage bubble %.0f units\n",
+              rz.makespan, rz.makespan - pr.m * (pr.L / pr.p) * 18.0);
+
   if (!json_path.empty()) {
     JsonWriter json;
     json.begin_object();
@@ -84,6 +92,7 @@ int main(int argc, char** argv) {
     json.nl(2).key("L").value(pr.L);
     append_schedule_json(json, "f1b", f1b, rf);
     append_schedule_json(json, "helix_naive", hx, rh);
+    append_schedule_json(json, "zb2p", zb2, rz);
     json.nl(2).key("helix_vs_1f1b_makespan_ratio").value(rh.makespan / rf.makespan, 4);
     json.nl(0).end_object();
     std::ofstream(json_path) << json.str() << "\n";

@@ -40,6 +40,7 @@
 #include "nn/model.h"
 #include "obs/prof.h"
 #include "runtime/trainer.h"
+#include "schedules/coexec.h"
 #include "schedules/interleaved.h"
 #include "schedules/layerwise.h"
 #include "schedules/zb1p.h"
@@ -104,6 +105,8 @@ const std::vector<Family>& schedule_families() {
       {"1f1b", [](const auto& pr, const auto&) { return schedules::build_1f1b(pr); }},
       {"gpipe", [](const auto& pr, const auto&) { return schedules::build_gpipe(pr); }},
       {"zb1p", [](const auto& pr, const auto& cost) { return schedules::build_zb1p(pr, cost); }},
+      {"zb2p", [](const auto& pr, const auto& cost) { return schedules::build_zb2p(pr, cost); }},
+      {"coexec", [](const auto& pr, const auto&) { return schedules::build_coexec(pr); }},
       {"interleaved",
        [](const auto& pr, const auto&) {
          return schedules::build_interleaved_1f1b(pr, {.virtual_chunks = 2});

@@ -3,7 +3,8 @@
 //
 //   schedule_visualizer [method] [p] [m] [L] [--comm RATIO] [--trace FILE]
 //                       [--critical [ROWS]]
-//     method: 1f1b | gpipe | zb1p | helix | helix2 | helix2rc   (default all)
+//     method: 1f1b | gpipe | zb1p | zb2p | coexec | helix | helix2 | helix2rc
+//             (default all)
 //     --critical: append the makespan-binding op chain (default 40 rows)
 #include <cstdio>
 #include <cstring>
@@ -12,6 +13,7 @@
 
 #include "core/cost.h"
 #include "core/filo.h"
+#include "schedules/coexec.h"
 #include "schedules/layerwise.h"
 #include "schedules/zb1p.h"
 #include "sim/critical_path.h"
@@ -27,6 +29,8 @@ core::Schedule build(const std::string& method, const core::PipelineProblem& pr,
   if (method == "1f1b") return schedules::build_1f1b(pr);
   if (method == "gpipe") return schedules::build_gpipe(pr);
   if (method == "zb1p") return schedules::build_zb1p(pr, cost);
+  if (method == "zb2p") return schedules::build_zb2p(pr, cost);
+  if (method == "coexec") return schedules::build_coexec(pr);
   if (method == "helix") {
     return core::build_helix_schedule(pr, {.two_fold = false, .recompute_without_attention = false});
   }
@@ -98,7 +102,8 @@ int main(int argc, char** argv) {
   }
   try {
     if (method == "all") {
-      for (const char* m : {"1f1b", "gpipe", "zb1p", "helix", "helix2"}) {
+      for (const char* m : {"1f1b", "gpipe", "zb1p", "zb2p", "coexec", "helix",
+                            "helix2"}) {
         show(m, pr, comm_ratio, "", critical_rows);
       }
     } else {

@@ -41,6 +41,8 @@ std::vector<ScheduleFamily> applicable_families(const CheckConfig& c) {
     out.push_back(ScheduleFamily::k1F1B);
     out.push_back(ScheduleFamily::kGPipe);
     out.push_back(ScheduleFamily::kZb1p);
+    out.push_back(ScheduleFamily::kZb2p);
+    out.push_back(ScheduleFamily::kCoExec);
     if (c.L % (2 * c.p) == 0 && c.m % c.p == 0) {
       out.push_back(ScheduleFamily::kInterleaved);
     }
@@ -58,6 +60,8 @@ const char* family_name(ScheduleFamily f) {
     case ScheduleFamily::kSequential: return "sequential";
     case ScheduleFamily::k1F1B: return "1f1b";
     case ScheduleFamily::kZb1p: return "zb1p";
+    case ScheduleFamily::kZb2p: return "zb2p";
+    case ScheduleFamily::kCoExec: return "coexec";
     case ScheduleFamily::kInterleaved: return "interleaved";
     case ScheduleFamily::kGPipe: return "gpipe";
     case ScheduleFamily::kHelixNaive: return "helix-naive";

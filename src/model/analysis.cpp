@@ -1,5 +1,7 @@
 #include "model/analysis.h"
 
+#include <algorithm>
+
 namespace helix::model {
 
 double onef1b_bubble(const PartTimes& t, int p, int L) {
@@ -8,6 +10,17 @@ double onef1b_bubble(const PartTimes& t, int p, int L) {
 
 double zb1p_bubble(const PartTimes& t, int p, int L) {
   return 1.0 * (p - 1) * (t.pre + 3.0 * t.attn + t.post) * L / p;
+}
+
+double zb2p_bubble(const PartTimes& t, int p, int m, int L,
+                   int max_outstanding) {
+  const int cap = max_outstanding > 0 ? max_outstanding : std::min(2 * p, m);
+  const double chunk = static_cast<double>(L) / p;
+  const double f = (t.pre + t.attn + t.post) * chunk;
+  const double b = (t.pre + 2.0 * t.attn + t.post) * chunk;
+  const double w = (t.pre + t.post) * chunk;
+  const double ladder = (p - 1) * b + w - std::min(m, cap) * w;
+  return (p - 1) * f + std::max(0.0, ladder);
 }
 
 double helix_naive_bubble(const PartTimes& t, int p) {

@@ -21,6 +21,22 @@ double onef1b_bubble(const PartTimes& t, int p, int L);
 /// T_ZB1P = (p-1)(t_pre + 3 t_attn + t_post) L/p     (Eq. 3)
 double zb1p_bubble(const PartTimes& t, int p, int L);
 
+/// Zero-bubble with optimal backward-W placement under an activation cap of
+/// `max_outstanding` micro batches per stage (0 selects the ZB2P default,
+/// min(2p, m)). With per-stage chunk durations
+///   f = (pre + attn + post) L/p,  b = (pre + 2 attn + post) L/p,
+///   w = (pre + post) L/p,
+/// the optimal bubble is
+///   (p-1) f + max(0, (p-1) b + w - min(m, cap) w).
+/// The first term is the unavoidable warmup ramp; the second is the tail of
+/// the last-micro-batch backward ladder after up to min(m, cap) deferred
+/// W steps have been pulled forward to pad it (the cap bounds how many
+/// W steps can still be outstanding when the ladder starts). At cap = p
+/// this reduces to `zb1p_bubble`; at cap >= (p-1) b / w + 1 the ladder is
+/// fully hidden and only the warmup ramp remains.
+double zb2p_bubble(const PartTimes& t, int p, int m, int L,
+                   int max_outstanding = 0);
+
 /// HelixPipe naive FILO: 3(p-1)(t_pre + t_post)      (Section 4.5)
 double helix_naive_bubble(const PartTimes& t, int p);
 

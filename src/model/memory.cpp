@@ -27,6 +27,21 @@ i64 zb1p_stage_activation_bytes(const LayerDims& d, const PipelineShape& ps, DTy
   return 16 * d.bsh() * outstanding * (ps.L / ps.p) * dtype_bytes(dt);
 }
 
+i64 zb2p_stage_activation_bytes(const LayerDims& d, const PipelineShape& ps, DType dt) {
+  check_shape(ps);
+  const i64 outstanding = std::min<i64>(2 * ps.p, ps.m);
+  return 16 * d.bsh() * outstanding * (ps.L / ps.p) * dtype_bytes(dt);
+}
+
+i64 coexec_stage_activation_bytes(const LayerDims& d, const PipelineShape& ps,
+                                  int stage, int lag, DType dt) {
+  check_shape(ps);
+  if (stage < 0 || stage >= ps.p) throw std::invalid_argument("bad stage");
+  if (lag < 1) throw std::invalid_argument("bad lag");
+  const i64 outstanding = std::min<i64>(ps.p - stage + lag, ps.m);
+  return 16 * d.bsh() * outstanding * (ps.L / ps.p) * dtype_bytes(dt);
+}
+
 i64 helix_stage_activation_bytes(const LayerDims& d, const PipelineShape& ps,
                                  bool recompute_without_attention, DType dt) {
   check_shape(ps);

@@ -7,6 +7,7 @@
 #include "core/cost.h"
 #include "model/memory.h"
 #include "par/thread_pool.h"
+#include "schedules/coexec.h"
 #include "schedules/interleaved.h"
 #include "schedules/zb1p.h"
 
@@ -50,7 +51,8 @@ core::Schedule build_numeric_schedule(const nn::MiniGptConfig& cfg,
             "recompute-without-attention is a HelixPipe schedule feature");
       }
       return schedules::build_1f1b(pr);
-    case ScheduleFamily::kZb1p: {
+    case ScheduleFamily::kZb1p:
+    case ScheduleFamily::kZb2p: {
       if (opt.recompute_without_attention) {
         throw std::invalid_argument(
             "recompute-without-attention is a HelixPipe schedule feature");
@@ -58,8 +60,16 @@ core::Schedule build_numeric_schedule(const nn::MiniGptConfig& cfg,
       // Macro-step placement only needs relative costs; the 1:3:2 unit
       // model matches the numerical mini-GPT closely enough.
       const core::UnitCostModel unit;
-      return schedules::build_zb1p(pr, unit);
+      return opt.family == ScheduleFamily::kZb2p
+                 ? schedules::build_zb2p(pr, unit)
+                 : schedules::build_zb1p(pr, unit);
     }
+    case ScheduleFamily::kCoExec:
+      if (opt.recompute_without_attention) {
+        throw std::invalid_argument(
+            "recompute-without-attention is a HelixPipe schedule feature");
+      }
+      return schedules::build_coexec(pr);
     case ScheduleFamily::kInterleaved:
       if (opt.recompute_without_attention) {
         throw std::invalid_argument(
@@ -118,6 +128,14 @@ std::vector<std::int64_t> predict_stage_peak_bytes(const nn::MiniGptConfig& cfg,
         act = model::zb1p_stage_activation_bytes(d, ps, dt);
         outstanding_layers = std::min<std::int64_t>(p, m) * lps;
         break;
+      case ScheduleFamily::kZb2p:
+        act = model::zb2p_stage_activation_bytes(d, ps, dt);
+        outstanding_layers = std::min<std::int64_t>(2 * p, m) * lps;
+        break;
+      case ScheduleFamily::kCoExec:
+        act = model::coexec_stage_activation_bytes(d, ps, i, 1, dt);
+        outstanding_layers = std::min<std::int64_t>(p - i + 1, m) * lps;
+        break;
       case ScheduleFamily::kGPipe:
         act = model::gpipe_stage_activation_bytes(d, ps, dt);
         outstanding_layers = m * lps;
@@ -132,7 +150,9 @@ std::vector<std::int64_t> predict_stage_peak_bytes(const nn::MiniGptConfig& cfg,
     }
     out[static_cast<std::size_t>(i)] = act + outstanding_layers * qkv;
   }
-  if (opt.family == ScheduleFamily::kZb1p) {
+  if (opt.family == ScheduleFamily::kZb1p ||
+      opt.family == ScheduleFamily::kZb2p ||
+      opt.family == ScheduleFamily::kCoExec) {
     // The deferred LM-head backward-W holds the fp32 logits-gradient stash
     // on the last stage (the Section 5.4 spike).
     out.back() += cfg.rows() * (cfg.hidden + cfg.vocab) * 4;

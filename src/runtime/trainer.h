@@ -15,6 +15,8 @@ enum class ScheduleFamily {
   kSequential,  ///< p = 1, plain order (ground truth through the same IR)
   k1F1B,
   kZb1p,        ///< decoupled backward-B / backward-W (greedy zero-bubble)
+  kZb2p,        ///< zero-bubble with exact W placement, 2x activation cap
+  kCoExec,      ///< 1F1B with the sibling's backward-W filling each grad wait
   kInterleaved, ///< interleaved 1F1B with 2 virtual chunks per stage
   kGPipe,
   kHelixNaive,

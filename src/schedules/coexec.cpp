@@ -1,0 +1,67 @@
+#include "schedules/coexec.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/problem_check.h"
+#include "obs/prof.h"
+
+namespace helix::schedules {
+
+using core::PipelineProblem;
+
+LayerwisePlan plan_coexec(const PipelineProblem& pr,
+                          const CoexecOptions& opt) {
+  core::validate_problem(pr, core::layerwise_requirements("CoExec"));
+  if (opt.lag < 1) {
+    throw std::invalid_argument("CoexecOptions::lag must be >= 1");
+  }
+  const int p = pr.p;
+  const int m = pr.m;
+  const int lag = std::min(opt.lag, m);
+
+  LayerwisePlan plan;
+  plan.name = "CoExec";
+  plan.layers_per_stage = uniform_partition(pr.L, pr.p);
+  plan.recompute_layers.assign(p, 0);
+  plan.decouple_w = true;
+  plan.steps.resize(p);
+  for (int i = 0; i < p; ++i) {
+    auto& s = plan.steps[i];
+    const int warmup = std::min(p - 1 - i, m);
+    if (i == p - 1) {
+      // The last stage produces its own gradients (loss), so its backward-B
+      // never waits on a transfer and there is no gap for a sibling W to
+      // ride in; injecting one would only delay the gradient sends the
+      // whole downstream ladder feeds on. Plain 1F1B order, W's drained at
+      // the end of the iteration.
+      for (int j = 0; j < m; ++j) {
+        s.push_back({StepKind::kForward, j});
+        s.push_back({StepKind::kBackward, j});
+      }
+      for (int j = 0; j < m; ++j) s.push_back({StepKind::kBackwardW, j});
+      continue;
+    }
+    // Every other stage co-executes adjacent micro batches: the 1F1B
+    // skeleton (warmup ramp, F/B alternation, drain) is unchanged, and
+    // micro batch j - lag's backward-W is slotted right before backward-B
+    // of j — exactly where 1F1B blocks on the incoming gradient.
+    for (int j = 0; j < warmup; ++j) s.push_back({StepKind::kForward, j});
+    int fnext = warmup, wnext = 0;
+    for (int j = 0; j < m; ++j) {
+      if (fnext < m) s.push_back({StepKind::kForward, fnext++});
+      if (j >= lag) s.push_back({StepKind::kBackwardW, wnext++});
+      s.push_back({StepKind::kBackward, j});
+    }
+    while (wnext < m) s.push_back({StepKind::kBackwardW, wnext++});
+  }
+  return plan;
+}
+
+core::Schedule build_coexec(const PipelineProblem& pr,
+                            const CoexecOptions& opt) {
+  HELIX_PROF_SCOPE("build.coexec");
+  return emit_layerwise(pr, plan_coexec(pr, opt));
+}
+
+}  // namespace helix::schedules

@@ -22,6 +22,7 @@ enum class StepKind : std::uint8_t {
 struct MacroStep {
   StepKind kind;
   int mb;
+  bool operator==(const MacroStep&) const = default;
 };
 
 /// A fully decided layer-wise schedule, ready for IR emission.

@@ -3,27 +3,70 @@
 #include "core/cost.h"
 #include "schedules/layerwise.h"
 
-// ZB1P zero-bubble pipeline parallelism (Qi et al., ICLR 2024; paper Section
+// Zero-bubble pipeline parallelism (Qi et al., ICLR 2024; paper Section
 // 2.3.2). The backward pass is decoupled into backward-B (input gradients,
 // on the critical path) and backward-W (parameter gradients, reorderable).
-// A greedy online scheduler mirrors the paper's heuristic: run backward-B as
-// soon as its gradient arrives, keep the pipeline fed with forwards subject
-// to the 1F1B-equivalent memory cap, and fill idle gaps with deferred
-// backward-W steps when the gap is large enough to hide one.
+//
+// Two planners share this machinery:
+//  * ZB1P (`plan_zb1p`): the paper's greedy online heuristic — run
+//    backward-B as soon as its gradient arrives, keep the pipeline fed with
+//    forwards subject to the 1F1B-equivalent memory cap (min(p, m)
+//    outstanding micro batches), and fill idle gaps with deferred
+//    backward-W steps when the gap is large enough to hide one.
+//  * ZB2P (`plan_zb2p`): the memory-doubled optimal-placement variant. The
+//    cap is raised to min(2p, m) outstanding micro batches (2x the 1F1B
+//    peak, the "2" in ZB2P) and the greedy filler is replaced by an exact
+//    W-placement pass: an event-driven B-earliest constructor followed by a
+//    per-stage dynamic program over (fnext, bnext, wnext) interleaving
+//    states — priced with the same StepCostQuery macro-step durations —
+//    iterated to a fixed point with a macro-step plan simulator as the
+//    makespan oracle. Under unit part costs and free communication the
+//    result meets the closed-form lower bound `model::zb2p_bubble` exactly
+//    (asserted across the shape grid in tests/sim/bubble_formula_test).
 namespace helix::schedules {
 
 struct Zb1pOptions {
-  /// Maximum micro batches with live stashes per stage; 0 selects min(p, m),
-  /// the worst-case 1F1B peak (paper Eq. 4).
+  /// Maximum micro batches with live stashes per stage; 0 selects the
+  /// planner default: min(p, m) — the worst-case 1F1B peak (paper Eq. 4) —
+  /// for the greedy ZB1P filler, min(2p, m) for ZB2P.
   int max_outstanding = 0;
+  /// Use the exact backward-W placement pass (ZB2P) instead of the greedy
+  /// filler. `build_zb1p` routes to `plan_zb2p` when set.
+  bool optimal_w = false;
 };
 
 LayerwisePlan plan_zb1p(const core::PipelineProblem& problem,
                         const core::CostModel& cost,
                         const Zb1pOptions& options = {});
 
+/// Exact W-placement (ZB2P). Ignores `options.optimal_w` (it is implied);
+/// honours `options.max_outstanding` with a min(2p, m) default.
+LayerwisePlan plan_zb2p(const core::PipelineProblem& problem,
+                        const core::CostModel& cost,
+                        const Zb1pOptions& options = {});
+
 core::Schedule build_zb1p(const core::PipelineProblem& problem,
                           const core::CostModel& cost,
                           const Zb1pOptions& options = {});
+
+core::Schedule build_zb2p(const core::PipelineProblem& problem,
+                          const core::CostModel& cost,
+                          const Zb1pOptions& options = {});
+
+/// Macro-step-granularity timing of a layerwise {F, B, W} plan: the exact
+/// event times the discrete-event simulator would assign to a decoupled
+/// plan's macro steps under `fdur`/`bdur`/`wdur` per-stage durations and a
+/// per-boundary transfer time. This is the ZB2P refinement loop's makespan
+/// oracle (simulating the emitted IR would price identically but cost ~30x
+/// more per evaluation); exposed for tests.
+struct PlanTimes {
+  double makespan = 0;
+  /// Per (stage, mb): end time of the forward / backward-B macro step.
+  std::vector<std::vector<double>> fend, bend;
+};
+PlanTimes simulate_plan(const LayerwisePlan& plan,
+                        const std::vector<double>& fdur,
+                        const std::vector<double>& bdur,
+                        const std::vector<double>& wdur, double comm);
 
 }  // namespace helix::schedules

@@ -33,8 +33,9 @@ TEST(SliceConfigs, EveryFamilyIsCovered) {
   for (const auto& c : slice_configs()) {
     for (const auto f : applicable_families(c)) covered.insert(family_name(f));
   }
-  for (const char* want : {"1f1b", "gpipe", "zb1p", "interleaved",
-                           "helix-naive", "helix-two-fold", "helix-tuned"}) {
+  for (const char* want : {"1f1b", "gpipe", "zb1p", "zb2p", "coexec",
+                           "interleaved", "helix-naive", "helix-two-fold",
+                           "helix-tuned"}) {
     EXPECT_TRUE(covered.count(want)) << want << " not covered by the slice";
   }
 }
@@ -104,6 +105,30 @@ TEST(Regression, SingleLayerEmbedBwdDisambiguatedByFlag) {
   c.steps = 1;
   const auto report = run_config(c);
   EXPECT_TRUE(report.ok()) << render_report(report);
+}
+
+// Pin the co-execution family on a shape where its reordering is maximally
+// aggressive relative to 1F1B: deep pipeline, few micro batches (m < p, so
+// some stages run zero warmup forwards while others run all m), every
+// backward-W slid between a forward and the backward it feeds. The family
+// must still train bit-identically to the sequential reference under both
+// comm engines — the W interleave is a pure reordering of the same ops.
+TEST(Regression, CoexecDeepPipelineFewMicroBatches) {
+  CheckConfig c;
+  c.p = 4;
+  c.m = 3;
+  c.L = 8;
+  c.hidden = 8;
+  c.heads = 2;
+  c.seq = 4;
+  c.vocab = 16;
+  c.adam = true;
+  c.steps = 2;
+  const auto report = run_config(c);
+  EXPECT_TRUE(report.ok()) << render_report(report);
+  bool saw_coexec = false;
+  for (const auto& f : report.families) saw_coexec |= f.family == "coexec";
+  EXPECT_TRUE(saw_coexec) << "config did not exercise the coexec family";
 }
 
 TEST(ConfigGenerator, IsDeterministicAndValid) {

@@ -11,6 +11,7 @@
 #include "core/filo.h"
 #include "core/reorder.h"
 #include "core/validator.h"
+#include "schedules/coexec.h"
 #include "schedules/interleaved.h"
 #include "schedules/layerwise.h"
 #include "schedules/zb1p.h"
@@ -89,6 +90,8 @@ TEST(ScheduleFuzz, AllGeneratorsOnRandomShapes) {
     check(schedules::build_1f1b(f.pr), f.cost, tag);
     check(schedules::build_gpipe(f.pr), f.cost, tag);
     check(schedules::build_zb1p(f.pr, f.cost), f.cost, tag);
+    check(schedules::build_zb2p(f.pr, f.cost), f.cost, tag);
+    check(schedules::build_coexec(f.pr), f.cost, tag);
     check(core::build_helix_schedule(
               f.pr, {.two_fold = false, .recompute_without_attention = false}),
           f.cost, tag);
@@ -100,6 +103,31 @@ TEST(ScheduleFuzz, AllGeneratorsOnRandomShapes) {
             f.cost, tag);
     }
   }
+}
+
+// Regression: the zero-bubble planner's stall guard computed its step budget
+// as `64 * 3 * p * m` in int, which wraps negative once p*m exceeds ~11.2M
+// and made the guard trip instantly ("planner stalled") on shapes that are
+// perfectly schedulable. Now computed in long long. This shape keeps p small
+// so the event-driven construction itself stays cheap while 192 * p * m =
+// 2.17e9 still overflows the old int arithmetic.
+TEST(ScheduleFuzz, Zb1pStallGuardSurvivesHugeShapes) {
+  core::PipelineProblem pr;
+  pr.p = 2;
+  pr.m = 5'650'000;
+  pr.L = 2;
+  pr.comm.boundary = 1;
+  pr.comm.pre_to_attn = 1;
+  pr.comm.attn_to_post = 1;
+  pr.include_lm_head = false;
+  const core::UnitCostModel cost;
+  // Planning only — emitting and simulating 34M ops is wasteful here; the
+  // regression was that plan_zb1p threw before producing a plan at all.
+  const auto plan = schedules::plan_zb1p(pr, cost, {});
+  ASSERT_EQ(static_cast<int>(plan.steps.size()), pr.p);
+  std::size_t total = 0;
+  for (const auto& s : plan.steps) total += s.size();
+  EXPECT_EQ(total, 3u * static_cast<unsigned>(pr.p) * static_cast<unsigned>(pr.m));
 }
 
 TEST(ScheduleFuzz, HelixAlwaysBeats1F1BWhenAttentionDominates) {

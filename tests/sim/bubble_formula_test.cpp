@@ -4,6 +4,8 @@
 // the schedules the paper describes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/cost.h"
 #include "core/filo.h"
 #include "core/reorder.h"
@@ -29,6 +31,19 @@ core::PipelineProblem formula_problem(int p, int m, int L) {
 
 const model::PartTimes kParts{.pre = 1.0, .attn = 3.0, .post = 2.0};
 const core::UnitCostModel kUnit{};  // 1:3:2, zero-cost transfers, no embed/head
+
+/// Upper bound on the list-scheduled multi-loop FILO bubble: the loops may
+/// serialize end-to-end (one closed-form ladder each), and the scheduler's
+/// loop-boundary interleaving can additionally hold the tail behind at most
+/// one backward drain ladder — (p-1) stages' per-micro-batch backward time.
+/// Tighter than the former 2.5x-per-loop fudge on every multi-loop shape of
+/// the grid (margins 3%-2x instead of 1.5x-8x).
+double multi_loop_bubble_bound(double expected, int loops, int p, int L,
+                               bool recompute) {
+  const double b_layer = 2.0 * (kParts.pre + kParts.attn + kParts.post) +
+                         (recompute ? kParts.pre + kParts.post : 0.0);
+  return loops * expected + (p - 1) * (L / p) * b_layer;
+}
 
 /// Per-micro-batch per-layer work of one stage (everything balances, so any
 /// stage's compute equals m/p of the total).
@@ -65,17 +80,36 @@ TEST_P(BubbleFormulas, Zb1pMatchesClosedFormWithinHeuristicSlack) {
   const auto res = sim::Simulator(kUnit).run(sched);
   const double work = m * (L / p) * 18.0;
   const double expected = model::zb1p_bubble(kParts, p, L);
-  // The closed form assumes the ILP-optimal backward-W placement; our
-  // greedy filler (like the zero-bubble paper's heuristic) may leave up to
-  // one W-chunk per pipeline rank unfilled.
+  // zb1p_bubble is the exact optimum at activation cap p (it equals
+  // zb2p_bubble evaluated at that cap whenever m >= p), so no schedule
+  // honoring the cap — the greedy filler included — can land below it.
+  EXPECT_NEAR(expected, model::zb2p_bubble(kParts, p, m, L, std::min(p, m)),
+              1e-9);
+  EXPECT_GE(res.makespan, work + expected - 1e-9);
+  // The greedy filler (like the zero-bubble paper's heuristic) may leave up
+  // to one W-chunk per pipeline rank unfilled; observed tight at p=4.
   const double w_chunk = 3.0 * (L / p);
   EXPECT_LE(res.makespan, work + expected + (p - 1) * w_chunk + 1e-9);
-  EXPECT_GE(res.makespan, work + expected - w_chunk - 1e-9);
   // ZB1P must strictly beat 1F1B whenever there is a bubble to fill.
   if (p > 1) {
     const auto onef1b = sim::Simulator(kUnit).run(schedules::build_1f1b(pr));
     EXPECT_LT(res.makespan, onef1b.makespan);
   }
+}
+
+TEST_P(BubbleFormulas, Zb2pMatchesClosedFormExactly) {
+  const auto [p, m, L] = GetParam();
+  const auto pr = formula_problem(p, m, L);
+  const auto sched = schedules::build_zb2p(pr, kUnit);
+  const auto res = sim::Simulator(kUnit).run(sched);
+  const double work = m * (L / p) * 18.0;
+  // Exact per-stage W placement (DP + coordinate descent) hits the closed
+  // form with no heuristic slack — this is the acceptance bar that replaces
+  // the ZB1P greedy gap documented in README's Table 2 discussion.
+  EXPECT_NEAR(res.makespan, work + model::zb2p_bubble(kParts, p, m, L), 1e-9);
+  // Doubling the activation cap can only help: ZB2P dominates greedy ZB1P.
+  const auto zb1 = sim::Simulator(kUnit).run(schedules::build_zb1p(pr, kUnit));
+  EXPECT_LE(res.makespan, zb1.makespan + 1e-9);
 }
 
 TEST_P(BubbleFormulas, HelixNaive) {
@@ -93,9 +127,10 @@ TEST_P(BubbleFormulas, HelixNaive) {
     EXPECT_NEAR(res.makespan, work + expected, 1e-9) << sched.name;
   } else {
     // Multiple loops pipeline behind each other under the list-scheduled
-    // order; heuristic, so allow roughly one extra ladder per extra loop.
+    // order; heuristic, bounded by full loop serialization + one drain ladder.
     EXPECT_GE(res.makespan, work + expected - 2.0 * (kParts.pre + kParts.post) - 1e-9);
-    EXPECT_LE(res.makespan, work + 2.5 * (m / p) * expected + 1e-9);
+    EXPECT_LE(res.makespan,
+              work + multi_loop_bubble_bound(expected, m / p, p, L, false) + 1e-9);
   }
 }
 
@@ -116,7 +151,8 @@ TEST_P(BubbleFormulas, HelixNaiveRecompute) {
     EXPECT_GE(res.makespan, work + expected - (kParts.pre + kParts.post) - 1e-9);
   } else {
     EXPECT_GE(res.makespan, work + expected - 2.0 * (kParts.pre + kParts.post) - 1e-9);
-    EXPECT_LE(res.makespan, work + 2.5 * (m / p) * expected + 1e-9);
+    EXPECT_LE(res.makespan,
+              work + multi_loop_bubble_bound(expected, m / p, p, L, true) + 1e-9);
   }
 }
 
@@ -133,7 +169,8 @@ TEST_P(BubbleFormulas, HelixTwoFold) {
     EXPECT_NEAR(res.makespan, work + expected, 1e-9) << sched.name;
   } else {
     EXPECT_GE(res.makespan, work + expected - 2.0 * (kParts.pre + kParts.post) - 1e-9);
-    EXPECT_LE(res.makespan, work + 2.5 * (m / (2 * p)) * expected + 1e-9);
+    EXPECT_LE(res.makespan,
+              work + multi_loop_bubble_bound(expected, m / (2 * p), p, L, false) + 1e-9);
   }
 }
 
@@ -151,7 +188,8 @@ TEST_P(BubbleFormulas, HelixTwoFoldRecompute) {
     EXPECT_GE(res.makespan, work + expected - (kParts.pre + kParts.post) - 1e-9);
   } else {
     EXPECT_GE(res.makespan, work + expected - 2.0 * (kParts.pre + kParts.post) - 1e-9);
-    EXPECT_LE(res.makespan, work + 2.5 * (m / (2 * p)) * expected + 1e-9);
+    EXPECT_LE(res.makespan,
+              work + multi_loop_bubble_bound(expected, m / (2 * p), p, L, true) + 1e-9);
   }
 }
 

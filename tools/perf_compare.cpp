@@ -3,7 +3,11 @@
 // threshold.
 //
 //   perf_compare BASELINE.json CANDIDATE.json [--threshold FRAC]
-//                [--fail-on-regression]
+//                [--fail-on-regression] [--only PREFIX]...
+//
+// --only (repeatable) restricts the diff to metric/counter keys with the
+// given prefix, e.g. `--only build/ --only sim/` gates CI on the
+// deterministic sections while train/ timings stay informational.
 //
 // A metric regresses when candidate.trimmed_mean_s exceeds
 // baseline.trimmed_mean_s by more than --threshold (default 0.25 — self-timed
@@ -279,9 +283,12 @@ int main(int argc, char** argv) {
   const char* cand_path = nullptr;
   double threshold = 0.25;
   bool fail_on_regression = false;
+  std::vector<std::string> only;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
       threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      only.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--fail-on-regression") == 0) {
       fail_on_regression = true;
     } else if (base_path == nullptr) {
@@ -296,9 +303,21 @@ int main(int argc, char** argv) {
   if (base_path == nullptr || cand_path == nullptr) {
     std::fprintf(stderr,
                  "usage: perf_compare BASELINE.json CANDIDATE.json "
-                 "[--threshold FRAC] [--fail-on-regression]\n");
+                 "[--threshold FRAC] [--fail-on-regression] "
+                 "[--only PREFIX]...\n");
     return 2;
   }
+  // --only restricts the comparison (metrics and counters alike) to keys
+  // starting with any given prefix — so CI can gate on the stable
+  // deterministic sections (build/, sim/) while the timing-noisy train/
+  // section stays informational.
+  const auto selected = [&only](const std::string& key) {
+    if (only.empty()) return true;
+    for (const std::string& prefix : only) {
+      if (key.compare(0, prefix.size(), prefix) == 0) return true;
+    }
+    return false;
+  };
 
   try {
     const BenchFile base = load(base_path);
@@ -318,6 +337,7 @@ int main(int argc, char** argv) {
     std::printf("  %-44s %12s %12s %9s\n", "metric", "base ms", "cand ms",
                 "delta");
     for (const auto& [key, b] : base.metrics) {
+      if (!selected(key)) continue;
       const auto it = cand.metrics.find(key);
       if (it == cand.metrics.end()) {
         std::printf("  %-44s %12.3f %12s   MISSING\n", key.c_str(),
@@ -342,6 +362,7 @@ int main(int argc, char** argv) {
                   flag);
     }
     for (const auto& [key, c] : cand.metrics) {
+      if (!selected(key)) continue;
       if (base.metrics.find(key) == base.metrics.end()) {
         std::printf("  %-44s %12s %12.3f   NEW\n", key.c_str(), "-",
                     1e3 * c.trimmed_mean_s);
@@ -351,6 +372,7 @@ int main(int argc, char** argv) {
 
     int counter_drift = 0;
     for (const auto& [key, b] : base.counters) {
+      if (!selected(key)) continue;
       const auto it = cand.counters.find(key);
       if (it == cand.counters.end()) continue;  // grid changed; keys reported above
       if (it->second != b) {
