@@ -38,6 +38,7 @@
 #include "core/filo.h"
 #include "json.h"
 #include "nn/model.h"
+#include "obs/health.h"
 #include "obs/prof.h"
 #include "runtime/trainer.h"
 #include "schedules/coexec.h"
@@ -235,6 +236,74 @@ void bench_train(Harness& h, obs::prof::Registry& reg, bool quick) {
   }
 }
 
+// Live-run health overhead ladder: the same train grid with the flight
+// recorder + progress watchdog attached vs detached. The wall-clock pair is
+// informational (CI noise swamps a 2% budget), so the enforceable part is a
+// set of deterministic counters — flight events recorded, ops retired,
+// deliveries observed over a fixed run — that perf_compare diffs exactly:
+// any drift means the recorder write-side or the schedule changed.
+void bench_train_health(Harness& h, obs::prof::Registry& reg, bool quick) {
+  reg.set_phase("train_health");
+  std::printf("health recorder overhead (attached vs detached)\n");
+  const int steps = quick ? 1 : 2;
+  const std::vector<int> sizes = quick ? std::vector<int>{2} : std::vector<int>{2, 4};
+  for (const int p : sizes) {
+    const nn::MiniGptConfig cfg{.layers = p, .hidden = 32, .heads = 4,
+                                .seq = 64, .batch = 1, .vocab = 64,
+                                .micro_batches = 2 * p, .lr = 0.03f};
+    const nn::Batch batch = nn::Batch::random(cfg, 11);
+    double mean[2] = {0, 0};
+    for (const bool attached : {false, true}) {
+      char key[128];
+      std::snprintf(key, sizeof(key), "train_health/helix_two_fold/p%d_%s_steps%d",
+                    p, attached ? "attached" : "detached", steps);
+      h.measure(key, [&] {
+        nn::ModelParams params = nn::ModelParams::init(cfg, 3);
+        runtime::TrainerOptions opt{
+            .family = runtime::ScheduleFamily::kHelixTwoFold,
+            .pipeline_stages = p};
+        opt.health.enabled = attached;
+        runtime::Trainer trainer(params, opt);
+        for (int s = 0; s < steps; ++s) (void)trainer.train_step(batch);
+      });
+      mean[attached ? 1 : 0] = h.metrics.back().trimmed_mean_s;
+    }
+    if (mean[0] > 0) {
+      std::printf("  -> attached overhead p%d: %+.2f%% (informational; the "
+                  "exact gate is the counters below)\n",
+                  p, 100.0 * (mean[1] / mean[0] - 1.0));
+    }
+
+    // Deterministic canary run: fixed seed, fixed steps, blocking comm. The
+    // event/progress totals of this run are schedule-determined, so they land
+    // in the counters array and perf_compare flags any drift exactly.
+    nn::ModelParams params = nn::ModelParams::init(cfg, 3);
+    runtime::TrainerOptions opt{.family = runtime::ScheduleFamily::kHelixTwoFold,
+                                .pipeline_stages = p};
+    opt.health.enabled = true;
+    runtime::Trainer trainer(params, opt);
+    for (int s = 0; s < steps; ++s) (void)trainer.train_step(batch);
+    const obs::HealthCollector* hc = trainer.health_collector();
+    std::int64_t events = 0, retired = 0, deliveries = 0;
+    for (int r = 0; r < hc->num_ranks(); ++r) {
+      events += static_cast<std::int64_t>(hc->recorder(r).total());
+      retired += hc->cell(r).ops_retired.load(std::memory_order_relaxed);
+      deliveries += hc->cell(r).deliveries.load(std::memory_order_relaxed);
+    }
+    char site[64];
+    std::snprintf(site, sizeof(site), "health.flight_events.p%d", p);
+    reg.record_count(obs::prof::intern(site, obs::prof::SiteKind::kCounter), events);
+    std::snprintf(site, sizeof(site), "health.ops_retired.p%d", p);
+    reg.record_count(obs::prof::intern(site, obs::prof::SiteKind::kCounter), retired);
+    std::snprintf(site, sizeof(site), "health.deliveries.p%d", p);
+    reg.record_count(obs::prof::intern(site, obs::prof::SiteKind::kCounter), deliveries);
+    std::printf("  canary p%d: %lld flight events, %lld ops retired, %lld "
+                "deliveries\n", p, static_cast<long long>(events),
+                static_cast<long long>(retired),
+                static_cast<long long>(deliveries));
+  }
+}
+
 void write_json(const std::string& path, const Harness& h,
                 const obs::prof::Report& prof, bool quick) {
   bench::JsonWriter json;
@@ -303,6 +372,7 @@ int main(int argc, char** argv) {
   bench_build(h, reg, pipeline_sizes);
   bench_simulate(h, reg, pipeline_sizes);
   bench_train(h, reg, quick);
+  bench_train_health(h, reg, quick);
 
   const obs::prof::Report prof = reg.report();
   std::printf("\n%s\n", obs::prof::render(prof).c_str());

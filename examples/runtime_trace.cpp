@@ -13,15 +13,26 @@
 // reconciliation, the three-way memory reconciliation (measured allocator
 // peak vs closed-form model vs simulator) and the peak-attribution tables.
 //
-// Usage: runtime_trace [--out-dir DIR]   (default DIR is the current dir)
+// With --health the example instead demonstrates the live-run health
+// subsystem (obs/health.h): a healthy iteration observed through the live
+// per-rank progress table, then a deliberately sabotaged iteration — one
+// boundary delivery is swallowed by a seeded comm::FaultPlan — where the
+// progress watchdog trips, names the hung (src, dst, tag) edge, and writes
+// the merged post-mortem (text, JSON, Chrome trace) into --out-dir.
+//
+// Usage: runtime_trace [--out-dir DIR] [--health]
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/cost.h"
 #include "obs/export.h"
+#include "obs/health.h"
 #include "par/thread_pool.h"
 #include "runtime/trainer.h"
 #include "sim/simulator.h"
@@ -29,17 +40,113 @@
 
 using namespace helix;
 
+namespace {
+
+int run_health_demo(const std::string& out_dir) {
+  const nn::MiniGptConfig cfg{.layers = 4, .hidden = 32, .heads = 4, .seq = 16,
+                              .batch = 1, .vocab = 64, .micro_batches = 8,
+                              .lr = 0.03f};
+  const nn::Batch batch = nn::Batch::random(cfg, 2026);
+
+  obs::HealthOptions health;
+  health.enabled = true;
+  health.no_progress_window_ms = 500;
+  health.poll_interval_ms = 20;
+  runtime::TrainerOptions options{
+      .family = runtime::ScheduleFamily::kHelixTwoFold,
+      .pipeline_stages = 4,
+      .recompute_without_attention = true,
+      .mlp_chunks = 2,
+      .health = health};
+
+  // (a) Healthy iteration, observed live: train on a worker thread while the
+  // main thread samples the collector's progress table — exactly what an
+  // operator tailing a long run would look at.
+  std::printf("— healthy run: live per-rank progress —\n");
+  {
+    nn::ModelParams params = nn::ModelParams::init(cfg, 7);
+    runtime::Trainer trainer(params, options);
+    std::thread step([&] { (void)trainer.train_step(batch); });
+    for (int sample = 0; sample < 3; ++sample) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      if (trainer.health_collector() != nullptr) {
+        std::printf("t+%dms:\n%s\n", 2 * (sample + 1),
+                    obs::render_progress_table(*trainer.health_collector())
+                        .c_str());
+      }
+    }
+    step.join();
+    std::printf("final:\n%s\n",
+                obs::render_progress_table(*trainer.health_collector()).c_str());
+  }
+
+  // (b) Sabotaged iteration: swallow the schedule's first stage-0 boundary
+  // delivery. The watchdog must trip within the configured window and the
+  // post-mortem must name the injected edge.
+  nn::ModelParams params = nn::ModelParams::init(cfg, 7);
+  comm::FaultPlan plan;
+  {
+    const core::Schedule sched = runtime::build_numeric_schedule(cfg, options);
+    for (const core::Op& op : sched.stage_ops[0]) {
+      if (op.kind == core::OpKind::kSend) {
+        plan.deliveries.emplace_back(0, op.peer, op.tag,
+                                     comm::DeliveryFault::Action::kHang);
+        std::printf("— sabotaged run: hanging delivery (src=0, dst=%d, "
+                    "tag=%d) —\n", op.peer, op.tag);
+        break;
+      }
+    }
+  }
+  options.health.faults = &plan;
+  options.health.dump_dir = out_dir;
+  runtime::Trainer faulty(params, options);
+  try {
+    (void)faulty.train_step(batch);
+    std::fprintf(stderr, "ERROR: watchdog did not trip on the hung delivery\n");
+    return 1;
+  } catch (const runtime::HangDetected& e) {
+    std::printf("watchdog tripped: %s\n\n", e.what());
+  }
+  const obs::PostMortem* pm = faulty.last_post_mortem();
+  if (pm == nullptr) {
+    std::fprintf(stderr, "ERROR: no post-mortem was built\n");
+    return 1;
+  }
+  std::printf("%s\n", obs::render_post_mortem(*pm).c_str());
+
+  // The same report was dumped to disk by the Trainer; show the artifacts an
+  // operator would attach to a bug report.
+  for (const char* ext : {".txt", ".json", ".trace.json"}) {
+    const std::string path = (std::filesystem::path(out_dir) /
+                              (std::string("postmortem_step0") + ext))
+                                 .string();
+    if (!std::filesystem::exists(path)) {
+      std::fprintf(stderr, "ERROR: missing dump %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%lld bytes)\n", path.c_str(),
+                static_cast<long long>(std::filesystem::file_size(path)));
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string out_dir = ".";
+  bool health_demo = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      health_demo = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--out-dir DIR]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--out-dir DIR] [--health]\n", argv[0]);
       return 2;
     }
   }
   std::filesystem::create_directories(out_dir);
+  if (health_demo) return run_health_demo(out_dir);
 
   const nn::MiniGptConfig cfg{.layers = 4, .hidden = 32, .heads = 4, .seq = 16,
                               .batch = 1, .vocab = 64, .micro_batches = 8,

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+// Seeded fault injection for the comm layer: a FaultPlan describes a set of
+// deterministic failures — delay/hang/drop a specific (src, dst, tag)
+// delivery, or kill a rank at a given training step — that World::deliver and
+// runtime::Trainer apply while running. This is how the watchdog and
+// post-mortem paths are tested without real flaky hardware, and the seam the
+// elastic-recovery work (ROADMAP item 5) will re-plan around.
+namespace helix::comm {
+
+/// Thrown by a rank whose KillFault fired: models an abrupt rank death. The
+/// world poisons exactly as for any other rank failure; World::run rethrows
+/// this as the original error.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One delivery fault, matched inside World::deliver against the first
+/// `count` deliveries of (src, dst, tag).
+struct DeliveryFault {
+  enum class Action : std::uint8_t {
+    kDelay,  ///< sleep delay_ms on the delivering thread, then deliver
+    kHang,   ///< swallow the message: it never reaches dst (a hung transfer)
+    kDrop,   ///< alias of kHang in effect, named for lost-message scenarios
+  };
+
+  int src = -1;
+  int dst = -1;
+  std::int64_t tag = -1;
+  Action action = Action::kHang;
+  std::int64_t delay_ms = 0;  ///< kDelay only
+  int count = 1;              ///< how many matching deliveries to affect
+
+  /// Matching deliveries seen so far. Mutable so a const plan can be shared;
+  /// deliveries for one (src, dst) pair are serialized by the comm layer, the
+  /// atomic makes cross-pair reuse of one fault entry well-defined too.
+  mutable std::atomic<int> applied{0};
+
+  DeliveryFault() = default;
+  DeliveryFault(int s, int d, std::int64_t t, Action a, std::int64_t ms = 0,
+                int c = 1)
+      : src(s), dst(d), tag(t), action(a), delay_ms(ms), count(c) {}
+  DeliveryFault(const DeliveryFault& o)
+      : src(o.src), dst(o.dst), tag(o.tag), action(o.action),
+        delay_ms(o.delay_ms), count(o.count),
+        applied(o.applied.load(std::memory_order_relaxed)) {}
+  DeliveryFault& operator=(const DeliveryFault& o) {
+    src = o.src; dst = o.dst; tag = o.tag; action = o.action;
+    delay_ms = o.delay_ms; count = o.count;
+    applied.store(o.applied.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+/// Kill rank `rank` at the start of training step `step` (0-based): the rank
+/// function throws FaultInjected before executing any op of that step.
+struct KillFault {
+  int rank = -1;
+  int step = 0;
+};
+
+struct FaultPlan {
+  std::vector<DeliveryFault> deliveries;
+  std::vector<KillFault> kills;
+
+  /// Match (and consume one application of) a delivery fault. Returns null
+  /// when no armed entry matches.
+  const DeliveryFault* match(int src, int dst, std::int64_t tag) const noexcept {
+    for (const DeliveryFault& f : deliveries) {
+      if (f.src != src || f.dst != dst || f.tag != tag) continue;
+      if (f.applied.fetch_add(1, std::memory_order_relaxed) < f.count) return &f;
+      // Over-counted past `count`: harmless, the entry stays exhausted.
+    }
+    return nullptr;
+  }
+
+  bool should_kill(int rank, int step) const noexcept {
+    for (const KillFault& k : kills) {
+      if (k.rank == rank && k.step == step) return true;
+    }
+    return false;
+  }
+
+  bool empty() const noexcept { return deliveries.empty() && kills.empty(); }
+};
+
+}  // namespace helix::comm

@@ -1,7 +1,9 @@
 #include "comm/world.h"
 
+#include <chrono>
 #include <exception>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/clock.h"
 #include "tensor/ops.h"
@@ -44,7 +46,31 @@ World::World(int num_ranks) : num_ranks_(num_ranks), mailboxes_(static_cast<std:
 }
 
 void World::deliver(int dst, int src, std::int64_t tag, Message msg) {
+  if (faults_ != nullptr) {
+    if (const DeliveryFault* f = faults_->match(src, dst, tag)) {
+      const std::int64_t bytes = message_bytes(msg);
+      // Record the fault on both ends: the sender's ring shows what it did,
+      // the receiver's ring explains the message that never (or late) came.
+      if (flight_ != nullptr) {
+        const std::int64_t now = obs::now_ns();
+        flight_ring(src)->record(obs::FlightEventType::kFaultInjected,
+                                 core::OpKind::kSend, -1, -1, dst, tag, bytes, now);
+        flight_ring(dst)->record(obs::FlightEventType::kFaultInjected,
+                                 core::OpKind::kRecv, -1, -1, src, tag, bytes, now);
+      }
+      switch (f->action) {
+        case DeliveryFault::Action::kDelay:
+          std::this_thread::sleep_for(std::chrono::milliseconds(f->delay_ms));
+          break;  // then deliver normally
+        case DeliveryFault::Action::kHang:
+        case DeliveryFault::Action::kDrop:
+          return;  // the message vanishes: dst's recv will block forever
+      }
+    }
+  }
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  const std::int64_t flight_bytes =
+      flight_ != nullptr ? message_bytes(msg) : 0;
   std::shared_ptr<detail::RecvState> target;
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -74,15 +100,36 @@ void World::deliver(int dst, int src, std::int64_t tag, Message msg) {
     }
     target->cv.notify_all();
   }
+  // A delivery is progress for the *receiving* rank: even if its compute
+  // thread is blocked elsewhere, data arriving means the job is moving.
+  if (health_cells_ != nullptr || flight_ != nullptr) {
+    const std::int64_t now = obs::now_ns();
+    if (obs::RankHealth* h = health_cell(dst)) {
+      h->deliveries.fetch_add(1, std::memory_order_relaxed);
+      h->last_progress_ns.store(now, std::memory_order_relaxed);
+    }
+    if (obs::FlightRecorder* fr = flight_ring(dst)) {
+      fr->record(obs::FlightEventType::kRecvFulfilled, core::OpKind::kRecv,
+                 -1, -1, src, tag, flight_bytes, now);
+    }
+  }
 }
 
 RecvHandle World::post_recv(int dst, int src, std::int64_t tag) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
   obs::CommMetrics* m = metrics_ == nullptr ? nullptr : metrics_ + dst;
+  obs::RankHealth* h = health_cell(dst);
+  obs::FlightRecorder* fr = flight_ring(dst);
   auto state = std::make_shared<detail::RecvState>();
+  state->src = src;
+  state->tag = tag;
   if (m != nullptr) {
     state->post_ns = obs::now_ns();
     m->irecv_posted.inc();
+  }
+  if (fr != nullptr) {
+    fr->record(obs::FlightEventType::kRecvPost, core::OpKind::kRecv, -1, -1,
+               src, tag, 0, obs::now_ns());
   }
   const auto key = std::make_pair(src, tag);
   std::lock_guard<std::mutex> lock(box.mu);
@@ -104,7 +151,20 @@ RecvHandle World::post_recv(int dst, int src, std::int64_t tag) {
   } else {
     box.pending[key].push_back(state);
   }
-  return RecvHandle(std::move(state), m);
+  return RecvHandle(std::move(state), m, h, fr);
+}
+
+std::vector<World::PendingRecvInfo> World::pending_recvs(int rank) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
+  std::vector<PendingRecvInfo> out;
+  std::lock_guard<std::mutex> lock(box.mu);
+  out.reserve(box.pending.size());
+  for (const auto& [key, states] : box.pending) {
+    if (states.empty()) continue;
+    out.push_back(PendingRecvInfo{key.first, key.second,
+                                  static_cast<int>(states.size())});
+  }
+  return out;
 }
 
 bool RecvHandle::ready() const {
@@ -125,19 +185,50 @@ Message RecvHandle::wait_impl(bool account_hidden) {
   const std::shared_ptr<detail::RecvState> st = std::move(state_);
   std::unique_lock<std::mutex> lock(st->mu);
   const auto fulfilled = [&] { return st->ready || st->aborted; };
+  const std::int64_t t_wait = metrics_ != nullptr ? obs::now_ns() : 0;
+  std::int64_t exposed = 0;
+  if (!fulfilled()) {
+    // About to genuinely block: publish the blocked edge so a watchdog
+    // snapshot can attribute this rank's stall to (src, tag). A blocking
+    // recv and a handle drain are distinguished for the wait-graph.
+    if (health_ != nullptr) {
+      health_->blocked.store(
+          obs::pack_blocked(account_hidden ? obs::BlockedKind::kHandleWait
+                                           : obs::BlockedKind::kRecv,
+                            st->src, st->tag),
+          std::memory_order_relaxed);
+    }
+    // Only a genuinely blocked drain counts as exposed wait: data already
+    // arrived is a zero-wait hit, mirroring the simulator's recv_wait
+    // accounting on the compute stream.
+    st->cv.wait(lock, fulfilled);
+    if (metrics_ != nullptr) exposed = obs::now_ns() - t_wait;
+    if (health_ != nullptr && st->ready) {
+      // Success clears the cell; an abort leaves it set (post-mortems read
+      // the blocked state of every rank after the join).
+      health_->blocked.store(0, std::memory_order_relaxed);
+      health_->last_progress_ns.store(obs::now_ns(), std::memory_order_relaxed);
+    }
+  }
+  if (!st->ready) {
+    if (health_ != nullptr) {
+      // The rank dies wanting this (src, tag). Stamp the cell even when the
+      // wait aborted at post time (world already poisoned before we could
+      // sleep), so a post-mortem names the edge for every survivor — not
+      // just the ones that were already parked when the poison landed.
+      health_->blocked.store(
+          obs::pack_blocked(account_hidden ? obs::BlockedKind::kHandleWait
+                                           : obs::BlockedKind::kRecv,
+                            st->src, st->tag),
+          std::memory_order_relaxed);
+    }
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightEventType::kAbortObserved, core::OpKind::kRecv,
+                      -1, -1, st->src, st->tag, 0, obs::now_ns());
+    }
+    throw WorldAborted("recv aborted: another rank failed");
+  }
   if (metrics_ != nullptr) {
-    const std::int64_t t_wait = obs::now_ns();
-    std::int64_t exposed = 0;
-    if (!fulfilled()) {
-      // Only a genuinely blocked drain counts as exposed wait: data already
-      // arrived is a zero-wait hit, mirroring the simulator's recv_wait
-      // accounting on the compute stream.
-      st->cv.wait(lock, fulfilled);
-      exposed = obs::now_ns() - t_wait;
-    }
-    if (!st->ready) {
-      throw WorldAborted("recv aborted: another rank failed");
-    }
     metrics_->recv_wait_exposed_ns.add(exposed);
     metrics_->recv_wait_hist.record(exposed);
     if (account_hidden) {
@@ -150,11 +241,6 @@ Message RecvHandle::wait_impl(bool account_hidden) {
     }
     metrics_->messages_received.inc();
     metrics_->bytes_received.add(message_bytes(st->msg));
-  } else {
-    st->cv.wait(lock, fulfilled);
-    if (!st->ready) {
-      throw WorldAborted("recv aborted: another rank failed");
-    }
   }
   return std::move(st->msg);
 }
@@ -177,6 +263,14 @@ obs::CommMetrics* Endpoint::metrics() const noexcept {
   return world_->metrics_ == nullptr ? nullptr : world_->metrics_ + rank_;
 }
 
+obs::RankHealth* Endpoint::health() const noexcept {
+  return world_->health_cell(rank_);
+}
+
+obs::FlightRecorder* Endpoint::flight() const noexcept {
+  return world_->flight_ring(rank_);
+}
+
 Endpoint::CommWorker& Endpoint::worker() {
   if (worker_ == nullptr) {
     worker_ = std::make_unique<CommWorker>();
@@ -194,6 +288,12 @@ Endpoint::CommWorker& Endpoint::worker() {
         // deliver() only locks the destination mailbox (it never waits on
         // data), so the worker cannot deadlock and always drains.
         world->deliver(task.dst, self, task.tag, std::move(task.msg));
+        if (obs::FlightRecorder* fr = world->flight_ring(self)) {
+          // The ring is multi-writer-safe: the worker thread records into its
+          // own rank's ring alongside the rank thread.
+          fr->record(obs::FlightEventType::kSendDelivered, core::OpKind::kSend,
+                     -1, -1, task.dst, task.tag, 0, obs::now_ns());
+        }
         if (task.state != nullptr) {
           {
             std::lock_guard<std::mutex> g(task.state->mu);
@@ -227,6 +327,10 @@ SendHandle Endpoint::isend(int dst, std::int64_t tag, Message msg) {
     m->bytes_sent.add(message_bytes(msg));
     m->isend_posted.inc();
   }
+  if (obs::FlightRecorder* fr = flight()) {
+    fr->record(obs::FlightEventType::kSendPost, core::OpKind::kSend, -1, -1,
+               dst, tag, message_bytes(msg), obs::now_ns());
+  }
   CommWorker& w = worker();
   {
     std::lock_guard<std::mutex> lock(w.mu);
@@ -250,6 +354,11 @@ void Endpoint::send(int dst, std::int64_t tag, Message msg) {
     m->messages_sent.inc();
     m->bytes_sent.add(message_bytes(msg));
   }
+  if (obs::FlightRecorder* fr = flight()) {
+    // Blocking path: the post is the delivery (same thread), one event.
+    fr->record(obs::FlightEventType::kSendPost, core::OpKind::kSend, -1, -1,
+               dst, tag, message_bytes(msg), obs::now_ns());
+  }
   world_->deliver(dst, rank_, tag, std::move(msg));
 }
 
@@ -267,10 +376,22 @@ RecvHandle Endpoint::irecv(int src, std::int64_t tag) {
 
 void Endpoint::barrier() {
   obs::CommMetrics* m = metrics();
+  obs::RankHealth* h = health();
+  obs::FlightRecorder* fr = flight();
   const std::int64_t t0 = m != nullptr ? obs::now_ns() : 0;
+  if (fr != nullptr) {
+    fr->record(obs::FlightEventType::kBarrierEnter, core::OpKind::kOptimStep,
+               -1, -1, -1, -1, 0, obs::now_ns());
+  }
   {
     std::unique_lock<std::mutex> lock(world_->barrier_mu_);
     if (world_->poisoned()) {
+      if (h != nullptr) {
+        // Same contract as an aborted recv: the rank died wanting this
+        // barrier, stamp the cell so the post-mortem says so.
+        h->blocked.store(obs::pack_blocked(obs::BlockedKind::kBarrier, -1, -1),
+                         std::memory_order_relaxed);
+      }
       throw WorldAborted("barrier aborted: another rank failed");
     }
     const int gen = world_->barrier_generation_;
@@ -279,14 +400,31 @@ void Endpoint::barrier() {
       ++world_->barrier_generation_;
       world_->barrier_cv_.notify_all();
     } else {
+      if (h != nullptr) {
+        h->blocked.store(obs::pack_blocked(obs::BlockedKind::kBarrier, -1, -1),
+                         std::memory_order_relaxed);
+      }
       world_->barrier_cv_.wait(lock, [&] {
         return world_->barrier_generation_ != gen || world_->poisoned();
       });
       if (world_->barrier_generation_ == gen) {
-        // Woken by poison, not by the barrier completing.
+        // Woken by poison, not by the barrier completing. The blocked cell
+        // stays set for the post-mortem.
+        if (fr != nullptr) {
+          fr->record(obs::FlightEventType::kAbortObserved,
+                     core::OpKind::kOptimStep, -1, -1, -1, -1, 0, obs::now_ns());
+        }
         throw WorldAborted("barrier aborted: another rank failed");
       }
+      if (h != nullptr) {
+        h->blocked.store(0, std::memory_order_relaxed);
+        h->last_progress_ns.store(obs::now_ns(), std::memory_order_relaxed);
+      }
     }
+  }
+  if (fr != nullptr) {
+    fr->record(obs::FlightEventType::kBarrierExit, core::OpKind::kOptimStep,
+               -1, -1, -1, -1, 0, obs::now_ns());
   }
   if (m != nullptr) m->barrier_wait_ns.add(obs::now_ns() - t0);
 }
@@ -419,7 +557,12 @@ void World::poison() noexcept {
         st->cv.notify_all();
       }
     }
-    box.pending.clear();
+    // The aborted registrations stay in `pending` on purpose: they are the
+    // pending-handle registry a post-mortem dump reports (what every rank was
+    // still waiting for at death). run()'s reuse path clears them; deliveries
+    // racing the poison fulfill an aborted state, whose handle has already
+    // thrown — equivalent to the message being discarded, which is what a
+    // poisoned world does with stranded data anyway.
   }
   { std::lock_guard<std::mutex> lock(barrier_mu_); }
   barrier_cv_.notify_all();
@@ -451,6 +594,14 @@ void World::run(const std::function<void(Endpoint&)>& fn) {
       Endpoint ep(this, r);
       try {
         fn(ep);
+        // Normal completion: a done rank is distinguishable from a dead one
+        // (kNone, no progress) in wait-graph analysis — a peer waiting on a
+        // rank that already finished will never be served.
+        if (obs::RankHealth* h = health_cell(r)) {
+          h->blocked.store(obs::pack_blocked(obs::BlockedKind::kDone, -1, -1),
+                           std::memory_order_relaxed);
+          h->last_progress_ns.store(obs::now_ns(), std::memory_order_relaxed);
+        }
       } catch (const WorldAborted&) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         secondary[static_cast<std::size_t>(r)] = 1;

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "comm/fault.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "tensor/tensor.h"
 
@@ -77,6 +79,8 @@ struct RecvState {
   Message msg;
   std::int64_t post_ns = 0;   ///< when irecv was posted (0 when metrics off)
   std::int64_t ready_ns = 0;  ///< when the payload arrived
+  int src = -1;               ///< matching key, kept for health/wait-graphs
+  std::int64_t tag = -1;
 };
 
 /// Shared completion state behind a SendHandle: flips to delivered once the
@@ -107,13 +111,15 @@ class RecvHandle {
  private:
   friend class World;
   friend class Endpoint;  ///< blocking recv() reuses wait_impl
-  explicit RecvHandle(std::shared_ptr<detail::RecvState> s,
-                      obs::CommMetrics* m) noexcept
-      : state_(std::move(s)), metrics_(m) {}
+  explicit RecvHandle(std::shared_ptr<detail::RecvState> s, obs::CommMetrics* m,
+                      obs::RankHealth* h, obs::FlightRecorder* f) noexcept
+      : state_(std::move(s)), metrics_(m), health_(h), flight_(f) {}
   Message wait_impl(bool account_hidden);
 
   std::shared_ptr<detail::RecvState> state_;
   obs::CommMetrics* metrics_ = nullptr;  ///< receiving rank's shard or null
+  obs::RankHealth* health_ = nullptr;    ///< receiving rank's health cell
+  obs::FlightRecorder* flight_ = nullptr;  ///< receiving rank's event ring
 };
 
 /// Completion handle for an asynchronous send: delivered() flips once the
@@ -204,6 +210,9 @@ class Endpoint {
   Endpoint(World* w, int rank) : world_(w), rank_(rank) {}
   /// This rank's metrics shard, or nullptr when observability is off.
   obs::CommMetrics* metrics() const noexcept;
+  /// This rank's health cell / flight ring, or nullptr when detached.
+  obs::RankHealth* health() const noexcept;
+  obs::FlightRecorder* flight() const noexcept;
 
   /// Lazily-created send worker: a FIFO of posted messages drained by one
   /// thread per rank. The worker only ever locks destination mailboxes (it
@@ -239,6 +248,38 @@ class World {
   /// detached — the default — the comm layer records nothing and takes no
   /// instrumentation branches beyond a pointer test.
   void set_metrics(obs::CommMetrics* shards) noexcept { metrics_ = shards; }
+
+  /// Attach per-rank live-health instrumentation (arrays of `size()` cells /
+  /// rings, e.g. from obs::HealthCollector; caller keeps ownership and must
+  /// outlive run()). Either pointer may be null independently. When detached
+  /// — the default — the comm layer takes a pointer test and nothing else.
+  /// Contract: blocked cells are set before a rank sleeps in recv / barrier /
+  /// handle-wait, cleared on success, and LEFT SET when the wait aborts, so a
+  /// post-join post-mortem still sees where each rank died.
+  void set_health(obs::RankHealth* cells,
+                  obs::FlightRecorder* recorders) noexcept {
+    health_cells_ = cells;
+    flight_ = recorders;
+  }
+
+  /// Arm seeded fault injection: deliveries matching the plan are delayed,
+  /// hung or dropped inside deliver(). The plan is caller-owned and must
+  /// outlive run(); pass nullptr to disarm.
+  void set_faults(const FaultPlan* plan) noexcept { faults_ = plan; }
+
+  /// One pending (not yet fulfilled) receive registration of `rank`.
+  struct PendingRecvInfo {
+    int src = -1;
+    std::int64_t tag = -1;
+    int count = 0;  ///< registrations queued for this (src, tag)
+  };
+  /// Snapshot rank's pending-recv registry (irecvs posted but unfulfilled).
+  /// Safe from any thread; used by wait-graph snapshots and post-mortems.
+  std::vector<PendingRecvInfo> pending_recvs(int rank);
+
+  /// Poison the world from outside a rank thread (watchdog trip): every rank
+  /// blocked in recv/barrier/handle-wait wakes with WorldAborted. Idempotent.
+  void abort_all() noexcept { poison(); }
 
   /// Run `fn(endpoint)` on every rank concurrently. If any rank throws, the
   /// world is poisoned: every rank blocked in recv/barrier/handle-wait (and
@@ -277,9 +318,20 @@ class World {
     return poisoned_.load(std::memory_order_acquire);
   }
 
+  /// `rank`'s health cell / flight ring, or nullptr when detached.
+  obs::RankHealth* health_cell(int rank) const noexcept {
+    return health_cells_ == nullptr ? nullptr : health_cells_ + rank;
+  }
+  obs::FlightRecorder* flight_ring(int rank) const noexcept {
+    return flight_ == nullptr ? nullptr : flight_ + rank;
+  }
+
   int num_ranks_;
   std::vector<Mailbox> mailboxes_;
   obs::CommMetrics* metrics_ = nullptr;  ///< per-rank shards, not owned
+  obs::RankHealth* health_cells_ = nullptr;  ///< per-rank cells, not owned
+  obs::FlightRecorder* flight_ = nullptr;    ///< per-rank rings, not owned
+  const FaultPlan* faults_ = nullptr;        ///< armed fault plan, not owned
   std::atomic<bool> poisoned_{false};
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;

@@ -1,0 +1,271 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/ir.h"
+
+// Live-run health primitives, header-only so `src/comm` can instrument
+// deliveries without a link dependency on the obs library (the same layering
+// as obs/metrics.h).
+//
+// FlightRecorder is a fixed-size lock-free ring of recent events: op
+// start/retire, isend/irecv post/fulfill, barrier enter/exit, faults, aborts
+// and live-memory high-water marks. Recording is a relaxed fetch_add to claim
+// a slot plus three relaxed stores — no locks, no allocation after init — so
+// it is cheap enough to leave attached for a whole training job. Readers
+// (the watchdog, the post-mortem builder) snapshot the tail from any thread;
+// a slot being overwritten concurrently can yield a torn event, which is
+// acceptable for a diagnostic ring and race-free at the language level
+// because every word is atomic.
+//
+// RankHealth is one rank's monotonic progress counters plus a packed
+// "where am I blocked" cell. The watchdog samples the counters; when no rank
+// has progressed for the configured window it decodes the blocked cells into
+// a wait-graph (obs/health.h). Blocked cells are deliberately LEFT SET when a
+// wait aborts (poisoned world), so a post-mortem taken after the join still
+// sees where every rank was when the world died.
+namespace helix::obs {
+
+enum class FlightEventType : std::uint8_t {
+  kNone = 0,       ///< empty slot (never recorded)
+  kOpStart,        ///< interpreter began executing an op
+  kOpRetire,       ///< interpreter finished an op
+  kSendPost,       ///< send/isend posted on the sending rank
+  kSendDelivered,  ///< comm worker completed the delivery (async sends)
+  kRecvPost,       ///< recv/irecv registered on the receiving rank
+  kRecvFulfilled,  ///< a delivery reached this rank (queued or direct-fulfil)
+  kBarrierEnter,
+  kBarrierExit,
+  kFaultInjected,  ///< a comm::FaultPlan entry fired on this delivery
+  kAbortObserved,  ///< a blocked wait woke to a poisoned world
+  kLivePeak,       ///< live-tensor bytes hit a new high-water mark
+};
+
+const char* to_string(FlightEventType t) noexcept;
+
+/// Unpacked view of one recorded event. Comm events carry (peer, tag, bytes);
+/// op events carry (kind, mb, layer); kLivePeak carries bytes.
+struct FlightEvent {
+  FlightEventType type = FlightEventType::kNone;
+  core::OpKind kind = core::OpKind::kFwdPre;
+  int mb = -1;
+  int layer = -1;
+  int peer = -1;
+  std::int64_t tag = -1;
+  std::int64_t bytes = 0;
+  std::int64_t t_ns = 0;
+};
+
+// Packed event words. meta: type(8) | kind(8) | mb+1(16) | layer+1(16) |
+// peer+1(16); small fields are biased by one so the common "-1 / not
+// applicable" value packs as 0. arg: tag in the low 32 bits (as int32, the
+// IR's tag width), bytes clamped to the high 32.
+inline std::uint64_t pack_flight_meta(FlightEventType t, core::OpKind k,
+                                      int mb, int layer, int peer) noexcept {
+  return static_cast<std::uint64_t>(static_cast<std::uint8_t>(t)) |
+         static_cast<std::uint64_t>(static_cast<std::uint8_t>(k)) << 8 |
+         static_cast<std::uint64_t>(static_cast<std::uint16_t>(mb + 1)) << 16 |
+         static_cast<std::uint64_t>(static_cast<std::uint16_t>(layer + 1)) << 32 |
+         static_cast<std::uint64_t>(static_cast<std::uint16_t>(peer + 1)) << 48;
+}
+
+inline std::uint64_t pack_flight_arg(std::int64_t tag, std::int64_t bytes) noexcept {
+  const std::uint32_t t = static_cast<std::uint32_t>(static_cast<std::int32_t>(tag));
+  const std::uint64_t b =
+      bytes < 0 ? 0
+                : (bytes > 0xffffffffLL ? 0xffffffffULL
+                                        : static_cast<std::uint64_t>(bytes));
+  return static_cast<std::uint64_t>(t) | b << 32;
+}
+
+inline FlightEvent unpack_flight(std::uint64_t meta, std::uint64_t arg,
+                                 std::uint64_t t_ns) noexcept {
+  FlightEvent e;
+  e.type = static_cast<FlightEventType>(meta & 0xff);
+  e.kind = static_cast<core::OpKind>((meta >> 8) & 0xff);
+  e.mb = static_cast<int>((meta >> 16) & 0xffff) - 1;
+  e.layer = static_cast<int>((meta >> 32) & 0xffff) - 1;
+  e.peer = static_cast<int>((meta >> 48) & 0xffff) - 1;
+  e.tag = static_cast<std::int32_t>(static_cast<std::uint32_t>(arg & 0xffffffffULL));
+  e.bytes = static_cast<std::int64_t>(arg >> 32);
+  e.t_ns = static_cast<std::int64_t>(t_ns);
+  return e;
+}
+
+/// Fixed-capacity lock-free event ring. Multi-writer (a sender's delivery
+/// thread records fulfil events into the receiver's ring), any-thread reader.
+/// Never allocates after construction/configure().
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Re-size the ring. Init-time only (not thread-safe, discards contents);
+  /// exists so arrays of recorders (`new FlightRecorder[n]`) can be sized
+  /// after default construction.
+  void configure(std::size_t capacity) {
+    std::vector<Slot> fresh(capacity == 0 ? 1 : capacity);
+    slots_.swap(fresh);
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Append one event: claim a slot (relaxed fetch_add) and store the three
+  /// packed words. Safe from any thread; never blocks, never allocates.
+  void record(FlightEventType type, core::OpKind kind, int mb, int layer,
+              int peer, std::int64_t tag, std::int64_t bytes,
+              std::int64_t t_ns) noexcept {
+    const std::size_t n = slots_.size();
+    if (n == 0) return;  // unreachable (ctor clamps to >= 1); keeps the
+                         // compiler's buffer-overflow analysis happy
+    const std::uint64_t i = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[static_cast<std::size_t>(i % n)];
+    s.meta.store(pack_flight_meta(type, kind, mb, layer, peer),
+                 std::memory_order_relaxed);
+    s.arg.store(pack_flight_arg(tag, bytes), std::memory_order_relaxed);
+    s.time.store(static_cast<std::uint64_t>(t_ns), std::memory_order_relaxed);
+  }
+
+  /// Events recorded since construction (not capped by capacity).
+  std::uint64_t total() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot the newest events, oldest first (at most `capacity()`). Safe
+  /// concurrently with writers; an entry being overwritten mid-read can come
+  /// back torn (fields from two events) — tolerable for diagnostics.
+  std::vector<FlightEvent> tail() const {
+    const std::uint64_t end = head_.load(std::memory_order_acquire);
+    const std::uint64_t cap = static_cast<std::uint64_t>(slots_.size());
+    const std::uint64_t begin = end > cap ? end - cap : 0;
+    std::vector<FlightEvent> out;
+    out.reserve(static_cast<std::size_t>(end - begin));
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const Slot& s = slots_[static_cast<std::size_t>(i % cap)];
+      const FlightEvent e = unpack_flight(s.meta.load(std::memory_order_relaxed),
+                                          s.arg.load(std::memory_order_relaxed),
+                                          s.time.load(std::memory_order_relaxed));
+      if (e.type != FlightEventType::kNone) out.push_back(e);
+    }
+    return out;
+  }
+
+  void reset() noexcept {
+    for (Slot& s : slots_) {
+      s.meta.store(0, std::memory_order_relaxed);
+      s.arg.store(0, std::memory_order_relaxed);
+      s.time.store(0, std::memory_order_relaxed);
+    }
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> meta{0};
+    std::atomic<std::uint64_t> arg{0};
+    std::atomic<std::uint64_t> time{0};
+  };
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// What a rank is blocked on right now (packed into RankHealth::blocked).
+enum class BlockedKind : std::uint8_t {
+  kNone = 0,     ///< running (or dead without ever blocking)
+  kRecv,         ///< blocking recv on (src, tag)
+  kHandleWait,   ///< draining an irecv handle for (src, tag)
+  kBarrier,      ///< waiting in Endpoint::barrier
+  kDone,         ///< rank function returned normally
+};
+
+const char* to_string(BlockedKind k) noexcept;
+
+struct BlockedState {
+  BlockedKind kind = BlockedKind::kNone;
+  int src = -1;          ///< peer waited on (recv/handle waits)
+  std::int64_t tag = -1;
+};
+
+// blocked cell: kind(4) | src+1(16) | tag+1(44, low bits). Tags are int32 in
+// the IR so 44 bits never truncate a real tag.
+inline std::uint64_t pack_blocked(BlockedKind kind, int src,
+                                  std::int64_t tag) noexcept {
+  return static_cast<std::uint64_t>(static_cast<std::uint8_t>(kind)) |
+         static_cast<std::uint64_t>(static_cast<std::uint16_t>(src + 1)) << 4 |
+         (static_cast<std::uint64_t>(tag + 1) & 0xfffffffffffULL) << 20;
+}
+
+inline BlockedState unpack_blocked(std::uint64_t v) noexcept {
+  BlockedState b;
+  b.kind = static_cast<BlockedKind>(v & 0xf);
+  b.src = static_cast<int>((v >> 4) & 0xffff) - 1;
+  b.tag = static_cast<std::int64_t>((v >> 20) & 0xfffffffffffULL) - 1;
+  return b;
+}
+
+/// One rank's live health cell: monotonic progress counters published through
+/// comm::World and sampled by the watchdog. All fields are atomics written
+/// relaxed — sampling never perturbs the rank thread. alignas(64) keeps cells
+/// on separate cache lines.
+struct alignas(64) RankHealth {
+  std::atomic<std::int64_t> ops_retired{0};   ///< interpreter ops finished
+  std::atomic<std::int64_t> deliveries{0};    ///< messages that reached this rank
+  std::atomic<std::int64_t> last_progress_ns{0};
+  /// pack_blocked() cell; left set when a wait aborts so post-mortems see the
+  /// blocked state at death.
+  std::atomic<std::uint64_t> blocked{0};
+  /// pack_flight_meta() of the last retired op (kOpRetire meta word).
+  std::atomic<std::uint64_t> last_op{0};
+
+  /// Watchdog sample: any change means the rank did something.
+  std::int64_t progress_sum() const noexcept {
+    return ops_retired.load(std::memory_order_relaxed) +
+           deliveries.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    ops_retired.store(0, std::memory_order_relaxed);
+    deliveries.store(0, std::memory_order_relaxed);
+    last_progress_ns.store(0, std::memory_order_relaxed);
+    blocked.store(0, std::memory_order_relaxed);
+    last_op.store(0, std::memory_order_relaxed);
+  }
+};
+
+inline const char* to_string(FlightEventType t) noexcept {
+  switch (t) {
+    case FlightEventType::kNone: return "none";
+    case FlightEventType::kOpStart: return "op-start";
+    case FlightEventType::kOpRetire: return "op-retire";
+    case FlightEventType::kSendPost: return "send-post";
+    case FlightEventType::kSendDelivered: return "send-delivered";
+    case FlightEventType::kRecvPost: return "recv-post";
+    case FlightEventType::kRecvFulfilled: return "recv-fulfilled";
+    case FlightEventType::kBarrierEnter: return "barrier-enter";
+    case FlightEventType::kBarrierExit: return "barrier-exit";
+    case FlightEventType::kFaultInjected: return "fault-injected";
+    case FlightEventType::kAbortObserved: return "abort-observed";
+    case FlightEventType::kLivePeak: return "live-peak";
+  }
+  return "?";
+}
+
+inline const char* to_string(BlockedKind k) noexcept {
+  switch (k) {
+    case BlockedKind::kNone: return "running";
+    case BlockedKind::kRecv: return "recv";
+    case BlockedKind::kHandleWait: return "handle-wait";
+    case BlockedKind::kBarrier: return "barrier";
+    case BlockedKind::kDone: return "done";
+  }
+  return "?";
+}
+
+}  // namespace helix::obs

@@ -1,0 +1,683 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "obs/clock.h"
+#include "sim/trace.h"
+
+namespace helix::obs {
+namespace {
+
+// "12.3ms" / "1.25s" with a fixed small buffer; used for progress ages and
+// relative event times in the text reports.
+std::string fmt_ns(std::int64_t ns) {
+  char buf[32];
+  const double ms = static_cast<double>(ns) / 1e6;
+  if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ms / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ms);
+  }
+  return buf;
+}
+
+bool is_comm_event(FlightEventType t) {
+  switch (t) {
+    case FlightEventType::kSendPost:
+    case FlightEventType::kSendDelivered:
+    case FlightEventType::kRecvPost:
+    case FlightEventType::kRecvFulfilled:
+    case FlightEventType::kBarrierEnter:
+    case FlightEventType::kBarrierExit:
+    case FlightEventType::kFaultInjected:
+    case FlightEventType::kAbortObserved:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// "op-retire FwdAttn mb2 l3" / "send-post peer=1 tag=42 2048B". One label
+// shared by the text report and the Chrome-trace event names so a dump reads
+// the same in both.
+std::string event_label(const FlightEvent& e) {
+  std::ostringstream os;
+  os << to_string(e.type);
+  switch (e.type) {
+    case FlightEventType::kOpStart:
+    case FlightEventType::kOpRetire:
+      os << ' ' << core::to_string(e.kind);
+      if (e.mb >= 0) os << " mb" << e.mb;
+      if (e.layer >= 0) os << " l" << e.layer;
+      if (e.peer >= 0) os << " peer=" << e.peer;
+      if (e.tag >= 0) os << " tag=" << e.tag;
+      break;
+    case FlightEventType::kLivePeak:
+      os << ' ' << e.bytes << "B";
+      break;
+    default:
+      if (e.peer >= 0) os << " peer=" << e.peer;
+      if (e.tag >= 0) os << " tag=" << e.tag;
+      if (e.bytes > 0) os << ' ' << e.bytes << "B";
+      break;
+  }
+  return os.str();
+}
+
+// Describe what a node is blocked on, e.g. "recv on (src=0, tag=7)".
+std::string blocked_desc(const WaitNode& n) {
+  std::ostringstream os;
+  os << to_string(n.kind);
+  if (n.kind == BlockedKind::kRecv || n.kind == BlockedKind::kHandleWait) {
+    os << " on (src=" << n.src << ", tag=" << n.tag << ")";
+  }
+  return os.str();
+}
+
+// Minimal JSON string escaper (reasons can carry exception text).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HealthCollector
+
+HealthCollector::HealthCollector(int num_ranks, int recorder_capacity)
+    : n_(num_ranks < 1 ? 1 : num_ranks),
+      cells_(new RankHealth[static_cast<std::size_t>(n_)]),
+      recs_(new FlightRecorder[static_cast<std::size_t>(n_)]) {
+  const std::size_t cap =
+      recorder_capacity < 1 ? 1 : static_cast<std::size_t>(recorder_capacity);
+  for (int r = 0; r < n_; ++r) recs_[r].configure(cap);
+}
+
+void HealthCollector::begin_step() noexcept {
+  for (int r = 0; r < n_; ++r) {
+    cells_[r].blocked.store(0, std::memory_order_relaxed);
+  }
+}
+
+void HealthCollector::reset() noexcept {
+  for (int r = 0; r < n_; ++r) {
+    cells_[r].reset();
+    recs_[r].reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wait-graph
+
+std::vector<int> WaitGraph::find_cycle() const {
+  const int n = static_cast<int>(nodes.size());
+  // One outgoing edge per rank at most (a thread blocks on one thing), except
+  // barriers which fan out. Build an adjacency list and run colored DFS.
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const WaitEdge& e : edges) {
+    if (e.waiter >= 0 && e.waiter < n && e.on >= 0 && e.on < n) {
+      adj[static_cast<std::size_t>(e.waiter)].push_back(e.on);
+    }
+  }
+  std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0 new, 1 open, 2 done
+  std::vector<int> path;
+  std::vector<int> cycle;
+
+  // Iterative DFS with an explicit stack of (node, next-child) frames.
+  for (int start = 0; start < n && cycle.empty(); ++start) {
+    if (color[static_cast<std::size_t>(start)] != 0) continue;
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.emplace_back(start, 0);
+    color[static_cast<std::size_t>(start)] = 1;
+    path.push_back(start);
+    while (!stack.empty() && cycle.empty()) {
+      auto& [u, next] = stack.back();
+      const auto& out = adj[static_cast<std::size_t>(u)];
+      if (next < out.size()) {
+        const int v = out[next++];
+        if (color[static_cast<std::size_t>(v)] == 1) {
+          // Back edge: the cycle is the path suffix starting at v.
+          auto it = std::find(path.begin(), path.end(), v);
+          cycle.assign(it, path.end());
+        } else if (color[static_cast<std::size_t>(v)] == 0) {
+          color[static_cast<std::size_t>(v)] = 1;
+          path.push_back(v);
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        color[static_cast<std::size_t>(u)] = 2;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+  return cycle;
+}
+
+const WaitEdge* WaitGraph::edge_from(int rank) const noexcept {
+  for (const WaitEdge& e : edges) {
+    if (e.waiter == rank) return &e;
+  }
+  return nullptr;
+}
+
+const WaitEdge* WaitGraph::edge_into(int rank) const noexcept {
+  const WaitEdge* best = nullptr;
+  for (const WaitEdge& e : edges) {
+    if (e.on != rank) continue;
+    if (best == nullptr ||
+        (e.waiter >= 0 && e.waiter < static_cast<int>(nodes.size()) &&
+         best->waiter >= 0 && best->waiter < static_cast<int>(nodes.size()) &&
+         nodes[static_cast<std::size_t>(e.waiter)].last_progress_ns <
+             nodes[static_cast<std::size_t>(best->waiter)].last_progress_ns)) {
+      best = &e;
+    }
+  }
+  return best;
+}
+
+WaitGraph snapshot_wait_graph(const HealthCollector& hc) {
+  WaitGraph g;
+  const int n = hc.num_ranks();
+  g.nodes.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    const RankHealth& c = hc.cell(r);
+    const BlockedState b =
+        unpack_blocked(c.blocked.load(std::memory_order_acquire));
+    WaitNode& node = g.nodes[static_cast<std::size_t>(r)];
+    node.rank = r;
+    node.kind = b.kind;
+    node.src = b.src;
+    node.tag = b.tag;
+    node.ops_retired = c.ops_retired.load(std::memory_order_relaxed);
+    node.deliveries = c.deliveries.load(std::memory_order_relaxed);
+    node.last_progress_ns = c.last_progress_ns.load(std::memory_order_relaxed);
+    node.last_op =
+        unpack_flight(c.last_op.load(std::memory_order_relaxed), 0, 0);
+  }
+  for (int r = 0; r < n; ++r) {
+    // A swallowed delivery is recorded on the starved rank's ring with
+    // kind=Recv and peer=src (World::deliver). Surface those so the analyzer
+    // can prefer the injected edge when naming the first stall.
+    for (const FlightEvent& e : hc.recorder(r).tail()) {
+      if (e.type == FlightEventType::kFaultInjected &&
+          e.kind == core::OpKind::kRecv) {
+        g.injected_faults.push_back({r, e.peer, BlockedKind::kRecv, e.tag});
+      }
+    }
+  }
+  for (const WaitNode& node : g.nodes) {
+    switch (node.kind) {
+      case BlockedKind::kRecv:
+      case BlockedKind::kHandleWait:
+        if (node.src >= 0 && node.src < n) {
+          g.edges.push_back({node.rank, node.src, node.kind, node.tag});
+        }
+        break;
+      case BlockedKind::kBarrier:
+        // A barrier waits on every rank that has not arrived yet.
+        for (const WaitNode& other : g.nodes) {
+          if (other.rank != node.rank && other.kind != BlockedKind::kBarrier) {
+            g.edges.push_back({node.rank, other.rank, BlockedKind::kBarrier, -1});
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return g;
+}
+
+const char* to_string(HangVerdict v) noexcept {
+  switch (v) {
+    case HangVerdict::kNone: return "none";
+    case HangVerdict::kDeadlock: return "deadlock";
+    case HangVerdict::kStraggler: return "straggler";
+  }
+  return "?";
+}
+
+HangReport analyze_wait_graph(WaitGraph graph, std::int64_t window_ms) {
+  HangReport rep;
+  rep.window_ms = window_ms;
+  rep.graph = std::move(graph);
+  const WaitGraph& g = rep.graph;
+  const int n = static_cast<int>(g.nodes.size());
+  std::ostringstream os;
+
+  auto oldest = [&](auto&& pred) {
+    int best = -1;
+    for (int r = 0; r < n; ++r) {
+      const WaitNode& node = g.nodes[static_cast<std::size_t>(r)];
+      if (!pred(node)) continue;
+      if (best < 0 ||
+          node.last_progress_ns <
+              g.nodes[static_cast<std::size_t>(best)].last_progress_ns) {
+        best = r;
+      }
+    }
+    return best;
+  };
+
+  // A blocked rank whose awaited (src, tag) matches a recorded swallowed
+  // delivery is waiting for a message that will never come: the strongest
+  // possible "stalled first" signal, stronger than progress timestamps.
+  const auto waits_on_injected = [&](int r) {
+    const WaitNode& node = g.nodes[static_cast<std::size_t>(r)];
+    if (node.kind != BlockedKind::kRecv &&
+        node.kind != BlockedKind::kHandleWait) {
+      return false;
+    }
+    for (const WaitEdge& f : g.injected_faults) {
+      if (f.waiter == r && f.on == node.src && f.tag == node.tag) return true;
+    }
+    return false;
+  };
+
+  rep.cycle = g.find_cycle();
+  if (!rep.cycle.empty()) {
+    rep.verdict = HangVerdict::kDeadlock;
+    // First stalled: the member starved by an injected fault if there is
+    // one, else the member with the oldest progress stamp.
+    int best = rep.cycle.front();
+    for (int r : rep.cycle) {
+      if (g.nodes[static_cast<std::size_t>(r)].last_progress_ns <
+          g.nodes[static_cast<std::size_t>(best)].last_progress_ns) {
+        best = r;
+      }
+    }
+    for (int r : rep.cycle) {
+      if (waits_on_injected(r)) {
+        best = r;
+        break;
+      }
+    }
+    rep.first_stalled_rank = best;
+    if (const WaitEdge* e = g.edge_from(best)) rep.stalled_edge = *e;
+    rep.stalled_last_op = g.nodes[static_cast<std::size_t>(best)].last_op;
+    os << "deadlock: wait cycle ";
+    for (std::size_t i = 0; i < rep.cycle.size(); ++i) {
+      os << rep.cycle[i] << " -> ";
+    }
+    os << rep.cycle.front() << "; first stalled rank " << best << " blocked in "
+       << blocked_desc(g.nodes[static_cast<std::size_t>(best)]);
+    rep.summary = os.str();
+    return rep;
+  }
+
+  // No cycle: look for a sink — a rank that is neither blocked nor done. That
+  // is a straggler (slow or dead) everyone else chains into.
+  const int sink = oldest(
+      [](const WaitNode& node) { return node.kind == BlockedKind::kNone; });
+  if (sink >= 0) {
+    rep.verdict = HangVerdict::kStraggler;
+    rep.first_stalled_rank = sink;
+    if (const WaitEdge* e = g.edge_into(sink)) rep.stalled_edge = *e;
+    rep.stalled_last_op = g.nodes[static_cast<std::size_t>(sink)].last_op;
+    os << "straggler: rank " << sink
+       << " is running (or dead) without progress";
+    if (rep.stalled_edge.waiter >= 0) {
+      os << "; rank " << rep.stalled_edge.waiter << " blocked in "
+         << blocked_desc(
+                g.nodes[static_cast<std::size_t>(rep.stalled_edge.waiter)]);
+    }
+    rep.summary = os.str();
+    return rep;
+  }
+
+  // Every non-blocked rank is done: whoever is still blocked waits on a
+  // message that will never arrive (hung/lost delivery). Prefer a rank
+  // starved by an injected fault, else the oldest-progress blocked rank.
+  int blocked = -1;
+  for (int r = 0; r < n; ++r) {
+    if (waits_on_injected(r)) {
+      blocked = r;
+      break;
+    }
+  }
+  if (blocked < 0) {
+    blocked = oldest([](const WaitNode& node) {
+      return node.kind == BlockedKind::kRecv ||
+             node.kind == BlockedKind::kHandleWait ||
+             node.kind == BlockedKind::kBarrier;
+    });
+  }
+  if (blocked >= 0) {
+    rep.verdict = HangVerdict::kStraggler;
+    rep.first_stalled_rank = blocked;
+    if (const WaitEdge* e = g.edge_from(blocked)) rep.stalled_edge = *e;
+    rep.stalled_last_op = g.nodes[static_cast<std::size_t>(blocked)].last_op;
+    os << "straggler chain: rank " << blocked << " blocked in "
+       << blocked_desc(g.nodes[static_cast<std::size_t>(blocked)])
+       << " while its peer finished — message hung or lost";
+    rep.summary = os.str();
+    return rep;
+  }
+
+  rep.verdict = HangVerdict::kNone;
+  rep.summary = "no stall detected";
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// HealthMonitor
+
+HealthMonitor::HealthMonitor(comm::World& world, HealthCollector& collector,
+                             const HealthOptions& options)
+    : world_(world), hc_(collector), opt_(options) {}
+
+HealthMonitor::~HealthMonitor() { stop(); }
+
+void HealthMonitor::start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HealthMonitor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HealthMonitor::loop() {
+  const int n = hc_.num_ranks();
+  std::vector<std::int64_t> last(static_cast<std::size_t>(n), -1);
+  std::int64_t last_change = now_ns();
+  const std::int64_t window_ns =
+      static_cast<std::int64_t>(opt_.no_progress_window_ms) * 1000000;
+  const auto poll = std::chrono::milliseconds(
+      opt_.poll_interval_ms < 1 ? 1 : opt_.poll_interval_ms);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, poll, [&] { return stop_requested_; });
+    if (stop_requested_) return;
+    bool progressed = false;
+    for (int r = 0; r < n; ++r) {
+      const std::int64_t s = hc_.cell(r).progress_sum();
+      if (s != last[static_cast<std::size_t>(r)]) {
+        last[static_cast<std::size_t>(r)] = s;
+        progressed = true;
+      }
+    }
+    if (progressed) {
+      last_change = now_ns();
+      continue;
+    }
+    if (now_ns() - last_change < window_ns) continue;
+
+    // Global silence for a full window: snapshot + classify BEFORE poisoning
+    // (the pending registries and blocked cells describe the hang as it is),
+    // then poison so every blocked rank unwinds with WorldAborted.
+    report_ = analyze_wait_graph(snapshot_wait_graph(hc_),
+                                 opt_.no_progress_window_ms);
+    report_.tripped = true;
+    tripped_.store(true, std::memory_order_release);
+    world_.abort_all();
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Post-mortem
+
+PostMortem build_post_mortem(comm::World& world, const HealthCollector& hc,
+                             const HangReport* hang, std::string reason) {
+  PostMortem pm;
+  pm.reason = std::move(reason);
+  if (hang != nullptr) {
+    pm.hang = *hang;
+  } else {
+    // Crash path (no watchdog trip): the cells were left set by the abort
+    // unwinding, so the graph still shows where every rank was at death.
+    pm.hang = analyze_wait_graph(snapshot_wait_graph(hc), 0);
+  }
+  const int n = hc.num_ranks();
+  pm.ranks.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    RankDump d;
+    d.rank = r;
+    if (r < static_cast<int>(pm.hang.graph.nodes.size())) {
+      d.state = pm.hang.graph.nodes[static_cast<std::size_t>(r)];
+    }
+    d.pending_recvs = world.pending_recvs(r);
+    d.tail = hc.recorder(r).tail();
+    pm.ranks.push_back(std::move(d));
+  }
+  return pm;
+}
+
+std::string render_post_mortem(const PostMortem& pm) {
+  std::ostringstream os;
+  const HangReport& h = pm.hang;
+
+  // Newest timestamp anywhere: event times and progress ages render relative
+  // to it, which survives steady_clock's arbitrary epoch.
+  std::int64_t newest = 0;
+  for (const RankDump& d : pm.ranks) {
+    newest = std::max(newest, d.state.last_progress_ns);
+    for (const FlightEvent& e : d.tail) newest = std::max(newest, e.t_ns);
+  }
+
+  os << "== live-run health post-mortem ==\n";
+  os << "reason: " << pm.reason << "\n";
+  os << "verdict: " << to_string(h.verdict);
+  if (h.tripped) os << " (watchdog tripped, window " << h.window_ms << " ms)";
+  os << "\n";
+  if (h.first_stalled_rank >= 0) {
+    os << "first stalled: rank " << h.first_stalled_rank;
+    if (h.first_stalled_rank < static_cast<int>(h.graph.nodes.size())) {
+      os << ", "
+         << blocked_desc(
+                h.graph.nodes[static_cast<std::size_t>(h.first_stalled_rank)]);
+    }
+    if (h.stalled_last_op.type != FlightEventType::kNone) {
+      os << "; last retired op " << core::to_string(h.stalled_last_op.kind);
+      if (h.stalled_last_op.mb >= 0) os << " mb" << h.stalled_last_op.mb;
+      if (h.stalled_last_op.layer >= 0) os << " l" << h.stalled_last_op.layer;
+    }
+    os << "\n";
+  }
+  if (!h.cycle.empty()) {
+    os << "cycle: ";
+    for (int r : h.cycle) os << r << " -> ";
+    os << h.cycle.front() << "\n";
+  }
+
+  os << "wait-graph:\n";
+  for (const WaitNode& node : h.graph.nodes) {
+    os << "  rank " << node.rank << ": " << blocked_desc(node)
+       << " | ops=" << node.ops_retired << " deliveries=" << node.deliveries;
+    if (node.last_progress_ns > 0) {
+      os << " | idle " << fmt_ns(newest - node.last_progress_ns);
+    }
+    if (node.last_op.type != FlightEventType::kNone) {
+      os << " | last op " << core::to_string(node.last_op.kind);
+      if (node.last_op.mb >= 0) os << " mb" << node.last_op.mb;
+      if (node.last_op.layer >= 0) os << " l" << node.last_op.layer;
+    }
+    os << "\n";
+  }
+  if (!h.graph.edges.empty()) {
+    os << "wait edges:\n";
+    for (const WaitEdge& e : h.graph.edges) {
+      os << "  " << e.waiter << " -(" << to_string(e.kind);
+      if (e.tag >= 0) os << " tag=" << e.tag;
+      os << ")-> " << e.on << "\n";
+    }
+  }
+
+  bool any_pending = false;
+  for (const RankDump& d : pm.ranks) any_pending |= !d.pending_recvs.empty();
+  if (any_pending) {
+    os << "pending recvs:\n";
+    for (const RankDump& d : pm.ranks) {
+      for (const comm::World::PendingRecvInfo& p : d.pending_recvs) {
+        os << "  rank " << d.rank << ": (src=" << p.src << ", tag=" << p.tag
+           << ") x" << p.count << "\n";
+      }
+    }
+  }
+
+  os << "flight-recorder tails (times relative to newest event):\n";
+  for (const RankDump& d : pm.ranks) {
+    os << "  rank " << d.rank << " (" << d.tail.size() << " events):\n";
+    for (const FlightEvent& e : d.tail) {
+      os << "    -" << fmt_ns(newest - e.t_ns) << "  " << event_label(e)
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string post_mortem_trace_json(const PostMortem& pm) {
+  std::vector<sim::ChromeEvent> events;
+  std::int64_t epoch = 0;
+  for (const RankDump& d : pm.ranks) {
+    for (const FlightEvent& e : d.tail) {
+      if (epoch == 0 || (e.t_ns > 0 && e.t_ns < epoch)) epoch = e.t_ns;
+    }
+  }
+  for (const RankDump& d : pm.ranks) {
+    for (const FlightEvent& e : d.tail) {
+      sim::ChromeEvent ce;
+      ce.name = event_label(e);
+      ce.pid = d.rank;
+      ce.tid = is_comm_event(e.type) ? sim::kChromeCommTid
+                                     : sim::kChromeComputeTid;
+      ce.ts_us = static_cast<double>(e.t_ns - epoch) / 1000.0;
+      ce.dur_us = 0.0;
+      events.push_back(std::move(ce));
+    }
+  }
+  return sim::chrome_trace_json(events);
+}
+
+std::string post_mortem_json(const PostMortem& pm) {
+  const HangReport& h = pm.hang;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"reason\": \"" << json_escape(pm.reason) << "\",\n";
+  os << "  \"tripped\": " << (h.tripped ? "true" : "false") << ",\n";
+  os << "  \"window_ms\": " << h.window_ms << ",\n";
+  os << "  \"verdict\": \"" << to_string(h.verdict) << "\",\n";
+  os << "  \"summary\": \"" << json_escape(h.summary) << "\",\n";
+  os << "  \"first_stalled_rank\": " << h.first_stalled_rank << ",\n";
+  os << "  \"stalled_edge\": {\"waiter\": " << h.stalled_edge.waiter
+     << ", \"on\": " << h.stalled_edge.on << ", \"kind\": \""
+     << to_string(h.stalled_edge.kind) << "\", \"tag\": " << h.stalled_edge.tag
+     << "},\n";
+  os << "  \"cycle\": [";
+  for (std::size_t i = 0; i < h.cycle.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << h.cycle[i];
+  }
+  os << "],\n";
+  os << "  \"ranks\": [\n";
+  for (std::size_t i = 0; i < pm.ranks.size(); ++i) {
+    const RankDump& d = pm.ranks[i];
+    const WaitNode& s = d.state;
+    os << "    {\"rank\": " << d.rank << ", \"state\": \""
+       << to_string(s.kind) << "\", \"src\": " << s.src
+       << ", \"tag\": " << s.tag << ", \"ops_retired\": " << s.ops_retired
+       << ", \"deliveries\": " << s.deliveries << ",\n";
+    os << "     \"pending_recvs\": [";
+    for (std::size_t j = 0; j < d.pending_recvs.size(); ++j) {
+      const comm::World::PendingRecvInfo& p = d.pending_recvs[j];
+      if (j > 0) os << ", ";
+      os << "{\"src\": " << p.src << ", \"tag\": " << p.tag
+         << ", \"count\": " << p.count << "}";
+    }
+    os << "],\n";
+    os << "     \"tail\": [";
+    for (std::size_t j = 0; j < d.tail.size(); ++j) {
+      const FlightEvent& e = d.tail[j];
+      if (j > 0) os << ", ";
+      os << "{\"t_ns\": " << e.t_ns << ", \"type\": \"" << to_string(e.type)
+         << "\", \"kind\": \"" << core::to_string(e.kind)
+         << "\", \"mb\": " << e.mb << ", \"layer\": " << e.layer
+         << ", \"peer\": " << e.peer << ", \"tag\": " << e.tag
+         << ", \"bytes\": " << e.bytes << "}";
+    }
+    os << "]}";
+    os << (i + 1 < pm.ranks.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
+  os << "  \"traceEvents\": " << post_mortem_trace_json(pm) << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string render_progress_table(const HealthCollector& hc) {
+  const std::int64_t now = now_ns();
+  std::ostringstream os;
+  os << "rank  state                       ops  deliveries  idle      last op\n";
+  for (int r = 0; r < hc.num_ranks(); ++r) {
+    const RankHealth& c = hc.cell(r);
+    const BlockedState b =
+        unpack_blocked(c.blocked.load(std::memory_order_acquire));
+    WaitNode node;
+    node.rank = r;
+    node.kind = b.kind;
+    node.src = b.src;
+    node.tag = b.tag;
+    const std::int64_t progress =
+        c.last_progress_ns.load(std::memory_order_relaxed);
+    const FlightEvent last =
+        unpack_flight(c.last_op.load(std::memory_order_relaxed), 0, 0);
+    char line[160];
+    std::string state = blocked_desc(node);
+    std::string idle = progress > 0 ? fmt_ns(now - progress) : "-";
+    std::string op = "-";
+    if (last.type != FlightEventType::kNone) {
+      std::ostringstream opos;
+      opos << core::to_string(last.kind);
+      if (last.mb >= 0) opos << " mb" << last.mb;
+      if (last.layer >= 0) opos << " l" << last.layer;
+      op = opos.str();
+    }
+    std::snprintf(line, sizeof(line), "%-5d %-26s %5lld %11lld  %-9s %s\n", r,
+                  state.c_str(),
+                  static_cast<long long>(
+                      c.ops_retired.load(std::memory_order_relaxed)),
+                  static_cast<long long>(
+                      c.deliveries.load(std::memory_order_relaxed)),
+                  idle.c_str(), op.c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace helix::obs

@@ -1,0 +1,247 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/fault.h"
+#include "comm/world.h"
+#include "obs/flight.h"
+
+// Live-run health: the monitor-side half of the flight-recorder subsystem.
+//
+// A HealthCollector owns one RankHealth cell and one FlightRecorder ring per
+// rank; comm::World and runtime::Interpreter write into them while the job
+// runs (obs/flight.h documents the write-side contract). A HealthMonitor
+// samples the progress counters on its own thread; when *no* rank has
+// progressed for the configured window — per-rank idleness is normal in a
+// pipeline, global silence is not — it snapshots every rank's blocked state
+// into a wait-graph, runs cycle detection to discriminate deadlock from
+// straggler, names the first-stalled rank and edge, and poisons the world so
+// every blocked rank unwinds with WorldAborted.
+//
+// On any failure (watchdog trip, injected fault, rank crash) a PostMortem
+// merges the wait-graph verdict, every rank's pending-recv registry and
+// flight-recorder tail into one report, renderable as text and as JSON whose
+// traceEvents section shares the Chrome-trace exporter schema — a dump's
+// recorder tails load in the same viewer as a normal trace.
+namespace helix::obs {
+
+/// Knobs for TrainerOptions::health; HELIX_HEALTH* env variables override
+/// them (see runtime::Trainer).
+struct HealthOptions {
+  /// Master switch. Off (the default) means no collector, no monitor thread,
+  /// no recorder writes: execution is bit-identical to a build without the
+  /// subsystem.
+  bool enabled = false;
+  /// Watchdog trip threshold: global no-progress window in milliseconds.
+  /// Generous by default — any retired op or delivery anywhere resets it.
+  int no_progress_window_ms = 5000;
+  /// Progress-counter sampling period of the monitor thread.
+  int poll_interval_ms = 100;
+  /// Flight-recorder ring capacity (events per rank).
+  int recorder_capacity = 512;
+  /// When non-empty, post-mortem reports are also written to this directory
+  /// as postmortem_step<k>.{txt,json,trace.json}.
+  std::string dump_dir;
+  /// Seeded fault injection (tests, drills). Caller-owned; null = no faults.
+  const comm::FaultPlan* faults = nullptr;
+};
+
+/// Per-rank health state for one world: contiguous cell and ring arrays, so
+/// comm::World::set_health can index them by rank.
+class HealthCollector {
+ public:
+  explicit HealthCollector(int num_ranks,
+                           int recorder_capacity = static_cast<int>(
+                               FlightRecorder::kDefaultCapacity));
+
+  int num_ranks() const noexcept { return n_; }
+  RankHealth* cells() noexcept { return cells_.get(); }
+  const RankHealth& cell(int rank) const { return cells_[rank]; }
+  RankHealth& cell(int rank) { return cells_[rank]; }
+  FlightRecorder* recorders() noexcept { return recs_.get(); }
+  const FlightRecorder& recorder(int rank) const { return recs_[rank]; }
+  FlightRecorder& recorder(int rank) { return recs_[rank]; }
+
+  /// Start a new training step: clear the blocked/done cells (a done rank
+  /// from step k must not pollute step k+1's wait-graph). Progress counters
+  /// stay cumulative — monotonicity is what the watchdog samples — and the
+  /// rings keep their recent history across steps by design.
+  void begin_step() noexcept;
+
+  /// Full reset (tests): counters, cells and rings back to zero.
+  void reset() noexcept;
+
+ private:
+  int n_;
+  std::unique_ptr<RankHealth[]> cells_;
+  std::unique_ptr<FlightRecorder[]> recs_;
+};
+
+// ---------------------------------------------------------------------------
+// Wait-graph: who is blocked on whom, decoded from the blocked cells.
+
+/// Directed edge: `waiter` cannot proceed until `on` acts. For recv/handle
+/// waits `tag` names the awaited message; barrier waits fan out one edge per
+/// rank that has not arrived.
+struct WaitEdge {
+  int waiter = -1;
+  int on = -1;
+  BlockedKind kind = BlockedKind::kNone;
+  std::int64_t tag = -1;
+};
+
+/// One rank's snapshot: blocked state + progress counters + last retired op.
+struct WaitNode {
+  int rank = -1;
+  BlockedKind kind = BlockedKind::kNone;
+  int src = -1;
+  std::int64_t tag = -1;
+  std::int64_t ops_retired = 0;
+  std::int64_t deliveries = 0;
+  std::int64_t last_progress_ns = 0;
+  FlightEvent last_op;  ///< kOpRetire meta of the last finished op
+};
+
+struct WaitGraph {
+  std::vector<WaitNode> nodes;  ///< indexed by rank
+  std::vector<WaitEdge> edges;
+  /// Deliveries a comm::FaultPlan swallowed, gleaned from the recorder rings
+  /// at snapshot time (waiter = the starved dst, on = src). When a blocked
+  /// edge matches one of these, the analyzer prefers it as the first-stalled
+  /// edge — progress timestamps alone can't always tell which cycle member
+  /// started the hang.
+  std::vector<WaitEdge> injected_faults;
+
+  /// First cycle found (ranks in cycle order), or empty. A cycle of waits
+  /// can never resolve: that is a deadlock by definition.
+  std::vector<int> find_cycle() const;
+  /// The outgoing edge of `rank`, or nullptr.
+  const WaitEdge* edge_from(int rank) const noexcept;
+  /// An edge pointing at `rank` (its earliest-stalled waiter), or nullptr.
+  const WaitEdge* edge_into(int rank) const noexcept;
+};
+
+/// Decode every rank's blocked cell into nodes + edges. Safe while rank
+/// threads run (cells are atomics) and after they joined (post-mortem).
+WaitGraph snapshot_wait_graph(const HealthCollector& hc);
+
+enum class HangVerdict : std::uint8_t {
+  kNone,      ///< nothing stalled (report built on a healthy world)
+  kDeadlock,  ///< wait cycle: no rank can ever proceed
+  kStraggler, ///< wait chain into a rank that is slow, dead or done
+};
+
+const char* to_string(HangVerdict v) noexcept;
+
+/// The analyzed snapshot: verdict, the cycle (deadlocks), and the named
+/// first-stalled rank + blocked edge the acceptance contract asks for.
+struct HangReport {
+  bool tripped = false;          ///< true when the watchdog fired
+  std::int64_t window_ms = 0;    ///< configured no-progress window
+  WaitGraph graph;
+  HangVerdict verdict = HangVerdict::kNone;
+  std::vector<int> cycle;        ///< deadlock only: ranks in cycle order
+  /// The rank that stalled first: in a cycle, the member with the oldest
+  /// progress stamp (for a hung delivery that is the rank waiting on the
+  /// swallowed message); otherwise the non-blocked, non-done sink (a dead or
+  /// straggling rank), falling back to the oldest-progress blocked rank when
+  /// every sink completed (lost-message case).
+  int first_stalled_rank = -1;
+  /// The blocked (src=edge.on, dst=edge.waiter, tag) edge naming the hang.
+  WaitEdge stalled_edge;
+  FlightEvent stalled_last_op;   ///< first-stalled rank's last retired op
+  std::string summary;           ///< one-line human verdict
+};
+
+/// Classify a snapshot. `window_ms` is echoed into the report.
+HangReport analyze_wait_graph(WaitGraph graph, std::int64_t window_ms);
+
+// ---------------------------------------------------------------------------
+// Watchdog.
+
+/// Samples the collector's progress counters every poll interval on a
+/// dedicated thread. Trips when the whole world made no progress for the
+/// window: builds the HangReport, then poisons the world so run() unwinds.
+/// stop() (idempotent, called by the destructor) joins the thread; report()
+/// is stable after stop().
+class HealthMonitor {
+ public:
+  HealthMonitor(comm::World& world, HealthCollector& collector,
+                const HealthOptions& options);
+  ~HealthMonitor();
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  void start();
+  void stop();
+  bool tripped() const noexcept {
+    return tripped_.load(std::memory_order_acquire);
+  }
+  /// Valid after stop() when tripped().
+  const HangReport& report() const noexcept { return report_; }
+
+ private:
+  void loop();
+
+  comm::World& world_;
+  HealthCollector& hc_;
+  HealthOptions opt_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  std::atomic<bool> tripped_{false};
+  HangReport report_;
+};
+
+// ---------------------------------------------------------------------------
+// Post-mortem dumps.
+
+/// One rank's post-mortem shard.
+struct RankDump {
+  int rank = -1;
+  WaitNode state;
+  /// Unfulfilled receive registrations (posted irecvs / blocking recvs that
+  /// never matched) at dump time.
+  std::vector<comm::World::PendingRecvInfo> pending_recvs;
+  std::vector<FlightEvent> tail;  ///< flight-recorder snapshot, oldest first
+};
+
+/// The merged cross-rank report built on watchdog trip or WorldAborted.
+struct PostMortem {
+  std::string reason;  ///< what killed the run (exception text / trip summary)
+  HangReport hang;     ///< wait-graph + verdict (tripped=false on crash paths)
+  std::vector<RankDump> ranks;
+};
+
+/// Snapshot everything. Pass the monitor's report as `hang` when it tripped;
+/// with nullptr the wait-graph is re-analyzed from the cells as they were
+/// left at death (abort paths keep blocked cells set for exactly this).
+PostMortem build_post_mortem(comm::World& world, const HealthCollector& hc,
+                             const HangReport* hang, std::string reason);
+
+/// Human-readable report: verdict, wait-graph table, edges, pending recvs
+/// and per-rank recorder tails.
+std::string render_post_mortem(const PostMortem& pm);
+
+/// Chrome trace-event JSON array of every rank's recorder tail (zero-duration
+/// complete events, pid = rank, comm/compute tid split as in obs/export.h).
+/// Loads in the same viewer as a normal runtime trace.
+std::string post_mortem_trace_json(const PostMortem& pm);
+
+/// Full structured report: health section (verdict, stalled edge, per-rank
+/// states) plus an embedded "traceEvents" array (post_mortem_trace_json).
+std::string post_mortem_json(const PostMortem& pm);
+
+/// Live progress table (examples/monitoring): one row per rank with blocked
+/// state, counters and last-op / progress age. Safe while the world runs.
+std::string render_progress_table(const HealthCollector& hc);
+
+}  // namespace helix::obs

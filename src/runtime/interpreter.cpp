@@ -421,17 +421,43 @@ void Interpreter::exec_traced(const Op& op, std::uint64_t tid) {
     (core::is_comm(op.kind) ? opt_.runtime_metrics->comm_op_ns
                             : opt_.runtime_metrics->compute_ns)
         .add(t1 - t0);
-    opt_.runtime_metrics->live_tensor_bytes.set(live_bytes());
+    obs::Gauge& live = opt_.runtime_metrics->live_tensor_bytes;
+    const std::int64_t prev_peak = live.high_water;
+    live.set(live_bytes());
+    if (opt_.flight != nullptr && live.high_water > prev_peak) {
+      opt_.flight->record(obs::FlightEventType::kLivePeak, op.kind, op.mb,
+                          op.layer, -1, -1, live.high_water, obs::now_ns());
+    }
   }
   if (opt_.memory != nullptr) sync_memory(op);
 }
 
 void Interpreter::do_op(const Op& op, bool traced, std::uint64_t tid) {
   HELIX_PROF_SCOPE("runtime.exec");
+  if (opt_.flight != nullptr) {
+    opt_.flight->record(obs::FlightEventType::kOpStart, op.kind, op.mb,
+                        op.layer, op.peer, op.tag, 0, obs::now_ns());
+  }
   if (traced) {
     exec_traced(op, tid);
   } else {
     exec(op);
+  }
+  // Retirement is this rank's progress heartbeat: the watchdog samples
+  // ops_retired, and last_op names what the rank finished before it stalled.
+  const std::int64_t t_retire =
+      (opt_.flight != nullptr || opt_.health != nullptr) ? obs::now_ns() : 0;
+  if (opt_.flight != nullptr) {
+    opt_.flight->record(obs::FlightEventType::kOpRetire, op.kind, op.mb,
+                        op.layer, op.peer, op.tag, 0, t_retire);
+  }
+  if (opt_.health != nullptr) {
+    opt_.health->last_op.store(
+        obs::pack_flight_meta(obs::FlightEventType::kOpRetire, op.kind, op.mb,
+                              op.layer, op.peer),
+        std::memory_order_relaxed);
+    opt_.health->ops_retired.fetch_add(1, std::memory_order_relaxed);
+    opt_.health->last_progress_ns.store(t_retire, std::memory_order_relaxed);
   }
 }
 

@@ -69,6 +69,12 @@ struct InterpreterOptions {
   /// allocator, tagged with the op's (kind, mb, layer). Like the other
   /// sinks, reads sizes only — never tensor data.
   obs::MemoryTracker* memory = nullptr;
+  /// Live-run health (obs/flight.h, wired by Trainer from TrainerOptions::
+  /// health). `flight` receives op-start/op-retire events; `health` gets the
+  /// monotonic ops_retired counter + last-op cell the watchdog samples.
+  /// Independent of the trace sinks above and of `traced`.
+  obs::FlightRecorder* flight = nullptr;
+  obs::RankHealth* health = nullptr;
 };
 
 struct IterationMetrics {

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "core/cost.h"
 #include "model/memory.h"
@@ -183,18 +187,63 @@ Trainer::Trainer(nn::ModelParams& params, TrainerOptions options)
   if (const char* e = std::getenv("HELIX_COMM_LOOKAHEAD")) {
     if (e[0] != '\0') opt_.comm_lookahead = std::atoi(e);
   }
+  // Live-run health overrides: HELIX_HEALTH attaches the flight recorder +
+  // watchdog to any existing suite (same parse as HELIX_COMM_ASYNC).
+  if (const char* e = std::getenv("HELIX_HEALTH")) {
+    if (e[0] != '\0' && !(e[0] == '0' && e[1] == '\0')) {
+      opt_.health.enabled = true;
+    }
+  }
+  if (const char* e = std::getenv("HELIX_HEALTH_WINDOW_MS")) {
+    if (e[0] != '\0') opt_.health.no_progress_window_ms = std::atoi(e);
+  }
+  if (const char* e = std::getenv("HELIX_HEALTH_POLL_MS")) {
+    if (e[0] != '\0') opt_.health.poll_interval_ms = std::atoi(e);
+  }
+  if (const char* e = std::getenv("HELIX_HEALTH_CAPACITY")) {
+    if (e[0] != '\0') opt_.health.recorder_capacity = std::atoi(e);
+  }
+  if (const char* e = std::getenv("HELIX_HEALTH_DUMP_DIR")) {
+    if (e[0] != '\0') opt_.health.dump_dir = e;
+  }
+  if (opt_.health.no_progress_window_ms < 1 || opt_.health.poll_interval_ms < 1) {
+    throw std::invalid_argument(
+        "health window/poll intervals must be >= 1 ms");
+  }
 }
 
 IterationMetrics Trainer::train_step(const nn::Batch& batch) {
+  const int step = step_++;
+  post_mortem_.reset();
   comm::World world(sched_.num_stages);
   obs::TraceCollector* trace = opt_.trace;
   if (trace != nullptr) {
     trace->begin_iteration();  // each train_step is one fresh trace
     world.set_metrics(trace->comm_shards());
   }
+  // Seeded fault injection applies with or without the health subsystem (a
+  // kill drill is meaningful even when nobody is recording it).
+  const comm::FaultPlan* faults = opt_.health.faults;
+  if (faults != nullptr) world.set_faults(faults);
+  std::optional<obs::HealthMonitor> monitor;
+  if (opt_.health.enabled) {
+    if (health_ == nullptr) {
+      health_ = std::make_unique<obs::HealthCollector>(
+          sched_.num_stages, opt_.health.recorder_capacity);
+    }
+    health_->begin_step();
+    world.set_health(health_->cells(), health_->recorders());
+    monitor.emplace(world, *health_, opt_.health);
+    monitor->start();
+  }
+
   std::vector<IterationMetrics> metrics(static_cast<std::size_t>(sched_.num_stages));
-  world.run([&](comm::Endpoint& ep) {
+  const auto rank_fn = [&](comm::Endpoint& ep) {
     const int r = ep.rank();
+    if (faults != nullptr && faults->should_kill(r, step)) {
+      throw comm::FaultInjected("injected kill: rank " + std::to_string(r) +
+                                " at step " + std::to_string(step));
+    }
     Interpreter interp(
         sched_, r, ep, params_, batch,
         {.mlp_chunks = opt_.mlp_chunks,
@@ -211,9 +260,41 @@ IterationMetrics Trainer::train_step(const nn::Batch& batch) {
          .spans = trace != nullptr ? &trace->recorder(r) : nullptr,
          .runtime_metrics = trace != nullptr ? &trace->runtime(r) : nullptr,
          .comm_metrics = trace != nullptr ? &trace->comm(r) : nullptr,
-         .memory = trace != nullptr ? trace->memory(r) : nullptr});
+         .memory = trace != nullptr ? trace->memory(r) : nullptr,
+         .flight = health_ != nullptr ? &health_->recorder(r) : nullptr,
+         .health = health_ != nullptr ? &health_->cell(r) : nullptr});
     metrics[static_cast<std::size_t>(r)] = interp.run();
-  });
+  };
+  try {
+    world.run(rank_fn);
+  } catch (const std::exception& e) {
+    // Failed step: join the watchdog, then build the merged post-mortem.
+    // Blocked cells and pending-recv registrations were deliberately left
+    // set by the abort unwinding, so the dump shows the moment of death.
+    if (monitor.has_value()) monitor->stop();
+    const bool tripped = monitor.has_value() && monitor->tripped();
+    if (health_ != nullptr) {
+      const obs::HangReport* hang = tripped ? &monitor->report() : nullptr;
+      post_mortem_ = std::make_unique<obs::PostMortem>(obs::build_post_mortem(
+          world, *health_, hang,
+          tripped ? monitor->report().summary : std::string(e.what())));
+      if (!opt_.health.dump_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opt_.health.dump_dir, ec);
+        const std::string base =
+            opt_.health.dump_dir + "/postmortem_step" + std::to_string(step);
+        std::ofstream(base + ".txt") << obs::render_post_mortem(*post_mortem_);
+        std::ofstream(base + ".json") << obs::post_mortem_json(*post_mortem_);
+        std::ofstream(base + ".trace.json")
+            << obs::post_mortem_trace_json(*post_mortem_);
+      }
+    }
+    if (tripped) throw HangDetected(monitor->report().summary);
+    throw;
+  }
+  // A trip racing a successful return is spurious (the run finished; poison
+  // landed on a world that was already done) — stop() and move on.
+  if (monitor.has_value()) monitor->stop();
   IterationMetrics out;
   for (auto& m : metrics) {
     if (!m.micro_batch_losses.empty()) {

@@ -1,7 +1,11 @@
 #pragma once
 
+#include <memory>
+#include <stdexcept>
+
 #include "core/filo.h"
 #include "nn/reference.h"
+#include "obs/health.h"
 #include "runtime/interpreter.h"
 #include "schedules/layerwise.h"
 
@@ -65,6 +69,23 @@ struct TrainerOptions {
   /// the reconciliation report. Ignored without a trace collector; numerics
   /// are bit-identical either way.
   bool track_memory = false;
+  /// Live-run health (obs/health.h): per-rank flight recorders, progress
+  /// watchdog and post-mortem dumps. Disabled by default — a detached run is
+  /// bit-identical and does zero extra work. The HELIX_HEALTH environment
+  /// variable (any value other than "" / "0") force-enables it;
+  /// HELIX_HEALTH_WINDOW_MS, HELIX_HEALTH_POLL_MS, HELIX_HEALTH_CAPACITY and
+  /// HELIX_HEALTH_DUMP_DIR override the matching fields. `health.faults`
+  /// (seeded fault injection) is applied whenever set, independent of
+  /// `health.enabled`.
+  obs::HealthOptions health{};
+};
+
+/// Thrown by Trainer::train_step when the progress watchdog declared the
+/// iteration hung (deadlock or straggler). The analyzed wait-graph and every
+/// rank's recorder tail are available via Trainer::last_post_mortem().
+class HangDetected : public std::runtime_error {
+ public:
+  explicit HangDetected(const std::string& what) : std::runtime_error(what) {}
 };
 
 class Trainer {
@@ -86,6 +107,19 @@ class Trainer {
     return adam_states_;
   }
 
+  /// Post-mortem of the most recent failed train_step (watchdog trip,
+  /// injected fault or rank crash); null while every step has succeeded.
+  /// Reset at the start of each step.
+  const obs::PostMortem* last_post_mortem() const noexcept {
+    return post_mortem_.get();
+  }
+  /// The per-rank health cells/recorders, non-null once a health-enabled
+  /// step has run. Safe to read concurrently with a running step (live
+  /// progress tables).
+  const obs::HealthCollector* health_collector() const noexcept {
+    return health_.get();
+  }
+
  private:
   nn::ModelParams& params_;
   TrainerOptions opt_;
@@ -93,6 +127,12 @@ class Trainer {
   /// Per-rank Adam state, persistent across iterations (ranks own disjoint
   /// parameter subsets, so states never overlap).
   std::vector<nn::AdamState> adam_states_;
+  /// Health state, lazily created on the first health-enabled step. The
+  /// collector persists across steps (cumulative progress counters, rolling
+  /// rings); each step gets a fresh World wired onto it.
+  std::unique_ptr<obs::HealthCollector> health_;
+  std::unique_ptr<obs::PostMortem> post_mortem_;
+  int step_ = 0;  ///< 0-based train_step counter (KillFault::step matching)
 };
 
 /// The schedule a Trainer would use, exposed for inspection/validation.

@@ -1,0 +1,157 @@
+// Seeded fault injection (comm/fault.h) and the comm-layer flight/health
+// instrumentation it is validated with: fault matching and consumption,
+// dropped/delayed deliveries, flight events for send/recv/barrier, and the
+// live blocked-state cell a peer can observe mid-run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "comm/world.h"
+#include "obs/health.h"
+#include "tensor/ops.h"
+
+namespace helix::comm {
+namespace {
+
+using tensor::Tensor;
+
+Tensor constant(float v, tensor::i64 n = 4) {
+  Tensor t({n});
+  for (tensor::i64 i = 0; i < n; ++i) t[i] = v;
+  return t;
+}
+
+bool has_event(const std::vector<obs::FlightEvent>& tail,
+               obs::FlightEventType type, int peer, std::int64_t tag) {
+  for (const obs::FlightEvent& e : tail) {
+    if (e.type == type && e.peer == peer && e.tag == tag) return true;
+  }
+  return false;
+}
+
+TEST(FaultPlan, MatchConsumesCount) {
+  FaultPlan plan;
+  plan.deliveries.emplace_back(0, 1, 7, DeliveryFault::Action::kDrop, 0, 2);
+  EXPECT_EQ(plan.match(0, 1, 8), nullptr);   // wrong tag
+  EXPECT_EQ(plan.match(1, 0, 7), nullptr);   // wrong direction
+  EXPECT_NE(plan.match(0, 1, 7), nullptr);   // 1st application
+  EXPECT_NE(plan.match(0, 1, 7), nullptr);   // 2nd application
+  EXPECT_EQ(plan.match(0, 1, 7), nullptr);   // exhausted
+  EXPECT_TRUE(plan.should_kill(-1, 0) == false);
+  plan.kills.push_back({2, 3});
+  EXPECT_TRUE(plan.should_kill(2, 3));
+  EXPECT_FALSE(plan.should_kill(2, 2));
+  EXPECT_FALSE(plan.should_kill(1, 3));
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(FaultPlan{}.empty());
+}
+
+TEST(Fault, DroppedDeliveryNeverArrivesAndIsRecordedOnBothRings) {
+  World w(2);
+  obs::HealthCollector hc(2, 64);
+  w.set_health(hc.cells(), hc.recorders());
+  FaultPlan plan;
+  plan.deliveries.emplace_back(0, 1, 7, DeliveryFault::Action::kDrop);
+  w.set_faults(&plan);
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send(1, 7, {constant(1.0f)});  // swallowed
+      ep.send(1, 8, {constant(2.0f)});
+    } else {
+      // Only the un-faulted tag is receivable.
+      EXPECT_FLOAT_EQ(ep.recv(0, 8)[0][0], 2.0f);
+    }
+  });
+  EXPECT_EQ(plan.deliveries[0].applied.load(), 1);
+  EXPECT_TRUE(has_event(hc.recorder(0).tail(),
+                        obs::FlightEventType::kFaultInjected, 1, 7));
+  EXPECT_TRUE(has_event(hc.recorder(1).tail(),
+                        obs::FlightEventType::kFaultInjected, 0, 7));
+  // The dropped tag must not show up as fulfilled on the receiver.
+  EXPECT_FALSE(has_event(hc.recorder(1).tail(),
+                         obs::FlightEventType::kRecvFulfilled, 0, 7));
+  EXPECT_TRUE(has_event(hc.recorder(1).tail(),
+                        obs::FlightEventType::kRecvFulfilled, 0, 8));
+}
+
+TEST(Fault, DelayedDeliveryStillArrives) {
+  World w(2);
+  FaultPlan plan;
+  plan.deliveries.emplace_back(0, 1, 5, DeliveryFault::Action::kDelay, 30);
+  w.set_faults(&plan);
+  const auto t0 = std::chrono::steady_clock::now();
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send(1, 5, {constant(9.0f)});
+    } else {
+      EXPECT_FLOAT_EQ(ep.recv(0, 5)[0][0], 9.0f);
+    }
+  });
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 25);
+  EXPECT_EQ(plan.deliveries[0].applied.load(), 1);
+}
+
+TEST(Flight, SendRecvBarrierEventsLandOnTheRightRings) {
+  World w(2);
+  obs::HealthCollector hc(2, 64);
+  w.set_health(hc.cells(), hc.recorders());
+  w.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send(1, 3, {constant(1.0f)});
+    } else {
+      (void)ep.recv(0, 3);
+    }
+    ep.barrier();
+  });
+  const auto tail0 = hc.recorder(0).tail();
+  const auto tail1 = hc.recorder(1).tail();
+  EXPECT_TRUE(has_event(tail0, obs::FlightEventType::kSendPost, 1, 3));
+  EXPECT_TRUE(has_event(tail1, obs::FlightEventType::kRecvPost, 0, 3));
+  EXPECT_TRUE(has_event(tail1, obs::FlightEventType::kRecvFulfilled, 0, 3));
+  EXPECT_TRUE(has_event(tail0, obs::FlightEventType::kBarrierEnter, -1, -1));
+  EXPECT_TRUE(has_event(tail0, obs::FlightEventType::kBarrierExit, -1, -1));
+  EXPECT_TRUE(has_event(tail1, obs::FlightEventType::kBarrierEnter, -1, -1));
+  // Deliveries counted as receiver progress; rank 0 received nothing.
+  EXPECT_EQ(hc.cell(1).deliveries.load(std::memory_order_relaxed), 1);
+  EXPECT_EQ(hc.cell(0).deliveries.load(std::memory_order_relaxed), 0);
+  // Both rank functions returned normally: cells read done.
+  EXPECT_EQ(obs::unpack_blocked(
+                hc.cell(0).blocked.load(std::memory_order_relaxed)).kind,
+            obs::BlockedKind::kDone);
+  EXPECT_EQ(obs::unpack_blocked(
+                hc.cell(1).blocked.load(std::memory_order_relaxed)).kind,
+            obs::BlockedKind::kDone);
+}
+
+TEST(Flight, BlockedCellIsObservableWhileARankWaits) {
+  World w(2);
+  obs::HealthCollector hc(2, 64);
+  w.set_health(hc.cells(), hc.recorders());
+  std::atomic<bool> seen{false};
+  w.run([&](Endpoint& ep) {
+    if (ep.rank() == 1) {
+      EXPECT_FLOAT_EQ(ep.recv(0, 11)[0][0], 4.0f);
+    } else {
+      // Poll rank 1's cell until it reports "blocked in recv(src=0, tag=11)",
+      // then release it. Bounded by the test timeout, not a fixed sleep.
+      for (int spin = 0; spin < 100000; ++spin) {
+        const obs::BlockedState b = obs::unpack_blocked(
+            hc.cell(1).blocked.load(std::memory_order_acquire));
+        if (b.kind == obs::BlockedKind::kRecv && b.src == 0 && b.tag == 11) {
+          seen.store(true);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      ep.send(1, 11, {constant(4.0f)});
+    }
+  });
+  EXPECT_TRUE(seen.load());
+}
+
+}  // namespace
+}  // namespace helix::comm

@@ -1,0 +1,145 @@
+// Flight-recorder primitives: packed event round-trips, ring wrap order,
+// concurrent writers, blocked-cell packing and RankHealth counters.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/flight.h"
+
+namespace helix::obs {
+namespace {
+
+TEST(FlightPacking, EventRoundTrips) {
+  const std::int64_t t = 123456789;
+  const std::uint64_t meta = pack_flight_meta(
+      FlightEventType::kOpRetire, core::OpKind::kBwdAttn, 3, 7, 1);
+  const std::uint64_t arg = pack_flight_arg(42, 2048);
+  const FlightEvent e = unpack_flight(meta, arg, static_cast<std::uint64_t>(t));
+  EXPECT_EQ(e.type, FlightEventType::kOpRetire);
+  EXPECT_EQ(e.kind, core::OpKind::kBwdAttn);
+  EXPECT_EQ(e.mb, 3);
+  EXPECT_EQ(e.layer, 7);
+  EXPECT_EQ(e.peer, 1);
+  EXPECT_EQ(e.tag, 42);
+  EXPECT_EQ(e.bytes, 2048);
+  EXPECT_EQ(e.t_ns, t);
+}
+
+TEST(FlightPacking, NotApplicableFieldsStayMinusOne) {
+  const FlightEvent e = unpack_flight(
+      pack_flight_meta(FlightEventType::kBarrierEnter, core::OpKind::kOptimStep,
+                       -1, -1, -1),
+      pack_flight_arg(-1, 0), 0);
+  EXPECT_EQ(e.mb, -1);
+  EXPECT_EQ(e.layer, -1);
+  EXPECT_EQ(e.peer, -1);
+  EXPECT_EQ(e.tag, -1);
+  EXPECT_EQ(e.bytes, 0);
+}
+
+TEST(FlightPacking, BytesClampToU32) {
+  const FlightEvent e = unpack_flight(
+      pack_flight_meta(FlightEventType::kSendPost, core::OpKind::kSend, -1, -1,
+                       1),
+      pack_flight_arg(5, (1LL << 40)), 0);
+  EXPECT_EQ(e.bytes, 0xffffffffLL);
+}
+
+TEST(FlightPacking, BlockedCellRoundTrips) {
+  const BlockedState b = unpack_blocked(pack_blocked(BlockedKind::kRecv, 3, 99));
+  EXPECT_EQ(b.kind, BlockedKind::kRecv);
+  EXPECT_EQ(b.src, 3);
+  EXPECT_EQ(b.tag, 99);
+  const BlockedState none = unpack_blocked(0);
+  EXPECT_EQ(none.kind, BlockedKind::kNone);
+  EXPECT_EQ(none.src, -1);
+  EXPECT_EQ(none.tag, -1);
+  const BlockedState done = unpack_blocked(pack_blocked(BlockedKind::kDone, -1, -1));
+  EXPECT_EQ(done.kind, BlockedKind::kDone);
+  EXPECT_EQ(done.src, -1);
+  EXPECT_EQ(done.tag, -1);
+}
+
+TEST(FlightRecorder, TailIsLastEventsInOrder) {
+  FlightRecorder rec(8);
+  for (int i = 0; i < 20; ++i) {
+    rec.record(FlightEventType::kOpRetire, core::OpKind::kFwdPre, i, 0, -1, -1,
+               0, 1000 + i);
+  }
+  EXPECT_EQ(rec.total(), 20u);
+  const std::vector<FlightEvent> tail = rec.tail();
+  ASSERT_EQ(tail.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(tail[static_cast<std::size_t>(i)].mb, 12 + i);  // events 12..19
+    EXPECT_EQ(tail[static_cast<std::size_t>(i)].t_ns, 1012 + i);
+  }
+}
+
+TEST(FlightRecorder, TailShorterThanCapacityWhenFewEvents) {
+  FlightRecorder rec(16);
+  rec.record(FlightEventType::kSendPost, core::OpKind::kSend, -1, -1, 1, 7, 64,
+             5);
+  const std::vector<FlightEvent> tail = rec.tail();
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].type, FlightEventType::kSendPost);
+  EXPECT_EQ(tail[0].peer, 1);
+  EXPECT_EQ(tail[0].tag, 7);
+  EXPECT_EQ(tail[0].bytes, 64);
+}
+
+TEST(FlightRecorder, ConfigureResizesAndResets) {
+  FlightRecorder rec(4);
+  rec.record(FlightEventType::kOpStart, core::OpKind::kFwdPre, 0, 0, -1, -1, 0,
+             1);
+  rec.configure(32);
+  EXPECT_EQ(rec.capacity(), 32u);
+  EXPECT_EQ(rec.total(), 0u);
+  EXPECT_TRUE(rec.tail().empty());
+  // Degenerate capacities clamp to one slot instead of dividing by zero.
+  rec.configure(0);
+  EXPECT_EQ(rec.capacity(), 1u);
+  rec.record(FlightEventType::kOpStart, core::OpKind::kFwdPre, 1, 0, -1, -1, 0,
+             2);
+  EXPECT_EQ(rec.tail().size(), 1u);
+}
+
+TEST(FlightRecorder, ConcurrentWritersLoseNothingFromTheCount) {
+  FlightRecorder rec(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.record(FlightEventType::kOpRetire, core::OpKind::kFwdAttn, t, i,
+                   -1, -1, 0, i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.total(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  // The ring holds the newest `capacity` claims; every slot decodes to a
+  // real event (no torn slot can produce kNone: the type byte is never 0).
+  const std::vector<FlightEvent> tail = rec.tail();
+  EXPECT_EQ(tail.size(), 64u);
+  for (const FlightEvent& e : tail) {
+    EXPECT_EQ(e.type, FlightEventType::kOpRetire);
+  }
+}
+
+TEST(RankHealth, CountersAndReset) {
+  RankHealth h;
+  h.ops_retired.fetch_add(3, std::memory_order_relaxed);
+  h.deliveries.fetch_add(2, std::memory_order_relaxed);
+  EXPECT_EQ(h.progress_sum(), 5);
+  h.blocked.store(pack_blocked(BlockedKind::kBarrier, -1, -1),
+                  std::memory_order_relaxed);
+  h.reset();
+  EXPECT_EQ(h.progress_sum(), 0);
+  EXPECT_EQ(unpack_blocked(h.blocked.load(std::memory_order_relaxed)).kind,
+            BlockedKind::kNone);
+}
+
+}  // namespace
+}  // namespace helix::obs
