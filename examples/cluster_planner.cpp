@@ -1,40 +1,32 @@
 // Capacity-planning tool: given a model, sequence length and cluster, sweep
-// pipeline sizes and schedules, report iteration time / memory / feasibility
-// and recommend a configuration. Exercises the full public API the way a
-// systems engineer sizing a training job would.
+// pipeline sizes and EVERY registered schedule family in one batched
+// sim::Sweep call, report iteration time / memory / feasibility and recommend
+// a configuration. Exercises the planning stack the way a systems engineer
+// sizing a training job would: build the full (p, family) grid unfiltered,
+// let the sweep service evaluate it in parallel, read the answers in order.
 //
 //   cluster_planner [model 1.3B|3B|7B|13B] [seq] [cluster H20|A800]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "core/filo.h"
 #include "model/gpu_specs.h"
 #include "model/model_config.h"
 #include "model/paper_cost.h"
 #include "model/problem_factory.h"
-#include "schedules/layerwise.h"
-#include "schedules/zb1p.h"
-#include "sim/simulator.h"
+#include "schedules/registry.h"
+#include "sim/sweep.h"
 
 using namespace helix;
 using model::i64;
 
 namespace {
 
-struct Row {
-  std::string name;
-  double seconds = 0;
-  i64 peak = 0;
-  bool oom = false;
-};
-
-Row simulate(const std::string& name, const core::Schedule& sched,
-             const core::CostModel& cost, const std::vector<i64>& base,
-             i64 capacity) {
-  const auto res = sim::Simulator(cost).run(sched, base);
-  return {name, res.makespan, res.max_peak_memory(),
-          res.max_peak_memory() > capacity};
+bool is_helix(const std::string& family) {
+  return family.rfind("helix", 0) == 0;
 }
 
 }  // namespace
@@ -47,45 +39,74 @@ int main(int argc, char** argv) {
   std::printf("Planning %s model at %lldk tokens on the %s cluster\n\n",
               mc.name.c_str(), static_cast<long long>(seq / 1024),
               cluster.name.c_str());
-  std::printf("%-4s %-6s %-18s %12s %12s %10s\n", "p", "GPUs", "schedule",
-              "iter (s)", "tokens/s", "peak GiB");
 
-  double best_tps = 0;
-  std::string best;
+  // Build the full grid: every pipeline size x every registered family.
+  // Cost models are owned here and must outlive the sweep (items borrow
+  // them); one PaperCostModel per pipeline size.
+  const auto& families = schedules::family_registry();
+  std::vector<std::unique_ptr<model::PaperCostModel>> costs;
+  std::vector<sim::SweepItem> items;
+  std::vector<int> item_p;  // pipeline size per item, for printing
   for (const int p : {2, 4, 8}) {
     if (mc.num_layers % p != 0) continue;
     const model::TrainSetup setup{.seq_len = seq, .micro_batch = 1, .pipeline = p,
                                   .micro_batches = 2 * p, .sp = 8};
     const auto pr = model::make_problem(mc, setup);
     const model::LayerDims dims{.s = seq, .b = 1, .h = mc.hidden};
-    const model::PaperCostModel cost(model::TimingModel(cluster, {}, setup.sp), mc,
-                                     dims, p);
+    costs.push_back(std::make_unique<model::PaperCostModel>(
+        model::TimingModel(cluster, {}, setup.sp), mc, dims, p));
+    const model::PaperCostModel* cost = costs.back().get();
     const auto lw_base = model::layerwise_base_memory(mc, setup);
     const auto hx_base = model::helix_base_memory(mc, setup);
-
-    std::vector<Row> rows;
-    rows.push_back(simulate("1F1B", schedules::build_1f1b(pr), cost, lw_base,
-                            cluster.gpu.mem_bytes));
-    rows.push_back(simulate("ZB1P", schedules::build_zb1p(pr, cost), cost, lw_base,
-                            cluster.gpu.mem_bytes));
-    rows.push_back(simulate(
-        "HelixPipe",
-        core::build_helix_schedule(pr, {.two_fold = true, .recompute_without_attention = true}),
-        cost, hx_base, cluster.gpu.mem_bytes));
-    for (const Row& r : rows) {
-      const double tps = 2.0 * p * static_cast<double>(seq) / r.seconds;
-      std::printf("%-4d %-6d %-18s %12.2f %12.0f %9.1f%s\n", p, 8 * p,
-                  r.name.c_str(), r.seconds, tps,
-                  static_cast<double>(r.peak) / (1ull << 30), r.oom ? " OOM" : "");
-      if (!r.oom && tps > best_tps) {
-        best_tps = tps;
-        best = r.name + " with p=" + std::to_string(p) + " (" +
-               std::to_string(8 * p) + " GPUs)";
-      }
+    for (const auto& fam : families) {
+      items.push_back({fam.key, pr, cost, is_helix(fam.key) ? hx_base : lw_base});
+      item_p.push_back(p);
     }
   }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Sweep sweep;
+  const std::vector<sim::SweepOutcome> results = sweep.run(items);
+  const double sweep_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::printf("%-4s %-6s %-16s %12s %12s %10s\n", "p", "GPUs", "schedule",
+              "iter (s)", "tokens/s", "peak GiB");
+  double best_tps = 0;
+  std::string best;
+  int last_p = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const int p = item_p[i];
+    if (p != last_p && last_p != 0) std::printf("\n");
+    last_p = p;
+    const sim::SweepOutcome& r = results[i];
+    if (!r.ok) {
+      std::printf("%-4d %-6d %-16s %12s (%s)\n", p, 8 * p,
+                  items[i].family.c_str(), "-", r.error.c_str());
+      continue;
+    }
+    const bool oom = r.max_peak_memory > cluster.gpu.mem_bytes;
+    const double tps = 2.0 * p * static_cast<double>(seq) / r.makespan;
+    std::printf("%-4d %-6d %-16s %12.2f %12.0f %9.1f%s\n", p, 8 * p,
+                items[i].family.c_str(), r.makespan, tps,
+                static_cast<double>(r.max_peak_memory) / (1ull << 30),
+                oom ? " OOM" : "");
+    if (!oom && tps > best_tps) {
+      best_tps = tps;
+      best = items[i].family + " with p=" + std::to_string(p) + " (" +
+             std::to_string(8 * p) + " GPUs)";
+    }
+  }
+
+  const sim::SweepStats st = sweep.stats();
   std::printf("\nRecommendation: %s — %.0f tokens/s.\n", best.c_str(), best_tps);
   std::printf("(Throughput is per iteration of 2p micro batches; per-GPU\n"
               "efficiency favours smaller p, wall-clock favours larger.)\n");
+  std::printf(
+      "\nSweep: %lld configs (%lld simulated, %lld cached, %lld inapplicable) "
+      "in %.3f s — %.0f configs/s.\n",
+      static_cast<long long>(st.items), static_cast<long long>(st.evaluated),
+      static_cast<long long>(st.cache_hits), static_cast<long long>(st.failed),
+      sweep_s, static_cast<double>(st.items) / sweep_s);
   return 0;
 }

@@ -12,10 +12,7 @@
 #include <string>
 
 #include "core/cost.h"
-#include "core/filo.h"
-#include "schedules/coexec.h"
-#include "schedules/layerwise.h"
-#include "schedules/zb1p.h"
+#include "schedules/registry.h"
 #include "sim/critical_path.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -26,19 +23,13 @@ namespace {
 
 core::Schedule build(const std::string& method, const core::PipelineProblem& pr,
                      const core::CostModel& cost) {
-  if (method == "1f1b") return schedules::build_1f1b(pr);
-  if (method == "gpipe") return schedules::build_gpipe(pr);
-  if (method == "zb1p") return schedules::build_zb1p(pr, cost);
-  if (method == "zb2p") return schedules::build_zb2p(pr, cost);
-  if (method == "coexec") return schedules::build_coexec(pr);
-  if (method == "helix") {
-    return core::build_helix_schedule(pr, {.two_fold = false, .recompute_without_attention = false});
-  }
-  if (method == "helix2") {
-    return core::build_helix_schedule(pr, {.two_fold = true, .recompute_without_attention = false});
-  }
-  if (method == "helix2rc") {
-    return core::build_helix_schedule(pr, {.two_fold = true, .recompute_without_attention = true});
+  // Historical CLI aliases for the registry keys.
+  const std::string key = method == "helix"      ? "helix_naive"
+                          : method == "helix2"   ? "helix_two_fold"
+                          : method == "helix2rc" ? "helix_two_fold_rc"
+                                                 : method;
+  if (const schedules::FamilySpec* fam = schedules::find_family(key)) {
+    return fam->build(pr, cost);
   }
   throw std::invalid_argument("unknown method: " + method);
 }

@@ -1,0 +1,202 @@
+#include "core/compiled.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/prof.h"
+
+namespace helix::core {
+
+CompiledSchedule CompiledSchedule::build(const Schedule& sched) {
+  HELIX_PROF_SCOPE("core.compile");
+  CompiledSchedule cs;
+  cs.source = &sched;
+  cs.num_stages = sched.num_stages;
+  cs.num_micro_batches = sched.num_micro_batches;
+  cs.num_layers = sched.num_layers;
+
+  const std::size_t n = sched.total_ops();
+  cs.ops.assign(n, nullptr);
+  for (const auto& stage : sched.stage_ops) {
+    for (const Op& op : stage) {
+      if (op.id < 0 || static_cast<std::size_t>(op.id) >= n ||
+          cs.ops[static_cast<std::size_t>(op.id)] != nullptr) {
+        throw std::logic_error("non-dense op ids");
+      }
+      cs.ops[static_cast<std::size_t>(op.id)] = &op;
+    }
+  }
+
+  // SoA op fields, indexed by id.
+  cs.kind.resize(n);
+  cs.stage.resize(n);
+  cs.mb.resize(n);
+  cs.layer.resize(n);
+  cs.tag.resize(n);
+  cs.comm_elems.resize(n);
+  cs.mem_acquire.resize(n);
+  cs.mem_release.resize(n);
+  std::int32_t max_tag = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Op& op = *cs.ops[i];
+    cs.kind[i] = op.kind;
+    cs.stage[i] = op.stage;
+    cs.mb[i] = op.mb;
+    cs.layer[i] = op.layer;
+    cs.tag[i] = op.tag;
+    cs.comm_elems[i] = op.comm_elems;
+    cs.mem_acquire[i] = op.alloc_bytes + op.transient_bytes;
+    cs.mem_release[i] = op.free_bytes + op.transient_bytes;
+    if (is_comm(op.kind) && op.tag > max_tag) max_tag = op.tag;
+  }
+
+  // Incoming explicit dependencies, CSR-packed in id order.
+  cs.dep_offset.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const OpId d : cs.ops[i]->deps) {
+      if (d < 0 || static_cast<std::size_t>(d) >= n) {
+        throw std::logic_error("dependency on unknown op");
+      }
+    }
+    cs.dep_offset[i + 1] =
+        cs.dep_offset[i] + static_cast<std::uint32_t>(cs.ops[i]->deps.size());
+  }
+  cs.dep_edges.resize(cs.dep_offset[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t at = cs.dep_offset[i];
+    for (const OpId d : cs.ops[i]->deps) cs.dep_edges[at++] = d;
+  }
+
+  // Dense tag tables. ScheduleBuilder assigns tags densely from 0, so the
+  // tables are ~one slot per transfer; sizing by max_tag also tolerates
+  // hand-built sparse tags (the match is still O(1)).
+  cs.send_of_tag.assign(static_cast<std::size_t>(max_tag + 1), kNoOp);
+  cs.recv_of_tag.assign(static_cast<std::size_t>(max_tag + 1), kNoOp);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cs.kind[i] == OpKind::kSend) {
+      if (cs.tag[i] < 0) throw std::logic_error("send with negative tag");
+      auto& slot = cs.send_of_tag[static_cast<std::size_t>(cs.tag[i])];
+      if (slot != kNoOp) throw std::logic_error("duplicate send tag");
+      slot = static_cast<OpId>(i);
+    }
+  }
+  cs.matching_send.assign(n, kNoOp);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cs.kind[i] != OpKind::kRecv) continue;
+    const std::int32_t t = cs.tag[i];
+    const OpId send = t < 0 ? kNoOp : cs.send_of_tag[static_cast<std::size_t>(t)];
+    if (send == kNoOp) throw std::logic_error("recv without send");
+    cs.matching_send[i] = send;
+    cs.recv_of_tag[static_cast<std::size_t>(t)] = static_cast<OpId>(i);
+  }
+
+  // Per-stage chains: the full program, the compute-stream subsequence, the
+  // same-stream predecessor of every op, and the exact memory-event count
+  // (the simulator's exact-reserve contract).
+  const auto ns = static_cast<std::size_t>(sched.num_stages);
+  cs.stage_offset.assign(ns + 1, 0);
+  cs.compute_offset.assign(ns + 1, 0);
+  cs.mem_count.assign(ns, 0);
+  for (std::size_t s = 0; s < ns; ++s) {
+    std::uint32_t compute = 0;
+    for (const Op& op : sched.stage_ops[s]) {
+      if (is_compute(op.kind)) ++compute;
+      if (op.alloc_bytes + op.transient_bytes != 0) ++cs.mem_count[s];
+      if (op.free_bytes + op.transient_bytes != 0) ++cs.mem_count[s];
+    }
+    cs.stage_offset[s + 1] =
+        cs.stage_offset[s] +
+        static_cast<std::uint32_t>(sched.stage_ops[s].size());
+    cs.compute_offset[s + 1] = cs.compute_offset[s] + compute;
+  }
+  cs.stage_program.resize(cs.stage_offset[ns]);
+  cs.compute_chain.resize(cs.compute_offset[ns]);
+  cs.stream_pred.assign(n, kNoOp);
+  for (std::size_t s = 0; s < ns; ++s) {
+    std::uint32_t pat = cs.stage_offset[s];
+    std::uint32_t cat = cs.compute_offset[s];
+    OpId prev_compute = kNoOp;
+    OpId prev_comm = kNoOp;
+    for (const Op& op : sched.stage_ops[s]) {
+      cs.stage_program[pat++] = op.id;
+      OpId& prev = is_comm(op.kind) ? prev_comm : prev_compute;
+      cs.stream_pred[static_cast<std::size_t>(op.id)] = prev;
+      prev = op.id;
+      if (is_compute(op.kind)) cs.compute_chain[cat++] = op.id;
+    }
+  }
+
+  // Outgoing adjacency over dependency + stream + rendezvous edges,
+  // CSR-packed. The three passes run in the same global order the previous
+  // per-run ScheduleGraph used (dependencies in id order, then stream edges
+  // in program order, then tag edges in id order), so per-source successor
+  // order — and with it the Kahn order below and every accumulation that
+  // follows it — is reproduced exactly.
+  std::vector<std::uint32_t> count(n, 0);
+  std::vector<std::uint32_t> preds(n, 0);
+  const auto count_edge = [&](OpId from, OpId to) {
+    ++count[static_cast<std::size_t>(from)];
+    ++preds[static_cast<std::size_t>(to)];
+    ++cs.num_edges;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const OpId d : cs.ops[i]->deps) count_edge(d, static_cast<OpId>(i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const OpId sp = cs.stream_pred[i];
+    if (sp != kNoOp) count_edge(sp, static_cast<OpId>(i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cs.matching_send[i] != kNoOp) {
+      count_edge(cs.matching_send[i], static_cast<OpId>(i));
+    }
+  }
+  cs.succ_offset.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cs.succ_offset[i + 1] = cs.succ_offset[i] + count[i];
+  }
+  cs.succ_edges.resize(cs.succ_offset[n]);
+  std::vector<std::uint32_t> cursor(cs.succ_offset.begin(),
+                                    cs.succ_offset.end() - 1);
+  const auto fill_edge = [&](OpId from, OpId to) {
+    cs.succ_edges[cursor[static_cast<std::size_t>(from)]++] = to;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const OpId d : cs.ops[i]->deps) fill_edge(d, static_cast<OpId>(i));
+  }
+  for (std::size_t s = 0; s < ns; ++s) {
+    for (const Op& op : sched.stage_ops[s]) {
+      const OpId sp = cs.stream_pred[static_cast<std::size_t>(op.id)];
+      if (sp != kNoOp) fill_edge(sp, op.id);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cs.matching_send[i] != kNoOp) {
+      fill_edge(cs.matching_send[i], static_cast<OpId>(i));
+    }
+  }
+
+  // Topological order: the same FIFO Kahn walk the simulator used to run
+  // per call, hoisted to compile time. Cycle detection happens here, once.
+  cs.topo.reserve(n);
+  std::size_t head = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (preds[i] == 0) cs.topo.push_back(static_cast<OpId>(i));
+  }
+  while (head < cs.topo.size()) {
+    const OpId id = cs.topo[head++];
+    const OpId* it = cs.succ_begin(id);
+    const OpId* end = cs.succ_end(id);
+    for (; it != end; ++it) {
+      if (--preds[static_cast<std::size_t>(*it)] == 0) cs.topo.push_back(*it);
+    }
+  }
+  if (cs.topo.size() != n) {
+    throw std::logic_error("schedule has a dependency cycle (" +
+                           std::to_string(n - cs.topo.size()) + " ops stuck)");
+  }
+  HELIX_PROF_COUNT("core.compiled.edges", cs.num_edges);
+  return cs;
+}
+
+}  // namespace helix::core

@@ -27,15 +27,6 @@ const char* to_string(OpKind k) noexcept {
   return "?";
 }
 
-const Op* Schedule::find(OpId id) const noexcept {
-  for (const auto& ops : stage_ops) {
-    for (const auto& op : ops) {
-      if (op.id == id) return &op;
-    }
-  }
-  return nullptr;
-}
-
 std::vector<const Op*> Schedule::op_index() const {
   std::vector<const Op*> idx(total_ops(), nullptr);
   for (const auto& ops : stage_ops) {

@@ -113,12 +113,9 @@ struct Schedule {
     return n;
   }
 
-  /// Locate an op by id (linear scan; schedules index ops densely so a
-  /// flat lookup table is built on demand by consumers that need speed).
-  const Op* find(OpId id) const noexcept;
-
   /// Flat view: pointers to every op, indexed by op id. Ops are created with
-  /// dense ids starting at 0.
+  /// dense ids starting at 0. Hot-path consumers compile the schedule once
+  /// instead (core::CompiledSchedule keeps this locator plus SoA fields).
   std::vector<const Op*> op_index() const;
 };
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <stdexcept>
 #include <vector>
 
@@ -21,9 +20,16 @@ Schedule reorder_stage_programs(const Schedule& sched, const CostModel& cost) {
   // but scheduling it before the send exists would be meaningless, so treat
   // the send as a dependency for candidacy while using its end time only for
   // the recv's completion).
-  std::map<std::int32_t, OpId> send_by_tag;
+  // Dense tag table (builder tags start at 0 and stay dense).
+  std::int32_t max_tag = -1;
   for (const Op* op : ops) {
-    if (op->kind == OpKind::kSend) send_by_tag[op->tag] = op->id;
+    if (is_comm(op->kind)) max_tag = std::max(max_tag, op->tag);
+  }
+  std::vector<OpId> send_by_tag(static_cast<std::size_t>(max_tag + 1), kNoOp);
+  for (const Op* op : ops) {
+    if (op->kind == OpKind::kSend && op->tag >= 0) {
+      send_by_tag[static_cast<std::size_t>(op->tag)] = op->id;
+    }
   }
   std::vector<int> missing(n, 0);
   std::vector<std::vector<OpId>> succ(n);
@@ -34,7 +40,10 @@ Schedule reorder_stage_programs(const Schedule& sched, const CostModel& cost) {
       ++missing[static_cast<std::size_t>(op->id)];
     }
     if (op->kind == OpKind::kRecv) {
-      const OpId s = send_by_tag.at(op->tag);
+      const OpId s = op->tag < 0
+                         ? kNoOp
+                         : send_by_tag[static_cast<std::size_t>(op->tag)];
+      if (s == kNoOp) throw std::logic_error("reorder: recv without send");
       matching_send[static_cast<std::size_t>(op->id)] = s;
       succ[static_cast<std::size_t>(s)].push_back(op->id);
       ++missing[static_cast<std::size_t>(op->id)];

@@ -1,5 +1,6 @@
 #include "core/validator.h"
 
+#include <algorithm>
 #include <map>
 #include <queue>
 #include <sstream>
@@ -14,6 +15,28 @@ std::string op_desc(const Op& op) {
      << ", mb=" << op.mb << ", layer=" << op.layer << ")";
   return os.str();
 }
+
+/// Sorted flat (tag, op) rows with binary-search lookup — the validators'
+/// tag match. Unlike the compiled path's dense tag table
+/// (core::CompiledSchedule::send_of_tag), this tolerates the arbitrary
+/// tags malformed schedules carry: sparse, duplicate or negative.
+struct TagTable {
+  std::vector<std::pair<std::int32_t, const Op*>> rows;
+
+  void add(std::int32_t tag, const Op* op) { rows.emplace_back(tag, op); }
+  /// Sort by tag; insertion order is preserved within a tag (stable), so
+  /// the first-added op wins lookups exactly like map::emplace did.
+  void seal() {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  const Op* find(std::int32_t tag) const {
+    const auto it = std::lower_bound(
+        rows.begin(), rows.end(), tag,
+        [](const auto& row, std::int32_t t) { return row.first < t; });
+    return it != rows.end() && it->first == tag ? it->second : nullptr;
+  }
+};
 
 /// Adjacency over dependency + stream + tag edges.
 std::vector<std::vector<OpId>> build_adjacency(const Schedule& sched,
@@ -46,14 +69,14 @@ std::vector<std::vector<OpId>> build_adjacency(const Schedule& sched,
       }
     }
   }
-  std::map<std::int32_t, OpId> sends;
+  TagTable sends;
   for (const Op* op : ops) {
-    if (op != nullptr && op->kind == OpKind::kSend) sends[op->tag] = op->id;
+    if (op != nullptr && op->kind == OpKind::kSend) sends.add(op->tag, op);
   }
+  sends.seal();
   for (const Op* op : ops) {
     if (op != nullptr && op->kind == OpKind::kRecv) {
-      const auto it = sends.find(op->tag);
-      if (it != sends.end()) add_edge(it->second, op->id);
+      if (const Op* s = sends.find(op->tag)) add_edge(s->id, op->id);
     }
   }
   return adj;
@@ -91,23 +114,36 @@ ValidationResult validate_structure(const Schedule& sched) {
     }
   }
 
-  // Send/Recv pairing.
-  std::map<std::int32_t, const Op*> sends, recvs;
+  // Send/Recv pairing, matched through sorted flat tag tables.
+  TagTable sends, recvs;
   for (const Op* op : ops) {
     if (op->kind == OpKind::kSend) {
-      if (!sends.emplace(op->tag, op).second) res.fail("duplicate send tag " + std::to_string(op->tag));
+      sends.add(op->tag, op);
       if (op->comm_elems <= 0) res.fail(op_desc(*op) + ": empty payload");
     } else if (op->kind == OpKind::kRecv) {
-      if (!recvs.emplace(op->tag, op).second) res.fail("duplicate recv tag " + std::to_string(op->tag));
+      recvs.add(op->tag, op);
     }
   }
-  for (const auto& [tag, s] : sends) {
-    const auto it = recvs.find(tag);
-    if (it == recvs.end()) {
+  sends.seal();
+  recvs.seal();
+  for (std::size_t i = 1; i < sends.rows.size(); ++i) {
+    if (sends.rows[i].first == sends.rows[i - 1].first) {
+      res.fail("duplicate send tag " + std::to_string(sends.rows[i].first));
+    }
+  }
+  for (std::size_t i = 1; i < recvs.rows.size(); ++i) {
+    if (recvs.rows[i].first == recvs.rows[i - 1].first) {
+      res.fail("duplicate recv tag " + std::to_string(recvs.rows[i].first));
+    }
+  }
+  for (std::size_t i = 0; i < sends.rows.size(); ++i) {
+    const auto& [tag, s] = sends.rows[i];
+    if (i > 0 && tag == sends.rows[i - 1].first) continue;  // reported above
+    const Op* r = recvs.find(tag);
+    if (r == nullptr) {
       res.fail("send tag " + std::to_string(tag) + " has no recv");
       continue;
     }
-    const Op* r = it->second;
     if (s->peer != r->stage || r->peer != s->stage) {
       res.fail("tag " + std::to_string(tag) + ": peer mismatch " + op_desc(*s) + " vs " + op_desc(*r));
     }
@@ -115,8 +151,11 @@ ValidationResult validate_structure(const Schedule& sched) {
       res.fail("tag " + std::to_string(tag) + ": payload size mismatch");
     }
   }
-  for (const auto& [tag, r] : recvs) {
-    if (sends.find(tag) == sends.end()) {
+  for (std::size_t i = 0; i < recvs.rows.size(); ++i) {
+    const auto& [tag, r] = recvs.rows[i];
+    (void)r;
+    if (i > 0 && tag == recvs.rows[i - 1].first) continue;
+    if (sends.find(tag) == nullptr) {
       res.fail("recv tag " + std::to_string(tag) + " has no send");
     }
   }

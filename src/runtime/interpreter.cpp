@@ -15,10 +15,10 @@ using core::Op;
 using core::OpKind;
 using nn::param_name;
 
-Interpreter::Interpreter(const core::Schedule& schedule, int rank,
+Interpreter::Interpreter(const core::CompiledSchedule& schedule, int rank,
                          comm::Endpoint& comm, nn::ModelParams& params,
                          const nn::Batch& batch, InterpreterOptions options)
-    : sched_(schedule), rank_(rank), comm_(comm), params_(params),
+    : compiled_(schedule), rank_(rank), comm_(comm), params_(params),
       batch_(batch), opt_(options) {}
 
 comm::Message Interpreter::take_slot(DataSlot slot, int mb, int layer) {
@@ -118,7 +118,7 @@ void Interpreter::exec(const Op& op) {
       break;
     }
     case OpKind::kLmHeadLoss: {
-      comm::Message in = take_slot(DataSlot::kFwdBoundary, mb, sched_.num_layers);
+      comm::Message in = take_slot(DataSlot::kFwdBoundary, mb, compiled_.num_layers);
       const nn::HeadResult head = nn::lm_head_loss(
           in[0], params_.wlm, batch_.targets[static_cast<std::size_t>(mb)]);
       if (op.combines_w) {
@@ -133,12 +133,12 @@ void Interpreter::exec(const Op& op) {
         head_w_stash_[mb] = {in[0], std::move(dlogits)};
       }
       if (metrics_.micro_batch_losses.size() <
-          static_cast<std::size_t>(sched_.num_micro_batches)) {
+          static_cast<std::size_t>(compiled_.num_micro_batches)) {
         metrics_.micro_batch_losses.resize(
-            static_cast<std::size_t>(sched_.num_micro_batches), 0.0);
+            static_cast<std::size_t>(compiled_.num_micro_batches), 0.0);
       }
       metrics_.micro_batch_losses[static_cast<std::size_t>(mb)] = head.loss;
-      put_slot(DataSlot::kBwdBoundary, mb, sched_.num_layers - 1, {head.dhidden});
+      put_slot(DataSlot::kBwdBoundary, mb, compiled_.num_layers - 1, {head.dhidden});
       break;
     }
     case OpKind::kRecomputePost: {
@@ -462,33 +462,36 @@ void Interpreter::do_op(const Op& op, bool traced, std::uint64_t tid) {
 }
 
 void Interpreter::prepare_async() {
-  const auto& program = sched_.stage_ops[static_cast<std::size_t>(rank_)];
+  const core::OpId* prog = compiled_.program_begin(rank_);
+  const std::size_t psize = compiled_.program_size(rank_);
   recv_queue_.clear();
   pending_sends_.clear();
   next_recv_ = 0;
-  for (std::size_t i = 0; i < program.size(); ++i) {
-    if (program[i].kind == OpKind::kRecv) recv_queue_.push_back(i);
-    if (program[i].kind == OpKind::kSend) pending_sends_.push_back(i);
+  for (std::size_t i = 0; i < psize; ++i) {
+    const OpKind k = compiled_.kind[static_cast<std::size_t>(prog[i])];
+    if (k == OpKind::kRecv) recv_queue_.push_back(i);
+    if (k == OpKind::kSend) pending_sends_.push_back(i);
   }
 }
 
 void Interpreter::prefetch_recvs(std::size_t i, bool traced, std::uint64_t tid) {
-  const auto& program = sched_.stage_ops[static_cast<std::size_t>(rank_)];
+  const core::OpId* prog = compiled_.program_begin(rank_);
+  const std::size_t psize = compiled_.program_size(rank_);
   // Window semantics: lookahead w posts every Recv at program index <= i+w
   // before op i executes; negative means the whole program (all up front).
   const std::size_t limit =
       opt_.recv_lookahead < 0
-          ? program.size()
-          : std::min(program.size(),
+          ? psize
+          : std::min(psize,
                      i + static_cast<std::size_t>(opt_.recv_lookahead) + 1);
   while (next_recv_ < recv_queue_.size() && recv_queue_[next_recv_] < limit) {
-    do_op(program[recv_queue_[next_recv_]], traced, tid);
+    do_op(compiled_.op(prog[recv_queue_[next_recv_]]), traced, tid);
     ++next_recv_;
   }
 }
 
 void Interpreter::post_ready_sends(bool traced, std::uint64_t tid) {
-  const auto& program = sched_.stage_ops[static_cast<std::size_t>(rank_)];
+  const core::OpId* prog = compiled_.program_begin(rank_);
   // Post every Send whose value slot has been produced — i.e. as soon as
   // the producing compute op finished, not at the Send's program position
   // (which may sit behind unrelated compute, e.g. the two-fold generator's
@@ -496,7 +499,7 @@ void Interpreter::post_ready_sends(bool traced, std::uint64_t tid) {
   // same-destination posts FIFO.
   std::size_t kept = 0;
   for (std::size_t r = 0; r < pending_sends_.size(); ++r) {
-    const Op& op = program[pending_sends_[r]];
+    const Op& op = compiled_.op(prog[pending_sends_[r]]);
     if (slots_.find(std::make_tuple(op.slot, op.mb, op.layer)) != slots_.end()) {
       do_op(op, traced, tid);
     } else {
@@ -508,24 +511,25 @@ void Interpreter::post_ready_sends(bool traced, std::uint64_t tid) {
 
 IterationMetrics Interpreter::run() {
   HELIX_PROF_SCOPE("runtime.run");
-  const auto& program = sched_.stage_ops[static_cast<std::size_t>(rank_)];
-  HELIX_PROF_COUNT("runtime.ops", program.size());
+  const core::OpId* prog = compiled_.program_begin(rank_);
+  const std::size_t psize = compiled_.program_size(rank_);
+  HELIX_PROF_COUNT("runtime.ops", psize);
   const bool traced = opt_.spans != nullptr || opt_.runtime_metrics != nullptr ||
                       opt_.memory != nullptr;
   const std::uint64_t tid =
       traced ? std::hash<std::thread::id>{}(std::this_thread::get_id()) : 0;
-  if (traced && opt_.spans != nullptr) opt_.spans->reserve(program.size());
+  if (traced && opt_.spans != nullptr) opt_.spans->reserve(psize);
   if (!opt_.async_comm) {
-    for (const Op& op : program) do_op(op, traced, tid);
+    for (std::size_t i = 0; i < psize; ++i) do_op(compiled_.op(prog[i]), traced, tid);
     return metrics_;
   }
   // Async engine: comm ops execute (post) at the earliest legal moment and
   // are skipped at their program position; compute ops still run in exact
   // program order, so numerics match the blocking engine bit-for-bit.
   prepare_async();
-  for (std::size_t i = 0; i < program.size(); ++i) {
+  for (std::size_t i = 0; i < psize; ++i) {
     prefetch_recvs(i, traced, tid);
-    const Op& op = program[i];
+    const Op& op = compiled_.op(prog[i]);
     if (op.kind == OpKind::kRecv) continue;  // posted by the prefetch window
     if (op.kind == OpKind::kSend) {
       // Normally posted eagerly by post_ready_sends; the fallback covers a

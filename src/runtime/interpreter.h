@@ -1,6 +1,7 @@
 #pragma once
 
 #include "comm/world.h"
+#include "core/compiled.h"
 #include "core/ir.h"
 #include "nn/parts.h"
 #include "obs/recorder.h"
@@ -97,9 +98,14 @@ class Interpreter {
   /// sends Wqkv inside kPreToAttn messages and returns dWqkv inside
   /// kGradToPre messages, so attention stages never read the owner's
   /// parameter storage.
-  Interpreter(const core::Schedule& schedule, int rank, comm::Endpoint& comm,
-              nn::ModelParams& params, const nn::Batch& batch,
-              InterpreterOptions options);
+  /// `schedule` is the compiled form (core::CompiledSchedule::build); the
+  /// interpreter walks its per-stage program span — shared across ranks,
+  /// steps and the simulator — instead of re-deriving per-op lookups. The
+  /// compiled schedule (and the Schedule it borrows) must outlive the
+  /// interpreter.
+  Interpreter(const core::CompiledSchedule& schedule, int rank,
+              comm::Endpoint& comm, nn::ModelParams& params,
+              const nn::Batch& batch, InterpreterOptions options);
 
   /// Execute this rank's program for one training iteration.
   IterationMetrics run();
@@ -137,7 +143,7 @@ class Interpreter {
   /// Execute one program op through exec/exec_traced.
   void do_op(const core::Op& op, bool traced, std::uint64_t tid);
 
-  const core::Schedule& sched_;
+  const core::CompiledSchedule& compiled_;
   int rank_;
   comm::Endpoint& comm_;
   nn::ModelParams& params_;

@@ -167,6 +167,7 @@ std::vector<std::int64_t> predict_stage_peak_bytes(const nn::MiniGptConfig& cfg,
 Trainer::Trainer(nn::ModelParams& params, TrainerOptions options)
     : params_(params), opt_(options),
       sched_(build_numeric_schedule(params.cfg, options)),
+      compiled_(core::CompiledSchedule::build(sched_)),
       adam_states_(static_cast<std::size_t>(sched_.num_stages)) {
   if (params.cfg.layers % sched_.num_stages != 0) {
     throw std::invalid_argument("layers must divide evenly across stages");
@@ -245,7 +246,7 @@ IterationMetrics Trainer::train_step(const nn::Batch& batch) {
                                 " at step " + std::to_string(step));
     }
     Interpreter interp(
-        sched_, r, ep, params_, batch,
+        compiled_, r, ep, params_, batch,
         {.mlp_chunks = opt_.mlp_chunks,
          .recompute_without_attention =
              opt_.recompute_without_attention &&

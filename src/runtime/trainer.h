@@ -124,6 +124,9 @@ class Trainer {
   nn::ModelParams& params_;
   TrainerOptions opt_;
   core::Schedule sched_;
+  /// Compiled once from sched_ at construction (declared after it so the
+  /// borrow is safe); shared by every rank's Interpreter across steps.
+  core::CompiledSchedule compiled_;
   /// Per-rank Adam state, persistent across iterations (ranks own disjoint
   /// parameter subsets, so states never overlap).
   std::vector<nn::AdamState> adam_states_;

@@ -1,0 +1,114 @@
+#include "schedules/registry.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "core/filo.h"
+#include "schedules/coexec.h"
+#include "schedules/interleaved.h"
+#include "schedules/layerwise.h"
+#include "schedules/zb1p.h"
+
+namespace helix::schedules {
+
+using core::CostModel;
+using core::PipelineProblem;
+using core::Schedule;
+using core::ScheduleRequirements;
+
+bool FamilySpec::applicable(const PipelineProblem& pr) const {
+  try {
+    core::validate_problem(pr, requirements(pr));
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+namespace {
+
+ScheduleRequirements layerwise_req(const PipelineProblem&) {
+  return core::layerwise_requirements("layer-wise");
+}
+ScheduleRequirements interleaved_req(const PipelineProblem& pr) {
+  return core::interleaved_requirements(2, pr.p);
+}
+ScheduleRequirements helix_naive_req(const PipelineProblem& pr) {
+  return core::helix_requirements(false, pr.p);
+}
+ScheduleRequirements helix_two_fold_req(const PipelineProblem& pr) {
+  return core::helix_requirements(true, pr.p);
+}
+
+}  // namespace
+
+const std::vector<FamilySpec>& family_registry() {
+  static const std::vector<FamilySpec> families{
+      {"1f1b", "one-forward-one-backward layer-wise pipeline",
+       [](const PipelineProblem& pr, const CostModel&) {
+         return build_1f1b(pr);
+       },
+       &layerwise_req},
+      {"gpipe", "GPipe: all forwards, then all backwards",
+       [](const PipelineProblem& pr, const CostModel&) {
+         return build_gpipe(pr);
+       },
+       &layerwise_req},
+      {"zb1p", "zero-bubble 1F1B, greedy decoupled backward-W placement",
+       [](const PipelineProblem& pr, const CostModel& cost) {
+         return build_zb1p(pr, cost);
+       },
+       &layerwise_req},
+      {"zb2p", "zero-bubble with exact W placement, 2x activation cap",
+       [](const PipelineProblem& pr, const CostModel& cost) {
+         return build_zb2p(pr, cost);
+       },
+       &layerwise_req},
+      {"coexec", "1F1B with the sibling's backward-W filling grad waits",
+       [](const PipelineProblem& pr, const CostModel&) {
+         return build_coexec(pr);
+       },
+       &layerwise_req},
+      {"interleaved", "interleaved 1F1B with 2 virtual chunks per stage",
+       [](const PipelineProblem& pr, const CostModel&) {
+         return build_interleaved_1f1b(pr, {.virtual_chunks = 2});
+       },
+       &interleaved_req},
+      {"helix_naive", "HelixPipe FILO loop, one micro batch per fold slot",
+       [](const PipelineProblem& pr, const CostModel&) {
+         return core::build_helix_schedule(
+             pr, {.two_fold = false, .recompute_without_attention = false});
+       },
+       &helix_naive_req},
+      {"helix_two_fold", "HelixPipe two-fold FILO loop (paper's default)",
+       [](const PipelineProblem& pr, const CostModel&) {
+         return core::build_helix_schedule(
+             pr, {.two_fold = true, .recompute_without_attention = false});
+       },
+       &helix_two_fold_req},
+      {"helix_two_fold_rc",
+       "two-fold + recomputation without attention (paper's memory config)",
+       [](const PipelineProblem& pr, const CostModel&) {
+         return core::build_helix_schedule(
+             pr, {.two_fold = true, .recompute_without_attention = true});
+       },
+       &helix_two_fold_req},
+      {"helix_tuned", "two-fold + list-scheduling refinement",
+       [](const PipelineProblem& pr, const CostModel& cost) {
+         return core::build_helix_schedule_tuned(
+             pr, {.two_fold = true, .recompute_without_attention = false},
+             cost);
+       },
+       &helix_two_fold_req},
+  };
+  return families;
+}
+
+const FamilySpec* find_family(std::string_view key) {
+  for (const FamilySpec& f : family_registry()) {
+    if (key == f.key) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace helix::schedules

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/ir.h"
+#include "core/problem.h"
+#include "core/problem_check.h"
+
+// Central registry of every schedule family the repo can build, keyed by the
+// short names the benches and CLIs already use ("1f1b", "zb2p",
+// "helix_two_fold", ...). One table instead of N hand-rolled switch
+// statements: bench_selfperf's grid, the schedule visualizer's --method
+// dispatch, the sweep engine's family lookup and cluster_planner's
+// recommendation table all draw from here, so registering a new family makes
+// it show up everywhere at once.
+namespace helix::schedules {
+
+struct FamilySpec {
+  const char* key;          ///< stable short name (metric keys, CLI flags)
+  const char* description;  ///< one-line summary for --help style listings
+  /// Build the schedule. Families that ignore the cost model (most) simply
+  /// don't read it; ZB1P/ZB2P/helix_tuned use it to place backward-W ops.
+  core::Schedule (*build)(const core::PipelineProblem&,
+                          const core::CostModel&);
+  /// The family's shape constraints (micro-batch / layer divisibility).
+  core::ScheduleRequirements (*requirements)(const core::PipelineProblem&);
+
+  /// True when `pr` satisfies this family's shape constraints — the
+  /// non-throwing form of core::validate_problem, for sweep grids that
+  /// skip inapplicable (family, problem) combinations.
+  bool applicable(const core::PipelineProblem& pr) const;
+};
+
+/// All registered families, in canonical order (layer-wise baselines, then
+/// zero-bubble variants, then HelixPipe).
+const std::vector<FamilySpec>& family_registry();
+
+/// Look up a family by key; nullptr when unknown.
+const FamilySpec* find_family(std::string_view key);
+
+}  // namespace helix::schedules

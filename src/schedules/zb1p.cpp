@@ -273,7 +273,8 @@ PlanTimes simulate_plan(const LayerwisePlan& plan,
     for (int i = 0; i < p; ++i) {
       while (next[i] < plan.steps[i].size()) {
         const MacroStep st = plan.steps[i][next[i]];
-        double avail;
+        double avail = 0.0;  // the switch covers every StepKind; the
+                             // initializer only placates -Wmaybe-uninitialized
         switch (st.kind) {
           case StepKind::kForward:
             avail = i == 0 ? 0.0 : t.fend[i - 1][st.mb] + comm;

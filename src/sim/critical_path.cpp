@@ -10,6 +10,7 @@
 
 namespace helix::sim {
 
+using core::CompiledSchedule;
 using core::Op;
 using core::OpId;
 using core::OpKind;
@@ -36,16 +37,16 @@ PathSegment segment_of(OpKind kind) noexcept {
 /// Binding times are exact double copies of the predecessor's end (the
 /// relaxation propagates them through std::max), so equality comparison is
 /// exact; `slack` only guards against future cost models doing arithmetic.
-OpId binding_pred(const ScheduleGraph& g, const SimResult& res, OpId id,
+OpId binding_pred(const CompiledSchedule& cs, const SimResult& res, OpId id,
                   double slack) {
   const std::size_t ui = static_cast<std::size_t>(id);
-  const Op& op = *g.ops[ui];
+  const OpKind kind = cs.kind[ui];
   const double start = res.op_times[ui].start;
   const double end = res.op_times[ui].end;
 
   // A Recv that actually waited ended at the matching Send's completion.
-  if (op.kind == OpKind::kRecv) {
-    const OpId send = g.matching_send[ui];
+  if (kind == OpKind::kRecv) {
+    const OpId send = cs.matching_send[ui];
     if (send != core::kNoOp && end > start &&
         res.op_times[static_cast<std::size_t>(send)].end >= end - slack) {
       return send;
@@ -56,20 +57,20 @@ OpId binding_pred(const ScheduleGraph& g, const SimResult& res, OpId id,
   // Prefer explicit dependencies over stream occupancy: "B waited for its
   // producer" names a cause, "B waited for the previous op on the stream"
   // merely restates in-order execution.
-  for (const OpId d : op.deps) {
-    if (res.op_times[static_cast<std::size_t>(d)].end >= start - slack) {
-      return d;
+  for (const OpId* it = cs.deps_begin(id); it != cs.deps_end(id); ++it) {
+    if (res.op_times[static_cast<std::size_t>(*it)].end >= start - slack) {
+      return *it;
     }
   }
-  const OpId sp = g.stream_pred[ui];
+  const OpId sp = cs.stream_pred[ui];
   if (sp != core::kNoOp &&
       res.op_times[static_cast<std::size_t>(sp)].end >= start - slack) {
     return sp;
   }
   // Recv whose start (not end) was bound by nothing but data arrival can
   // still be data-bound when the wait was zero.
-  if (op.kind == OpKind::kRecv) {
-    const OpId send = g.matching_send[ui];
+  if (kind == OpKind::kRecv) {
+    const OpId send = cs.matching_send[ui];
     if (send != core::kNoOp &&
         res.op_times[static_cast<std::size_t>(send)].end >= start - slack) {
       return send;
@@ -80,11 +81,10 @@ OpId binding_pred(const ScheduleGraph& g, const SimResult& res, OpId id,
 
 }  // namespace
 
-CriticalPathReport critical_path(const core::Schedule& sched,
+CriticalPathReport critical_path(const CompiledSchedule& cs,
                                  const SimResult& result) {
   HELIX_PROF_SCOPE("sim.critical_path");
-  const ScheduleGraph graph = ScheduleGraph::build(sched);
-  const std::size_t n = graph.ops.size();
+  const std::size_t n = cs.num_ops();
   if (result.op_times.size() != n) {
     throw std::invalid_argument(
         "critical_path: SimResult does not match the schedule (op count " +
@@ -106,13 +106,13 @@ CriticalPathReport critical_path(const core::Schedule& sched,
   }
   for (OpId cur = tail; cur != core::kNoOp;) {
     const std::size_t ui = static_cast<std::size_t>(cur);
-    const Op& op = *graph.ops[ui];
-    report.chain.push_back({cur, op.stage, op.kind, result.op_times[ui].start,
-                            result.op_times[ui].end, segment_of(op.kind)});
+    report.chain.push_back({cur, cs.stage[ui], cs.kind[ui],
+                            result.op_times[ui].start, result.op_times[ui].end,
+                            segment_of(cs.kind[ui])});
     if (report.chain.size() > n) {
       throw std::logic_error("critical_path: chain longer than the op count");
     }
-    cur = binding_pred(graph, result, cur, slack);
+    cur = binding_pred(cs, result, cur, slack);
   }
   std::reverse(report.chain.begin(), report.chain.end());
   // A node's recorded interval can overlap its binding predecessor (a
@@ -137,14 +137,14 @@ CriticalPathReport critical_path(const core::Schedule& sched,
 
   // Per-stage bubble attribution: walk each compute stream's gaps and
   // charge each gap interval to the bound that was still outstanding there.
-  for (int s = 0; s < sched.num_stages; ++s) {
+  for (int s = 0; s < cs.num_stages; ++s) {
     StageBubble sb;
     sb.stage = s;
     sb.bubble_s = result.stages[static_cast<std::size_t>(s)].bubble;
     double prev_end = 0;
-    for (const Op& op : sched.stage_ops[static_cast<std::size_t>(s)]) {
-      if (core::is_comm(op.kind)) continue;
-      const auto& t = result.op_times[static_cast<std::size_t>(op.id)];
+    for (const OpId* it = cs.compute_begin(s); it != cs.compute_end(s); ++it) {
+      const OpId id = *it;
+      const auto& t = result.op_times[static_cast<std::size_t>(id)];
       if (t.start > prev_end) {
         // The gap [prev_end, start) exists because start = max(stream pred
         // end = prev_end, dep ends): charge [prev_end, other_bound) to
@@ -152,9 +152,9 @@ CriticalPathReport critical_path(const core::Schedule& sched,
         // dependency, to comm (the data was not on this rank yet).
         double other_bound = 0;
         double recv_bound = 0;
-        for (const core::OpId d : op.deps) {
-          const double end = result.op_times[static_cast<std::size_t>(d)].end;
-          if (graph.ops[static_cast<std::size_t>(d)]->kind == OpKind::kRecv) {
+        for (const OpId* d = cs.deps_begin(id); d != cs.deps_end(id); ++d) {
+          const double end = result.op_times[static_cast<std::size_t>(*d)].end;
+          if (cs.kind[static_cast<std::size_t>(*d)] == OpKind::kRecv) {
             recv_bound = std::max(recv_bound, end);
           } else {
             other_bound = std::max(other_bound, end);
@@ -179,6 +179,11 @@ CriticalPathReport critical_path(const core::Schedule& sched,
     report.stages.push_back(sb);
   }
   return report;
+}
+
+CriticalPathReport critical_path(const core::Schedule& sched,
+                                 const SimResult& result) {
+  return critical_path(CompiledSchedule::build(sched), result);
 }
 
 std::string render_critical_path(const CriticalPathReport& report) {

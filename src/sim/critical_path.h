@@ -81,11 +81,15 @@ struct CriticalPathReport {
   }
 };
 
-/// Analyze `result` (a completed Simulator::run of `sched`). Rebuilds the
-/// same ScheduleGraph the simulator used, walks back from the op that ends
-/// at the makespan choosing, at each step, the predecessor whose end time
-/// bound the op's start (or, for a Recv, the Send whose completion bound
-/// its end), and decomposes every stage's bubble into causes.
+/// Analyze `result` (a completed Simulator::run of `cs`). Walks back from
+/// the op that ends at the makespan choosing, at each step, the predecessor
+/// whose end time bound the op's start (or, for a Recv, the Send whose
+/// completion bound its end), and decomposes every stage's bubble into
+/// causes. Runs entirely off the compiled SoA/CSR arrays.
+CriticalPathReport critical_path(const core::CompiledSchedule& cs,
+                                 const SimResult& result);
+
+/// Convenience overload: compile `sched` and analyze.
 CriticalPathReport critical_path(const core::Schedule& sched,
                                  const SimResult& result);
 

@@ -1,225 +1,195 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <map>
-#include <queue>
-#include <stdexcept>
+#include <array>
 
 #include "obs/prof.h"
 
 namespace helix::sim {
 
+using core::CompiledSchedule;
 using core::Op;
 using core::OpId;
 using core::OpKind;
 using core::Schedule;
 
-ScheduleGraph ScheduleGraph::build(const Schedule& sched) {
-  HELIX_PROF_SCOPE("sim.build_graph");
-  ScheduleGraph g;
-  g.ops = sched.op_index();
-  const std::size_t n = g.ops.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (g.ops[i] == nullptr) throw std::logic_error("non-dense op ids");
-  }
+namespace {
 
-  g.succ.resize(n);
-  g.preds.assign(n, 0);
-  const auto add_edge = [&g](OpId from, OpId to) {
-    g.succ[static_cast<std::size_t>(from)].push_back(to);
-    ++g.preds[static_cast<std::size_t>(to)];
-    ++g.num_edges;
-  };
+// llst-style installed dispatch tables, indexed by OpKind: the relaxation
+// classifies an op and prices it with two array loads instead of a branchy
+// switch. kStream routes the op's accumulation (compute busy / transfer
+// occupancy / recv wait); kCost maps the op to its duration under the cost
+// model (a Recv has zero intrinsic cost — it ends at data arrival).
+enum class Stream : std::uint8_t { kCompute = 0, kSend, kRecv };
 
-  for (const Op* op : g.ops) {
-    for (OpId d : op->deps) {
-      if (d < 0 || static_cast<std::size_t>(d) >= n) {
-        throw std::logic_error("dependency on unknown op");
-      }
-      add_edge(d, op->id);
-    }
+using CostFn = double (*)(const core::CostModel&, const Op&);
+
+constexpr std::size_t kNumKinds =
+    static_cast<std::size_t>(OpKind::kOptimStep) + 1;
+
+double compute_seconds(const core::CostModel& cost, const Op& op) {
+  return cost.compute_seconds(op);
+}
+double transfer_seconds(const core::CostModel& cost, const Op& op) {
+  return cost.transfer_seconds(op.comm_elems);
+}
+double zero_seconds(const core::CostModel&, const Op&) { return 0.0; }
+
+struct Tables {
+  std::array<Stream, kNumKinds> stream{};
+  std::array<CostFn, kNumKinds> cost{};
+};
+
+Tables install_tables() {
+  Tables t;
+  for (std::size_t k = 0; k < kNumKinds; ++k) {
+    t.stream[k] = Stream::kCompute;
+    t.cost[k] = &compute_seconds;
   }
-  // Stream edges: consecutive compute ops / consecutive comm ops per stage.
-  // The pass also fills stream_pred, the relaxation's edge classifier.
-  g.stream_pred.assign(n, core::kNoOp);
-  for (const auto& stage : sched.stage_ops) {
-    OpId prev_compute = core::kNoOp;
-    OpId prev_comm = core::kNoOp;
-    for (const Op& op : stage) {
-      OpId& prev = core::is_comm(op.kind) ? prev_comm : prev_compute;
-      if (prev != core::kNoOp) add_edge(prev, op.id);
-      g.stream_pred[static_cast<std::size_t>(op.id)] = prev;
-      prev = op.id;
-    }
-  }
-  // Tag edges: recv completion requires send completion.
-  std::map<std::int32_t, OpId> send_by_tag;
-  for (const Op* op : g.ops) {
-    if (op->kind == OpKind::kSend) {
-      if (!send_by_tag.emplace(op->tag, op->id).second) {
-        throw std::logic_error("duplicate send tag");
-      }
-    }
-  }
-  g.matching_send.assign(n, core::kNoOp);
-  for (const Op* op : g.ops) {
-    if (op->kind == OpKind::kRecv) {
-      const auto it = send_by_tag.find(op->tag);
-      if (it == send_by_tag.end()) throw std::logic_error("recv without send");
-      add_edge(it->second, op->id);
-      g.matching_send[static_cast<std::size_t>(op->id)] = it->second;
-    }
-  }
-  HELIX_PROF_COUNT("sim.graph.edges", g.num_edges);
-  return g;
+  t.stream[static_cast<std::size_t>(OpKind::kSend)] = Stream::kSend;
+  t.cost[static_cast<std::size_t>(OpKind::kSend)] = &transfer_seconds;
+  t.stream[static_cast<std::size_t>(OpKind::kRecv)] = Stream::kRecv;
+  t.cost[static_cast<std::size_t>(OpKind::kRecv)] = &zero_seconds;
+  return t;
 }
 
-SimResult Simulator::run(const Schedule& sched,
-                         const std::vector<std::int64_t>& base_memory) const {
+const Tables kTables = install_tables();
+
+}  // namespace
+
+const SimResult& Simulator::run(
+    const CompiledSchedule& cs, SimWorkspace& ws,
+    const std::vector<std::int64_t>& base_memory) const {
   HELIX_PROF_SCOPE("sim.run");
-  const ScheduleGraph graph = ScheduleGraph::build(sched);
-  const std::vector<const Op*>& ops = graph.ops;
-  const std::size_t n = ops.size();
+  const std::size_t n = cs.num_ops();
+  const auto ns = static_cast<std::size_t>(cs.num_stages);
 
-  // Kahn relaxation: start = max over incoming edge end-times, split by
-  // edge semantics (stream predecessor vs data dependency vs data arrival).
-  SimResult res;
-  res.op_times.assign(n, {});
-  res.stages.resize(static_cast<std::size_t>(sched.num_stages));
+  // Workspace realloc canary: when re-running a schedule this workspace has
+  // already hosted, every buffer is provably large enough, so any capacity
+  // change is a reuse bug. Counted (not assumed) and surfaced via prof.
+  const bool steady = ws.last == &cs;
+  std::int64_t ws_reallocs = 0;
+  const auto track = [&](std::size_t before, std::size_t after) {
+    if (steady && after != before) ++ws_reallocs;
+  };
 
-  std::vector<int> preds = graph.preds;  // consumed by the relaxation
-  std::vector<double> stream_ready(n, 0.0);  // prev op in same stream ended
-  std::vector<double> deps_ready(n, 0.0);    // explicit deps ended
-  std::vector<double> data_ready(n, 0.0);    // matching send ended (recvs)
-
-  std::queue<OpId> ready;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (preds[i] == 0) ready.push(static_cast<OpId>(i));
+  SimResult& res = ws.result;
+  {
+    const std::size_t cap_times = res.op_times.capacity();
+    const std::size_t cap_stages = res.stages.capacity();
+    res.makespan = 0;
+    res.op_times.assign(n, {});
+    res.stages.assign(ns, {});
+    track(cap_times, res.op_times.capacity());
+    track(cap_stages, res.stages.capacity());
   }
 
-  std::size_t processed = 0;
-  std::size_t pushed = ready.size();
+  // Relaxation in precompiled topological order: every predecessor's end
+  // time is final by the time an op is visited, so start times are direct
+  // maxes over the CSR edge lists — no ready queue, no in-degree bookkeeping.
   {
     HELIX_PROF_SCOPE("sim.relax");
-    while (!ready.empty()) {
-      const OpId id = ready.front();
-      ready.pop();
-      ++processed;
-      const Op& op = *ops[static_cast<std::size_t>(id)];
+    OpTime* times = res.op_times.data();
+    double makespan = 0;
+    for (const OpId id : cs.topo) {
       const std::size_t ui = static_cast<std::size_t>(id);
+      double start = 0;
+      const OpId sp = cs.stream_pred[ui];
+      if (sp != core::kNoOp) start = times[static_cast<std::size_t>(sp)].end;
+      const OpId* it = cs.deps_begin(id);
+      const OpId* dend = cs.deps_end(id);
+      for (; it != dend; ++it) {
+        start = std::max(start, times[static_cast<std::size_t>(*it)].end);
+      }
 
-      double start = std::max(stream_ready[ui], deps_ready[ui]);
-      double end = start;
-      auto& st = res.stages[static_cast<std::size_t>(op.stage)];
-      switch (op.kind) {
-        case OpKind::kSend:
-          end = start + cost_.transfer_seconds(op.comm_elems);
+      const auto k = static_cast<std::size_t>(cs.kind[ui]);
+      double end;
+      auto& st = res.stages[static_cast<std::size_t>(cs.stage[ui])];
+      switch (kTables.stream[k]) {
+        case Stream::kSend:
+          end = start + kTables.cost[k](cost_, cs.op(id));
           st.comm_busy += end - start;
           break;
-        case OpKind::kRecv:
-          end = std::max(start, data_ready[ui]);
+        case Stream::kRecv:
+          end = std::max(
+              start,
+              times[static_cast<std::size_t>(cs.matching_send[ui])].end);
           st.recv_wait += end - start;
           break;
-        default: {
-          end = start + cost_.compute_seconds(op);
+        default:
+          end = start + kTables.cost[k](cost_, cs.op(id));
           st.compute_busy += end - start;
           break;
-        }
       }
-      res.op_times[ui] = {start, end};
-      res.makespan = std::max(res.makespan, end);
-
-      for (OpId s : graph.succ[ui]) {
-        const std::size_t us = static_cast<std::size_t>(s);
-        if (graph.stream_pred[us] == id) {
-          stream_ready[us] = std::max(stream_ready[us], end);
-        }
-        if (graph.matching_send[us] == id) {
-          data_ready[us] = std::max(data_ready[us], end);
-        }
-        // The same edge can also be an explicit dependency; check directly.
-        const Op& sop = *ops[us];
-        for (OpId d : sop.deps) {
-          if (d == id) {
-            deps_ready[us] = std::max(deps_ready[us], end);
-            break;
-          }
-        }
-        if (--preds[us] == 0) {
-          ready.push(s);
-          ++pushed;
-        }
-      }
+      times[ui] = {start, end};
+      makespan = std::max(makespan, end);
     }
-  }
-  HELIX_PROF_COUNT("sim.events.popped", processed);
-  HELIX_PROF_COUNT("sim.events.pushed", pushed);
-  if (processed != n) {
-    throw std::logic_error("schedule has a dependency cycle (" +
-                           std::to_string(n - processed) + " ops stuck)");
+    res.makespan = makespan;
   }
 
   // Bubble per stage.
   for (auto& st : res.stages) st.bubble = res.makespan - st.compute_busy;
 
-  // Memory timelines. The per-stage event vectors are sized exactly from a
-  // counting pass over the schedule's ops before any append, so the append
-  // loop never reallocates mid-run — the "sim.mem_events.reallocs" counter
-  // proves it (asserted zero in tests and surfaced by bench_selfperf).
+  // Memory timelines. The per-stage event vectors are reserved exactly from
+  // the compiled per-stage counts before any append, so the append loop
+  // never reallocates mid-run — the "sim.mem_events.reallocs" counter proves
+  // it (asserted zero in tests and surfaced by bench_selfperf).
   HELIX_PROF_SCOPE("sim.memory_timeline");
-  struct MemEvent {
-    double t;
-    std::int64_t delta;
-  };
-  std::vector<std::vector<MemEvent>> events(
-      static_cast<std::size_t>(sched.num_stages));
+  using MemEvent = SimWorkspace::MemEvent;
   {
-    std::vector<std::size_t> counts(static_cast<std::size_t>(sched.num_stages),
-                                    0);
-    for (const Op* op : ops) {
-      auto& c = counts[static_cast<std::size_t>(op->stage)];
-      if (op->alloc_bytes + op->transient_bytes != 0) ++c;
-      if (op->free_bytes + op->transient_bytes != 0) ++c;
-    }
+    const std::size_t cap_events = ws.events.capacity();
+    ws.events.resize(ns);
+    track(cap_events, ws.events.capacity());
     std::int64_t total = 0;
-    for (int s = 0; s < sched.num_stages; ++s) {
-      events[static_cast<std::size_t>(s)].reserve(
-          counts[static_cast<std::size_t>(s)]);
-      total += static_cast<std::int64_t>(counts[static_cast<std::size_t>(s)]);
+    for (std::size_t s = 0; s < ns; ++s) {
+      auto& ev = ws.events[s];
+      const std::size_t cap = ev.capacity();
+      ev.clear();
+      ev.reserve(cs.mem_count[s]);
+      track(cap, ev.capacity());
+      total += cs.mem_count[s];
     }
     HELIX_PROF_COUNT("sim.mem_events.appended", total);
   }
   std::int64_t reallocs = 0;
-  for (const Op* op : ops) {
-    const auto& ot = res.op_times[static_cast<std::size_t>(op->id)];
-    auto& ev = events[static_cast<std::size_t>(op->stage)];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t acquire = cs.mem_acquire[i];
+    const std::int64_t release = cs.mem_release[i];
+    if (acquire == 0 && release == 0) continue;
+    const OpTime& ot = res.op_times[i];
+    auto& ev = ws.events[static_cast<std::size_t>(cs.stage[i])];
     const std::size_t cap = ev.capacity();
-    if (op->alloc_bytes + op->transient_bytes != 0) {
-      ev.push_back({ot.start, op->alloc_bytes + op->transient_bytes});
-    }
-    if (op->free_bytes + op->transient_bytes != 0) {
-      ev.push_back({ot.end, -(op->free_bytes + op->transient_bytes)});
-    }
+    if (acquire != 0) ev.push_back({ot.start, acquire});
+    if (release != 0) ev.push_back({ot.end, -release});
     if (ev.capacity() != cap) ++reallocs;
   }
   HELIX_PROF_COUNT("sim.mem_events.reallocs", reallocs);
-  for (int s = 0; s < sched.num_stages; ++s) {
-    auto& ev = events[static_cast<std::size_t>(s)];
+  for (std::size_t s = 0; s < ns; ++s) {
+    auto& ev = ws.events[s];
     std::stable_sort(ev.begin(), ev.end(),
                      [](const MemEvent& a, const MemEvent& b) { return a.t < b.t; });
-    std::int64_t base = s < static_cast<int>(base_memory.size())
-                            ? base_memory[static_cast<std::size_t>(s)]
-                            : 0;
+    std::int64_t base =
+        s < base_memory.size() ? base_memory[s] : 0;
     std::int64_t cur = base;
     std::int64_t peak = base;
     for (const MemEvent& e : ev) {
       cur += e.delta;
       peak = std::max(peak, cur);
     }
-    res.stages[static_cast<std::size_t>(s)].peak_memory = peak;
-    res.stages[static_cast<std::size_t>(s)].final_memory = cur;
+    res.stages[s].peak_memory = peak;
+    res.stages[s].final_memory = cur;
   }
+  HELIX_PROF_COUNT("sim.workspace.reallocs", ws_reallocs);
+  ws.last = &cs;
   return res;
+}
+
+SimResult Simulator::run(const Schedule& sched,
+                         const std::vector<std::int64_t>& base_memory) const {
+  const CompiledSchedule cs = CompiledSchedule::build(sched);
+  SimWorkspace ws;
+  run(cs, ws, base_memory);
+  return std::move(ws.result);
 }
 
 }  // namespace helix::sim

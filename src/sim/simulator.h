@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/compiled.h"
 #include "core/cost.h"
 #include "core/ir.h"
 
@@ -23,31 +24,17 @@
 // Memory: alloc_bytes and transient_bytes are charged at op start,
 // free_bytes and transient_bytes credited at op end; the simulator reports
 // the running peak per stage on top of a caller-provided base (model states).
+//
+// The hot path runs off core::CompiledSchedule (SoA fields, CSR edges, a
+// precomputed topological order) with a caller-owned SimWorkspace whose
+// buffers are recycled across runs: compile once, simulate many — the shape
+// the sweep engine (sim/sweep.h) is built on. The Schedule-taking overload
+// remains as a convenience that compiles on the fly.
 namespace helix::sim {
 
 struct OpTime {
   double start = 0;
   double end = 0;
-};
-
-/// Dependency structure of a schedule, precomputed once and shared by the
-/// simulator's relaxation loop and the critical-path analyzer
-/// (sim/critical_path.h): successor lists and predecessor counts over
-/// explicit dependency edges, per-stage stream edges (consecutive compute /
-/// consecutive comm ops), and Send->Recv tag edges — plus, per op, its
-/// stream predecessor and (for Recvs) the matching Send, which is how the
-/// relaxation classifies an incoming edge's semantics.
-struct ScheduleGraph {
-  std::vector<const core::Op*> ops;           ///< dense op index
-  std::vector<std::vector<core::OpId>> succ;  ///< all outgoing edges
-  std::vector<int> preds;                     ///< incoming edge counts
-  std::vector<core::OpId> stream_pred;        ///< same-stream predecessor
-  std::vector<core::OpId> matching_send;      ///< Recv -> Send (else kNoOp)
-  std::size_t num_edges = 0;
-
-  /// Throws std::logic_error on malformed IR (non-dense ids, dependency on
-  /// an unknown op, duplicate send tag, recv without send).
-  static ScheduleGraph build(const core::Schedule& sched);
 };
 
 struct StageStats {
@@ -76,13 +63,43 @@ struct SimResult {
   }
 };
 
+/// Reusable per-thread simulation buffers. Simulator::run fills `result` in
+/// place and recycles every vector's capacity across calls: after the first
+/// run of a given compiled schedule, re-running it (or anything no larger)
+/// performs zero heap allocation — the "sim.workspace.reallocs" counter
+/// proves it (asserted zero by bench_selfperf). Not thread-safe: one
+/// workspace per thread.
+struct SimWorkspace {
+  struct MemEvent {
+    double t;
+    std::int64_t delta;
+  };
+
+  SimResult result;
+  std::vector<std::vector<MemEvent>> events;  ///< per-stage memory deltas
+
+  /// Steady-state detector for the realloc canary: capacity growth is only
+  /// counted as a workspace realloc when re-running the same compiled
+  /// schedule, where all buffers are provably already large enough. The
+  /// check is pointer identity — callers that recycle one workspace across
+  /// *different* schedules whose CompiledSchedule objects may reuse an
+  /// address (e.g. successive stack locals) must clear this between runs.
+  const core::CompiledSchedule* last = nullptr;
+};
+
 class Simulator {
  public:
   explicit Simulator(const core::CostModel& cost) : cost_(cost) {}
 
-  /// Execute `sched`; `base_memory_bytes` (optional, per stage) is the
-  /// resident model-state footprint added to every activation measurement.
-  /// Throws std::logic_error on a dependency cycle (schedule bug).
+  /// Execute a compiled schedule into `ws.result` (returned by reference;
+  /// valid until the next run on the same workspace). `base_memory_bytes`
+  /// (optional, per stage) is the resident model-state footprint added to
+  /// every activation measurement.
+  const SimResult& run(const core::CompiledSchedule& cs, SimWorkspace& ws,
+                       const std::vector<std::int64_t>& base_memory_bytes = {}) const;
+
+  /// Convenience overload: compile `sched` and run it once. Throws
+  /// std::logic_error on malformed IR or a dependency cycle (schedule bug).
   SimResult run(const core::Schedule& sched,
                 const std::vector<std::int64_t>& base_memory_bytes = {}) const;
 

@@ -1,0 +1,195 @@
+#include "sim/sweep.h"
+
+#include <cstring>
+#include <exception>
+
+#include "core/compiled.h"
+#include "core/ir.h"
+#include "obs/prof.h"
+#include "par/thread_pool.h"
+#include "schedules/registry.h"
+#include "sim/simulator.h"
+
+namespace helix::sim {
+
+using core::CostModel;
+using core::Op;
+using core::OpKind;
+
+namespace {
+
+void append_raw(std::string& out, const void* p, std::size_t n) {
+  out.append(static_cast<const char*>(p), n);
+}
+void append_i64(std::string& out, std::int64_t v) { append_raw(out, &v, sizeof(v)); }
+void append_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  append_raw(out, &bits, sizeof(bits));
+}
+
+/// Canonical probe evaluations pinning the cost model's behaviour: every
+/// compute kind at two (layer, combines_w) points plus two transfer sizes.
+/// Models whose costs depend on fields beyond these (none of the repo's do)
+/// would need their configuration in the key; the probe still catches any
+/// in-place mutation of an already-cached model.
+void append_cost_fingerprint(std::string& out, const CostModel& cost) {
+  Op op;
+  op.comm_elems = 1;
+  for (std::size_t k = 0; k <= static_cast<std::size_t>(OpKind::kOptimStep); ++k) {
+    const OpKind kind = static_cast<OpKind>(k);
+    if (core::is_comm(kind)) continue;
+    op.kind = kind;
+    op.layer = 0;
+    op.combines_w = true;
+    append_f64(out, cost.compute_seconds(op));
+    op.layer = 1;
+    op.combines_w = false;
+    append_f64(out, cost.compute_seconds(op));
+  }
+  append_f64(out, cost.transfer_seconds(1));
+  append_f64(out, cost.transfer_seconds(1 << 20));
+}
+
+SweepOutcome evaluate(const SweepItem& item, SimWorkspace& ws) {
+  SweepOutcome out;
+  const schedules::FamilySpec* fam = schedules::find_family(item.family);
+  if (fam == nullptr) {
+    out.error = "unknown schedule family: " + item.family;
+    return out;
+  }
+  if (item.cost == nullptr) {
+    out.error = "null cost model";
+    return out;
+  }
+  try {
+    const core::Schedule sched = fam->build(item.problem, *item.cost);
+    const core::CompiledSchedule cs = core::CompiledSchedule::build(sched);
+    const Simulator simulator(*item.cost);
+    // Every evaluation compiles a fresh schedule — often at the same stack
+    // address as the previous item's — so clear the workspace's identity
+    // marker: this run is a cold config, not a steady-state repeat, and must
+    // not count against the sim.workspace.reallocs canary.
+    ws.last = nullptr;
+    const SimResult& res = simulator.run(cs, ws, item.base_memory);
+    out.ok = true;
+    out.makespan = res.makespan;
+    out.total_bubble = res.total_bubble();
+    out.max_peak_memory = res.max_peak_memory();
+    out.stage_peak_memory.reserve(res.stages.size());
+    for (const StageStats& st : res.stages) {
+      out.total_recv_wait += st.recv_wait;
+      out.stage_peak_memory.push_back(st.peak_memory);
+    }
+  } catch (const std::exception& e) {
+    out = SweepOutcome{};
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string memo_key(const SweepItem& item) {
+  std::string key;
+  key.reserve(256);
+  key += item.family;
+  key.push_back('\0');
+  const core::PipelineProblem& pr = item.problem;
+  append_i64(key, pr.p);
+  append_i64(key, pr.m);
+  append_i64(key, pr.L);
+  append_i64(key, pr.comm.boundary);
+  append_i64(key, pr.comm.pre_to_attn);
+  append_i64(key, pr.comm.attn_to_post);
+  append_i64(key, pr.act.pre);
+  append_i64(key, pr.act.attn);
+  append_i64(key, pr.act.post);
+  append_i64(key, pr.act.attn_recompute);
+  append_i64(key, pr.act.post_recompute);
+  append_i64(key, pr.act.recompute_transient);
+  append_i64(key, pr.act.full_layer_recompute_stash);
+  append_i64(key, pr.act.w_stash_pre);
+  append_i64(key, pr.act.w_stash_post);
+  append_i64(key, pr.include_lm_head ? 1 : 0);
+  append_i64(key, pr.logits_transient_bytes);
+  append_i64(key, pr.head_stash_bytes);
+  append_i64(key, static_cast<std::int64_t>(item.base_memory.size()));
+  for (const std::int64_t b : item.base_memory) append_i64(key, b);
+  const auto addr = reinterpret_cast<std::uintptr_t>(item.cost);
+  append_i64(key, static_cast<std::int64_t>(addr));
+  if (item.cost != nullptr) append_cost_fingerprint(key, *item.cost);
+  return key;
+}
+
+std::vector<SweepOutcome> Sweep::run(const std::vector<SweepItem>& items) {
+  HELIX_PROF_SCOPE("sweep.run");
+  const auto n = static_cast<std::int64_t>(items.size());
+  std::vector<SweepOutcome> results(items.size());
+
+  // Resolve cache hits up front (one lock, no contention in the hot loop);
+  // misses are evaluated in parallel and inserted afterwards.
+  std::vector<std::int64_t> pending;
+  std::vector<std::string> keys;
+  if (opt_.use_cache) {
+    keys.resize(items.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::int64_t i = 0; i < n; ++i) {
+      keys[static_cast<std::size_t>(i)] =
+          memo_key(items[static_cast<std::size_t>(i)]);
+      const auto it = cache_.find(keys[static_cast<std::size_t>(i)]);
+      if (it != cache_.end()) {
+        results[static_cast<std::size_t>(i)] = it->second;
+        ++stats_.cache_hits;
+      } else {
+        pending.push_back(i);
+      }
+    }
+  } else {
+    pending.resize(items.size());
+    for (std::int64_t i = 0; i < n; ++i) pending[static_cast<std::size_t>(i)] = i;
+  }
+
+  // Each chunk owns one SimWorkspace, recycled across its slice: the
+  // partition is a fixed function of (count, grain), so reuse is identical
+  // for every thread count.
+  const auto todo = static_cast<std::int64_t>(pending.size());
+  par::parallel_for(todo, opt_.grain, [&](std::int64_t begin, std::int64_t end,
+                                          std::int64_t /*chunk*/) {
+    SimWorkspace ws;
+    for (std::int64_t j = begin; j < end; ++j) {
+      const std::int64_t i = pending[static_cast<std::size_t>(j)];
+      results[static_cast<std::size_t>(i)] =
+          evaluate(items[static_cast<std::size_t>(i)], ws);
+    }
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.items += n;
+    stats_.evaluated += todo;
+    for (const std::int64_t i : pending) {
+      if (!results[static_cast<std::size_t>(i)].ok) ++stats_.failed;
+      if (opt_.use_cache) {
+        cache_.emplace(std::move(keys[static_cast<std::size_t>(i)]),
+                       results[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+  HELIX_PROF_COUNT("sweep.items", n);
+  HELIX_PROF_COUNT("sweep.evaluated", todo);
+  HELIX_PROF_COUNT("sweep.cache_hits", n - todo);
+  return results;
+}
+
+SweepStats Sweep::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Sweep::clear_cache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace helix::sim

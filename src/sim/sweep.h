@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/problem.h"
+
+// Batched capacity-planning sweeps: evaluate a grid of (schedule family,
+// pipeline problem, cost model) configurations — build the schedule, compile
+// it, simulate it — fanned over the src/par thread pool, with a memoised
+// result cache so repeated queries (interactive planners, nested grids that
+// share configurations) cost a hash lookup.
+//
+// Determinism contract: results are returned in item order and each result
+// is a pure function of its item alone (schedule construction, compilation
+// and simulation are all deterministic, and per-item work shares no mutable
+// state), so the output is bit-identical for every thread count — including
+// serial — and for warm vs cold cache.
+namespace helix::sim {
+
+/// One configuration to evaluate. `cost` is borrowed and must stay alive
+/// (and unmodified) for the lifetime of any Sweep caching results derived
+/// from it.
+struct SweepItem {
+  std::string family;  ///< schedules::family_registry key ("zb2p", ...)
+  core::PipelineProblem problem;
+  const core::CostModel* cost = nullptr;
+  std::vector<std::int64_t> base_memory;  ///< per-stage resident bytes
+};
+
+struct SweepOutcome {
+  bool ok = false;
+  /// Why the configuration failed: unknown family, or the builder's
+  /// validation message ("helix-two-fold: m=4 micro batches is not ...").
+  std::string error;
+  double makespan = 0;
+  double total_bubble = 0;
+  double total_recv_wait = 0;
+  std::int64_t max_peak_memory = 0;
+  std::vector<std::int64_t> stage_peak_memory;
+};
+
+struct SweepStats {
+  std::int64_t items = 0;       ///< items submitted across all runs
+  std::int64_t evaluated = 0;   ///< cache misses: configurations simulated
+  std::int64_t cache_hits = 0;
+  std::int64_t failed = 0;      ///< items that produced ok == false
+};
+
+class Sweep {
+ public:
+  struct Options {
+    /// Memoise (family, problem, cost) -> outcome across run() calls.
+    /// Results are identical either way; the cache only skips recomputation.
+    bool use_cache = true;
+    /// Items per parallel chunk. Fixed (never derived from the thread
+    /// count), so the partition — and with it any per-chunk workspace reuse
+    /// — is deterministic. Each chunk reuses one SimWorkspace across its
+    /// slice.
+    std::int64_t grain = 4;
+  };
+
+  Sweep() = default;
+  explicit Sweep(Options opt) : opt_(opt) {}
+
+  /// Evaluate every item; results[i] corresponds to items[i]. Inapplicable
+  /// or unknown configurations come back ok == false with the builder's
+  /// message — a planner can submit the full grid unfiltered.
+  std::vector<SweepOutcome> run(const std::vector<SweepItem>& items);
+
+  SweepStats stats() const;
+  void clear_cache();
+
+ private:
+  Options opt_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SweepOutcome> cache_;  ///< key: memo_key()
+  SweepStats stats_;
+};
+
+/// The memo key: the family name, every PipelineProblem field, the per-stage
+/// base memory, and the cost model's identity (its address) plus a
+/// behavioural fingerprint (canonical probe evaluations of compute_seconds /
+/// transfer_seconds, so mutating a model in place invalidates its entries).
+/// Exposed for the determinism tests.
+std::string memo_key(const SweepItem& item);
+
+}  // namespace helix::sim

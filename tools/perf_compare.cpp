@@ -370,6 +370,36 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Per-section rollup (section = key prefix before the first '/'):
+    // aggregate base/candidate time and the speedup ratio, so a perf PR's
+    // headline ("sim/ got 3x faster") is readable without summing rows.
+    struct SectionSums {
+      double base_s = 0;
+      double cand_s = 0;
+      int keys = 0;
+    };
+    std::map<std::string, SectionSums> sections;
+    for (const auto& [key, b] : base.metrics) {
+      if (!selected(key)) continue;
+      const auto it = cand.metrics.find(key);
+      if (it == cand.metrics.end()) continue;
+      const std::string section = key.substr(0, key.find('/'));
+      SectionSums& s = sections[section];
+      s.base_s += b.trimmed_mean_s;
+      s.cand_s += it->second.trimmed_mean_s;
+      ++s.keys;
+    }
+    if (!sections.empty()) {
+      std::printf("\n  %-16s %12s %12s %9s %6s\n", "section", "base ms",
+                  "cand ms", "speedup", "keys");
+      for (const auto& [name, s] : sections) {
+        std::printf("  %-16s %12.3f %12.3f %8.2fx %6d\n", name.c_str(),
+                    1e3 * s.base_s, 1e3 * s.cand_s,
+                    s.cand_s > 0 ? s.base_s / s.cand_s : 0.0, s.keys);
+      }
+      std::printf("\n");
+    }
+
     int counter_drift = 0;
     for (const auto& [key, b] : base.counters) {
       if (!selected(key)) continue;
