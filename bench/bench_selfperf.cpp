@@ -45,6 +45,8 @@
 #include "sim/critical_path.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
+#include "tune/search.h"
+#include "tune/table.h"
 
 using namespace helix;
 
@@ -211,6 +213,70 @@ void bench_sweep(Harness& h, obs::prof::Registry& reg,
     std::printf("  -> batched sweep speedup over naive loop: %.1fx\n",
                 *naive_s / *batched_s);
   }
+}
+
+// The schedule autotuner (DESIGN §15): table round-trip cost, and one
+// fixed-seed short beam search. The search is deterministic (seeded RNG,
+// bit-identical sweep scoring, insertion-order tie breaks), so its
+// generation/candidate totals land in the counters array and perf_compare
+// flags any drift in the search loop exactly — a behavioural pin to go with
+// the wall-clock metrics.
+void bench_tune(Harness& h, obs::prof::Registry& reg) {
+  reg.set_phase("tune");
+  std::printf("schedule autotuner (fixed-seed short search)\n");
+  core::UnitCostModel::Units u;
+  u.pre = 1.0;
+  u.attn = 3.0;
+  u.post = 2.0;
+  u.seconds_per_elem = 0.1;
+  const core::UnitCostModel cost{u};
+  core::PipelineProblem pr = grid_problem(4);  // p=4, m=8, L=16
+  // Priced comm (under free comm there is nothing to search for) and an LM
+  // head (the tuner's gate contract: schedules must be executable).
+  pr.comm.boundary = 10;
+  pr.comm.pre_to_attn = 10;
+  pr.comm.attn_to_post = 10;
+  pr.include_lm_head = true;
+
+  const schedules::FamilySpec* fam = schedules::find_family("helix_two_fold");
+  const core::Schedule sched = fam->build(pr, cost);
+  h.measure(grid_key("tune", "lift_lower/helix_two_fold", pr), [&] {
+    const tune::Table t = tune::Table::lift(sched);
+    const core::Schedule s = t.lower();
+    if (s.num_stages != sched.num_stages) std::abort();
+  });
+
+  tune::TuneOptions opt;
+  opt.beam_width = 4;
+  opt.generations = 6;
+  opt.children_per_parent = 6;
+  opt.patience = 0;  // run every generation: deterministic counters
+  opt.seed = 1;
+  opt.seed_families = {"helix_naive"};
+  tune::TuneReport rep;
+  h.measure(grid_key("tune", "search/helix_naive", pr), [&] {
+    sim::Sweep sweep;  // fresh per rep: cold-cache search cost, not memo hits
+    rep = tune::tune(pr, cost, opt, &sweep);
+    if (!rep.best.outcome.ok) std::abort();
+  });
+  reg.record_count(obs::prof::intern("tune.candidates_scored",
+                                     obs::prof::SiteKind::kCounter),
+                   rep.candidates_scored);
+  reg.record_count(obs::prof::intern("tune.candidates_deduped",
+                                     obs::prof::SiteKind::kCounter),
+                   rep.candidates_deduped);
+  reg.record_count(obs::prof::intern("tune.candidates_invalid",
+                                     obs::prof::SiteKind::kCounter),
+                   rep.candidates_invalid);
+  reg.record_count(obs::prof::intern("tune.generations",
+                                     obs::prof::SiteKind::kCounter),
+                   rep.generations_run);
+  std::printf("  canary: %lld scored, %lld deduped, %lld invalid over %d "
+              "generations; best bubble %.1f\n",
+              static_cast<long long>(rep.candidates_scored),
+              static_cast<long long>(rep.candidates_deduped),
+              static_cast<long long>(rep.candidates_invalid),
+              rep.generations_run, rep.best.outcome.total_bubble);
 }
 
 void bench_train(Harness& h, obs::prof::Registry& reg, bool quick) {
@@ -385,6 +451,7 @@ int main(int argc, char** argv) {
   bench_simulate(h, reg, pipeline_sizes);
   double sweep_naive_s = 0, sweep_batched_s = 0;
   bench_sweep(h, reg, pipeline_sizes, &sweep_naive_s, &sweep_batched_s);
+  bench_tune(h, reg);
   bench_train(h, reg, quick);
   bench_train_health(h, reg, quick);
 

@@ -5,10 +5,17 @@
 // sizing a training job would: build the full (p, family) grid unfiltered,
 // let the sweep service evaluate it in parallel, read the answers in order.
 //
-//   cluster_planner [model 1.3B|3B|7B|13B] [seq] [cluster H20|A800]
+//   cluster_planner [model 1.3B|3B|7B|13B] [seq] [cluster H20|A800] [--tune]
+//
+// With --tune, after the hand-built grid the planner runs the schedule
+// autotuner (tune::tune, DESIGN §15) once per pipeline size, seeded from
+// every applicable family and capped at the cluster's GPU memory. All tuner
+// scoring goes through the same sim::Sweep instance as the grid, so the
+// baseline evaluations are cache hits inside the search.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +26,7 @@
 #include "model/problem_factory.h"
 #include "schedules/registry.h"
 #include "sim/sweep.h"
+#include "tune/search.h"
 
 using namespace helix;
 using model::i64;
@@ -32,9 +40,20 @@ bool is_helix(const std::string& family) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const model::ModelConfig mc = model::model_by_name(argc > 1 ? argv[1] : "7B");
-  const i64 seq = argc > 2 ? std::atoll(argv[2]) : 131072;
-  const model::ClusterSpec cluster = model::cluster_by_name(argc > 3 ? argv[3] : "H20");
+  bool tune_mode = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tune") == 0) {
+      tune_mode = true;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  const model::ModelConfig mc =
+      model::model_by_name(pos.size() > 0 ? pos[0] : "7B");
+  const i64 seq = pos.size() > 1 ? std::atoll(pos[1]) : 131072;
+  const model::ClusterSpec cluster =
+      model::cluster_by_name(pos.size() > 2 ? pos[2] : "H20");
 
   std::printf("Planning %s model at %lldk tokens on the %s cluster\n\n",
               mc.name.c_str(), static_cast<long long>(seq / 1024),
@@ -47,6 +66,13 @@ int main(int argc, char** argv) {
   std::vector<std::unique_ptr<model::PaperCostModel>> costs;
   std::vector<sim::SweepItem> items;
   std::vector<int> item_p;  // pipeline size per item, for printing
+  struct PlanPoint {       // one per pipeline size, kept for --tune
+    int p;
+    core::PipelineProblem pr;
+    const model::PaperCostModel* cost;
+    std::vector<i64> hx_base;
+  };
+  std::vector<PlanPoint> points;
   for (const int p : {2, 4, 8}) {
     if (mc.num_layers % p != 0) continue;
     const model::TrainSetup setup{.seq_len = seq, .micro_batch = 1, .pipeline = p,
@@ -58,6 +84,7 @@ int main(int argc, char** argv) {
     const model::PaperCostModel* cost = costs.back().get();
     const auto lw_base = model::layerwise_base_memory(mc, setup);
     const auto hx_base = model::helix_base_memory(mc, setup);
+    points.push_back({p, pr, cost, hx_base});
     for (const auto& fam : families) {
       items.push_back({fam.key, pr, cost, is_helix(fam.key) ? hx_base : lw_base});
       item_p.push_back(p);
@@ -95,6 +122,45 @@ int main(int argc, char** argv) {
       best_tps = tps;
       best = items[i].family + " with p=" + std::to_string(p) + " (" +
              std::to_string(8 * p) + " GPUs)";
+    }
+  }
+
+  if (tune_mode) {
+    // Beam-search each pipeline size, seeded from every applicable family
+    // and capped at the GPU's memory so the winner is feasible by
+    // construction. Helix base memory is the conservative resident-state
+    // estimate for mixed-family seeding. Short fixed budget: the planner
+    // wants a quick "is there headroom?" answer, not an exhaustive tune.
+    std::printf("\nAutotuned (seeded from every applicable family):\n");
+    std::printf("%-4s %-6s %12s %12s %10s  %s\n", "p", "GPUs", "iter (s)",
+                "tokens/s", "peak GiB", "lineage");
+    tune::TuneOptions topt;
+    topt.beam_width = 4;
+    topt.generations = 10;
+    topt.children_per_parent = 6;
+    topt.patience = 4;
+    topt.memory_cap_bytes = cluster.gpu.mem_bytes;
+    for (const PlanPoint& pt : points) {
+      const tune::TuneReport rep =
+          tune::tune(pt.pr, *pt.cost, topt, &sweep, pt.hx_base);
+      if (!rep.best.outcome.ok) {
+        std::printf("%-4d %-6d %12s (%s)\n", pt.p, 8 * pt.p, "-",
+                    rep.best.outcome.error.c_str());
+        continue;
+      }
+      const bool oom = rep.best.outcome.max_peak_memory > cluster.gpu.mem_bytes;
+      const double tps =
+          2.0 * pt.p * static_cast<double>(seq) / rep.best.outcome.makespan;
+      std::printf("%-4d %-6d %12.2f %12.0f %9.1f%s  %s\n", pt.p, 8 * pt.p,
+                  rep.best.outcome.makespan, tps,
+                  static_cast<double>(rep.best.outcome.max_peak_memory) /
+                      (1ull << 30),
+                  oom ? " OOM" : "", rep.best.lineage.c_str());
+      if (!oom && tps > best_tps) {
+        best_tps = tps;
+        best = "tuned " + rep.best.lineage + " with p=" + std::to_string(pt.p) +
+               " (" + std::to_string(8 * pt.p) + " GPUs)";
+      }
     }
   }
 

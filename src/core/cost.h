@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "core/ir.h"
@@ -13,11 +14,30 @@ namespace helix::core {
 
 class CostModel {
  public:
+  CostModel() : uid_(next_uid()) {}
+  /// Copies are distinct instances: each gets a fresh uid so caches keyed on
+  /// identity never conflate a copy with its source.
+  CostModel(const CostModel&) : uid_(next_uid()) {}
+  /// Assignment changes a model's *parameters*, not its identity; the
+  /// behavioural fingerprint (sim::memo_key probes) catches the change.
+  CostModel& operator=(const CostModel&) { return *this; }
   virtual ~CostModel() = default;
   /// Wall time of a compute op on its stage.
   virtual double compute_seconds(const Op& op) const = 0;
   /// Wall time of moving `elems` activation elements between two stages.
   virtual double transfer_seconds(std::int64_t elems) const = 0;
+  /// Process-unique instance id, assigned at construction. Memo caches key
+  /// on this instead of the object's address: a model destroyed and rebuilt
+  /// at the same address gets a new uid, so stale cache hits are impossible
+  /// (addresses are recycled by the allocator; uids never are).
+  std::uint64_t uid() const { return uid_; }
+
+ private:
+  static std::uint64_t next_uid() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  std::uint64_t uid_;
 };
 
 /// Abstract unit costs in the paper's running example: forward durations

@@ -1,0 +1,56 @@
+#include "runtime/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace helix::runtime {
+
+int parse_env_int(const std::string& name, const std::string& value,
+                  int min_value, int max_value) {
+  const auto fail = [&](const std::string& why) -> int {
+    throw std::invalid_argument(
+        name + "=\"" + value + "\": " + why + "; expected an integer in [" +
+        std::to_string(min_value) + ", " + std::to_string(max_value) +
+        "], e.g. " + name + "=" + std::to_string(min_value < 0 ? 0 : min_value));
+  };
+  if (value.empty()) return fail("value is empty");
+
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str()) return fail("not a number");
+  if (*end != '\0') {
+    return fail(std::string("trailing characters after the number (\"") + end +
+                "\")");
+  }
+  if (errno == ERANGE ||
+      parsed < static_cast<long long>(std::numeric_limits<int>::min()) ||
+      parsed > static_cast<long long>(std::numeric_limits<int>::max())) {
+    return fail("overflows int");
+  }
+  const int v = static_cast<int>(parsed);
+  if (v < min_value || v > max_value) return fail("out of range");
+  return v;
+}
+
+std::optional<int> env_int(const char* name, int min_value, int max_value) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || e[0] == '\0') return std::nullopt;
+  return parse_env_int(name, e, min_value, max_value);
+}
+
+std::optional<bool> env_flag(const char* name) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || e[0] == '\0') return std::nullopt;
+  return !(e[0] == '0' && e[1] == '\0');
+}
+
+std::optional<std::string> env_string(const char* name) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || e[0] == '\0') return std::nullopt;
+  return std::string(e);
+}
+
+}  // namespace helix::runtime

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+// Checked parsing of HELIX_* environment overrides. The raw std::atoi path
+// these helpers replace silently turned garbage into 0 — for
+// HELIX_HEALTH_WINDOW_MS=abc that meant a watchdog firing instantly instead
+// of an error the operator can act on. parse_env_int is the strict core
+// (throws on anything that is not a full integer in range); the env_*
+// wrappers add the repo-wide policy that an unset or empty variable means
+// "keep the built-in default".
+namespace helix::runtime {
+
+/// Parse `value` — the raw contents of environment variable `name` — as a
+/// base-10 integer in [min_value, max_value]. Throws std::invalid_argument
+/// naming the variable, the offending value and the accepted range on:
+/// empty input, non-numeric input, trailing junk ("120ms"), or a value that
+/// overflows int / falls outside the range.
+int parse_env_int(const std::string& name, const std::string& value,
+                  int min_value, int max_value);
+
+/// getenv(name) + parse_env_int. std::nullopt when the variable is unset or
+/// set to the empty string (empty keeps the default, matching the
+/// pre-existing HELIX_* convention); otherwise the parsed value or a thrown
+/// std::invalid_argument.
+std::optional<int> env_int(const char* name, int min_value, int max_value);
+
+/// Flag semantics shared by HELIX_COMM_ASYNC / HELIX_HEALTH: std::nullopt
+/// when unset or empty, false when exactly "0", true for anything else.
+std::optional<bool> env_flag(const char* name);
+
+/// String override: std::nullopt when unset or empty.
+std::optional<std::string> env_string(const char* name);
+
+}  // namespace helix::runtime

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -11,6 +12,7 @@
 #include "core/cost.h"
 #include "model/memory.h"
 #include "par/thread_pool.h"
+#include "runtime/env.h"
 #include "schedules/coexec.h"
 #include "schedules/interleaved.h"
 #include "schedules/zb1p.h"
@@ -19,6 +21,24 @@ namespace helix::runtime {
 
 core::Schedule build_numeric_schedule(const nn::MiniGptConfig& cfg,
                                       const TrainerOptions& opt) {
+  if (opt.schedule != nullptr) {
+    // Caller-supplied schedule (the autotuner's differential gate): execute
+    // it verbatim, after checking it actually fits this model configuration.
+    const core::Schedule& s = *opt.schedule;
+    const int want_p =
+        opt.family == ScheduleFamily::kSequential ? 1 : opt.pipeline_stages;
+    if (s.num_stages != want_p || s.num_micro_batches != cfg.micro_batches ||
+        s.num_layers != cfg.layers) {
+      throw std::invalid_argument(
+          "TrainerOptions::schedule shape (" + std::to_string(s.num_stages) +
+          " stages, " + std::to_string(s.num_micro_batches) +
+          " micro batches, " + std::to_string(s.num_layers) +
+          " layers) does not match the trainer configuration (" +
+          std::to_string(want_p) + ", " + std::to_string(cfg.micro_batches) +
+          ", " + std::to_string(cfg.layers) + ")");
+    }
+    return s;
+  }
   core::PipelineProblem pr;
   pr.p = opt.family == ScheduleFamily::kSequential ? 1 : opt.pipeline_stages;
   pr.m = cfg.micro_batches;
@@ -182,30 +202,31 @@ Trainer::Trainer(nn::ModelParams& params, TrainerOptions options)
   if (opt_.track_memory && opt_.trace != nullptr) opt_.trace->enable_memory();
   // Environment overrides so CI (and users) can re-run any suite under the
   // async comm engine without touching call sites; numerics are identical.
-  if (const char* e = std::getenv("HELIX_COMM_ASYNC")) {
-    if (e[0] != '\0' && !(e[0] == '0' && e[1] == '\0')) opt_.async_comm = true;
-  }
-  if (const char* e = std::getenv("HELIX_COMM_LOOKAHEAD")) {
-    if (e[0] != '\0') opt_.comm_lookahead = std::atoi(e);
+  // All integer variables go through the checked parser (runtime/env.h):
+  // garbage or out-of-range values throw with the variable named instead of
+  // silently becoming 0.
+  if (env_flag("HELIX_COMM_ASYNC").value_or(false)) opt_.async_comm = true;
+  if (const auto v = env_int("HELIX_COMM_LOOKAHEAD", kUnboundedLookahead,
+                             std::numeric_limits<int>::max())) {
+    opt_.comm_lookahead = *v;
   }
   // Live-run health overrides: HELIX_HEALTH attaches the flight recorder +
   // watchdog to any existing suite (same parse as HELIX_COMM_ASYNC).
-  if (const char* e = std::getenv("HELIX_HEALTH")) {
-    if (e[0] != '\0' && !(e[0] == '0' && e[1] == '\0')) {
-      opt_.health.enabled = true;
-    }
+  if (env_flag("HELIX_HEALTH").value_or(false)) opt_.health.enabled = true;
+  if (const auto v = env_int("HELIX_HEALTH_WINDOW_MS", 1,
+                             std::numeric_limits<int>::max())) {
+    opt_.health.no_progress_window_ms = *v;
   }
-  if (const char* e = std::getenv("HELIX_HEALTH_WINDOW_MS")) {
-    if (e[0] != '\0') opt_.health.no_progress_window_ms = std::atoi(e);
+  if (const auto v = env_int("HELIX_HEALTH_POLL_MS", 1,
+                             std::numeric_limits<int>::max())) {
+    opt_.health.poll_interval_ms = *v;
   }
-  if (const char* e = std::getenv("HELIX_HEALTH_POLL_MS")) {
-    if (e[0] != '\0') opt_.health.poll_interval_ms = std::atoi(e);
+  if (const auto v = env_int("HELIX_HEALTH_CAPACITY", 1,
+                             std::numeric_limits<int>::max())) {
+    opt_.health.recorder_capacity = *v;
   }
-  if (const char* e = std::getenv("HELIX_HEALTH_CAPACITY")) {
-    if (e[0] != '\0') opt_.health.recorder_capacity = std::atoi(e);
-  }
-  if (const char* e = std::getenv("HELIX_HEALTH_DUMP_DIR")) {
-    if (e[0] != '\0') opt_.health.dump_dir = e;
+  if (const auto v = env_string("HELIX_HEALTH_DUMP_DIR")) {
+    opt_.health.dump_dir = *v;
   }
   if (opt_.health.no_progress_window_ms < 1 || opt_.health.poll_interval_ms < 1) {
     throw std::invalid_argument(

@@ -78,6 +78,15 @@ struct TrainerOptions {
   /// (seeded fault injection) is applied whenever set, independent of
   /// `health.enabled`.
   obs::HealthOptions health{};
+  /// Execute this exact schedule instead of generating one from `family`
+  /// (the autotuner's differential-gate path: train a mutated schedule and
+  /// compare bitwise against the sequential reference). Borrowed — must
+  /// outlive Trainer construction — and must match the model configuration
+  /// (stages / micro batches / layers are validated). `family`,
+  /// `recompute_without_attention` and `mlp_chunks` must still describe how
+  /// the schedule's ops were generated, since they configure the
+  /// interpreter's execution of those ops.
+  const core::Schedule* schedule = nullptr;
 };
 
 /// Thrown by Trainer::train_step when the progress watchdog declared the

@@ -51,6 +51,33 @@ void append_cost_fingerprint(std::string& out, const CostModel& cost) {
   append_f64(out, cost.transfer_seconds(1 << 20));
 }
 
+/// Compile + simulate one already-built schedule; shared tail of both
+/// evaluate() overloads.
+SweepOutcome simulate_schedule(const core::Schedule& sched,
+                               const core::CostModel& cost,
+                               const std::vector<std::int64_t>& base_memory,
+                               SimWorkspace& ws) {
+  SweepOutcome out;
+  const core::CompiledSchedule cs = core::CompiledSchedule::build(sched);
+  const Simulator simulator(cost);
+  // Every evaluation compiles a fresh schedule — often at the same stack
+  // address as the previous item's — so clear the workspace's identity
+  // marker: this run is a cold config, not a steady-state repeat, and must
+  // not count against the sim.workspace.reallocs canary.
+  ws.last = nullptr;
+  const SimResult& res = simulator.run(cs, ws, base_memory);
+  out.ok = true;
+  out.makespan = res.makespan;
+  out.total_bubble = res.total_bubble();
+  out.max_peak_memory = res.max_peak_memory();
+  out.stage_peak_memory.reserve(res.stages.size());
+  for (const StageStats& st : res.stages) {
+    out.total_recv_wait += st.recv_wait;
+    out.stage_peak_memory.push_back(st.peak_memory);
+  }
+  return out;
+}
+
 SweepOutcome evaluate(const SweepItem& item, SimWorkspace& ws) {
   SweepOutcome out;
   const schedules::FamilySpec* fam = schedules::find_family(item.family);
@@ -64,29 +91,47 @@ SweepOutcome evaluate(const SweepItem& item, SimWorkspace& ws) {
   }
   try {
     const core::Schedule sched = fam->build(item.problem, *item.cost);
-    const core::CompiledSchedule cs = core::CompiledSchedule::build(sched);
-    const Simulator simulator(*item.cost);
-    // Every evaluation compiles a fresh schedule — often at the same stack
-    // address as the previous item's — so clear the workspace's identity
-    // marker: this run is a cold config, not a steady-state repeat, and must
-    // not count against the sim.workspace.reallocs canary.
-    ws.last = nullptr;
-    const SimResult& res = simulator.run(cs, ws, item.base_memory);
-    out.ok = true;
-    out.makespan = res.makespan;
-    out.total_bubble = res.total_bubble();
-    out.max_peak_memory = res.max_peak_memory();
-    out.stage_peak_memory.reserve(res.stages.size());
-    for (const StageStats& st : res.stages) {
-      out.total_recv_wait += st.recv_wait;
-      out.stage_peak_memory.push_back(st.peak_memory);
-    }
+    out = simulate_schedule(sched, *item.cost, item.base_memory, ws);
   } catch (const std::exception& e) {
     out = SweepOutcome{};
     out.error = e.what();
   }
   return out;
 }
+
+SweepOutcome evaluate(const ScheduleItem& item, SimWorkspace& ws) {
+  SweepOutcome out;
+  if (item.schedule == nullptr) {
+    out.error = "null schedule";
+    return out;
+  }
+  if (item.cost == nullptr) {
+    out.error = "null cost model";
+    return out;
+  }
+  try {
+    out = simulate_schedule(*item.schedule, *item.cost, item.base_memory, ws);
+  } catch (const std::exception& e) {
+    out = SweepOutcome{};
+    out.error = e.what();
+  }
+  return out;
+}
+
+/// Streaming 128-bit mix (two independent 64-bit lanes, splitmix-style
+/// finalizer per word) for hashing schedule content into a compact memo key.
+struct Hash128 {
+  std::uint64_t a = 0x9e3779b97f4a7c15ull;
+  std::uint64_t b = 0xbf58476d1ce4e5b9ull;
+  void mix(std::uint64_t v) {
+    a ^= v + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2);
+    std::uint64_t z = b + v + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    b = z ^ (z >> 31);
+  }
+  void mix_i64(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+};
 
 }  // namespace
 
@@ -116,14 +161,61 @@ std::string memo_key(const SweepItem& item) {
   append_i64(key, pr.head_stash_bytes);
   append_i64(key, static_cast<std::int64_t>(item.base_memory.size()));
   for (const std::int64_t b : item.base_memory) append_i64(key, b);
-  const auto addr = reinterpret_cast<std::uintptr_t>(item.cost);
-  append_i64(key, static_cast<std::int64_t>(addr));
+  // Identity by per-instance uid, never by address: a model destroyed and
+  // rebuilt at the same address with different parameters but matching probe
+  // points would otherwise hit the stale entry.
+  append_i64(key, item.cost == nullptr
+                      ? -1
+                      : static_cast<std::int64_t>(item.cost->uid()));
   if (item.cost != nullptr) append_cost_fingerprint(key, *item.cost);
   return key;
 }
 
-std::vector<SweepOutcome> Sweep::run(const std::vector<SweepItem>& items) {
-  HELIX_PROF_SCOPE("sweep.run");
+std::string memo_key(const ScheduleItem& item) {
+  std::string key;
+  key.reserve(64);
+  key += "<schedule>";
+  key.push_back('\0');
+  Hash128 h;
+  if (item.schedule != nullptr) {
+    const core::Schedule& s = *item.schedule;
+    h.mix_i64(s.num_stages);
+    h.mix_i64(s.num_micro_batches);
+    h.mix_i64(s.num_layers);
+    for (const std::vector<core::Op>& prog : s.stage_ops) {
+      h.mix_i64(static_cast<std::int64_t>(prog.size()));
+      for (const Op& op : prog) {
+        h.mix_i64(op.id);
+        h.mix_i64(static_cast<std::int64_t>(op.kind));
+        h.mix_i64(op.stage);
+        h.mix_i64(op.mb);
+        h.mix_i64(op.layer);
+        h.mix_i64(op.peer);
+        h.mix_i64(op.tag);
+        h.mix_i64(static_cast<std::int64_t>(op.slot));
+        h.mix_i64(op.comm_elems);
+        h.mix_i64(op.alloc_bytes);
+        h.mix_i64(op.free_bytes);
+        h.mix_i64(op.transient_bytes);
+        h.mix_i64(op.combines_w ? 1 : 0);
+        h.mix_i64(static_cast<std::int64_t>(op.deps.size()));
+        for (const core::OpId d : op.deps) h.mix_i64(d);
+      }
+    }
+  }
+  append_i64(key, static_cast<std::int64_t>(h.a));
+  append_i64(key, static_cast<std::int64_t>(h.b));
+  append_i64(key, static_cast<std::int64_t>(item.base_memory.size()));
+  for (const std::int64_t b : item.base_memory) append_i64(key, b);
+  append_i64(key, item.cost == nullptr
+                      ? -1
+                      : static_cast<std::int64_t>(item.cost->uid()));
+  if (item.cost != nullptr) append_cost_fingerprint(key, *item.cost);
+  return key;
+}
+
+template <typename Item>
+std::vector<SweepOutcome> Sweep::run_impl(const std::vector<Item>& items) {
   const auto n = static_cast<std::int64_t>(items.size());
   std::vector<SweepOutcome> results(items.size());
 
@@ -180,6 +272,17 @@ std::vector<SweepOutcome> Sweep::run(const std::vector<SweepItem>& items) {
   HELIX_PROF_COUNT("sweep.evaluated", todo);
   HELIX_PROF_COUNT("sweep.cache_hits", n - todo);
   return results;
+}
+
+std::vector<SweepOutcome> Sweep::run(const std::vector<SweepItem>& items) {
+  HELIX_PROF_SCOPE("sweep.run");
+  return run_impl(items);
+}
+
+std::vector<SweepOutcome> Sweep::run_schedules(
+    const std::vector<ScheduleItem>& items) {
+  HELIX_PROF_SCOPE("sweep.run_schedules");
+  return run_impl(items);
 }
 
 SweepStats Sweep::stats() const {

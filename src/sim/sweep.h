@@ -32,6 +32,16 @@ struct SweepItem {
   std::vector<std::int64_t> base_memory;  ///< per-stage resident bytes
 };
 
+/// One ad-hoc schedule to evaluate (the autotuner's scoring path): the
+/// schedule is already built — compile + simulate only. `schedule` and
+/// `cost` are borrowed and must outlive the call; the memo cache keys on
+/// a content hash of the schedule, so mutated copies never collide.
+struct ScheduleItem {
+  const core::Schedule* schedule = nullptr;
+  const core::CostModel* cost = nullptr;
+  std::vector<std::int64_t> base_memory;  ///< per-stage resident bytes
+};
+
 struct SweepOutcome {
   bool ok = false;
   /// Why the configuration failed: unknown family, or the builder's
@@ -72,10 +82,19 @@ class Sweep {
   /// message — a planner can submit the full grid unfiltered.
   std::vector<SweepOutcome> run(const std::vector<SweepItem>& items);
 
+  /// Evaluate already-built schedules (compile + simulate, no family
+  /// builder). Same determinism and memoisation contract as run(); an item
+  /// whose schedule fails compilation (e.g. a dependency cycle) comes back
+  /// ok == false with the compiler's message.
+  std::vector<SweepOutcome> run_schedules(const std::vector<ScheduleItem>& items);
+
   SweepStats stats() const;
   void clear_cache();
 
  private:
+  template <typename Item>
+  std::vector<SweepOutcome> run_impl(const std::vector<Item>& items);
+
   Options opt_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, SweepOutcome> cache_;  ///< key: memo_key()
@@ -83,10 +102,18 @@ class Sweep {
 };
 
 /// The memo key: the family name, every PipelineProblem field, the per-stage
-/// base memory, and the cost model's identity (its address) plus a
-/// behavioural fingerprint (canonical probe evaluations of compute_seconds /
-/// transfer_seconds, so mutating a model in place invalidates its entries).
-/// Exposed for the determinism tests.
+/// base memory, and the cost model's identity — its per-instance uid
+/// (core::CostModel::uid; never the raw address, which the allocator can
+/// recycle for a different model) plus a behavioural fingerprint (canonical
+/// probe evaluations of compute_seconds / transfer_seconds, so mutating a
+/// model in place invalidates its entries). Exposed for the determinism and
+/// cache-staleness tests.
 std::string memo_key(const SweepItem& item);
+
+/// Memo key for an ad-hoc schedule: a content hash of the full schedule
+/// (every op field and dependency, in program order) plus the cost-model
+/// identity and base memory. Two structurally identical schedules share a
+/// key; any mutation — reordering included — changes it.
+std::string memo_key(const ScheduleItem& item);
 
 }  // namespace helix::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <random>
+#include <string>
+
+#include "core/cost.h"
+#include "core/problem.h"
+#include "tune/table.h"
+
+// Mutation operators over tune::Table (DESIGN §15). Two classes:
+//
+//  * Order mutations (swap / move-W / hoist- and push-recv / widen- and
+//    narrow-lookahead / relist) permute cells within rows through the
+//    table's safe-swap primitive, so they preserve well-formedness by
+//    construction — ops, payloads and dependencies are untouched and the
+//    graph stays acyclic.
+//  * Regeneration mutations (toggle-recompute, re-chunk) flip a provenance
+//    knob and rebuild the schedule from its family generator, because they
+//    change the op payload itself (different stash sizes / different op
+//    set). They discard earlier order edits; the search keeps both branches
+//    in its population, so nothing is lost globally.
+//
+// Every operator is deterministic given the RNG state; the search layer owns
+// one seeded engine per run.
+namespace helix::tune {
+
+enum class MutationKind : std::uint8_t {
+  kSwapAdjacent,     ///< swap one random safe adjacent pair
+  kMoveWEarlier,     ///< move a decoupled backward-W cell earlier
+  kMoveWLater,       ///< move a decoupled backward-W cell later
+  kHoistRecv,        ///< move one Recv earlier (prefetch)
+  kPushRecv,         ///< move one Recv later (just-in-time)
+  kWidenLookahead,   ///< hoist every Recv one slot earlier
+  kNarrowLookahead,  ///< push every Recv one slot later
+  kRelist,           ///< re-derive all row orders by list scheduling
+  kToggleRecompute,  ///< flip recomputation-without-attention (helix only)
+  kRechunk,          ///< next virtual-chunk count (interleaved only)
+};
+inline constexpr int kNumMutationKinds = 10;
+
+const char* to_string(MutationKind k) noexcept;
+
+struct MutationOptions {
+  int max_move = 8;        ///< farthest a move mutation travels, in slots
+  int swap_attempts = 16;  ///< random tries before kSwapAdjacent gives up
+};
+
+/// Where a table came from and which regeneration knobs produced it.
+struct Provenance {
+  core::PipelineProblem problem;
+  std::string family;        ///< schedules::family_registry key
+  bool recompute = false;    ///< helix recomputation-without-attention
+  int virtual_chunks = 2;    ///< interleaved chunk count
+  int lookahead_shift = 0;   ///< net widen/narrow-lookahead bookkeeping
+};
+
+/// One search individual: the table plus its provenance and a human-readable
+/// mutation lineage ("helix_naive +relist +swap ...").
+struct Genome {
+  Table table;
+  Provenance prov;
+  std::string lineage;
+};
+
+/// Apply `kind` to `g` in place. Returns false when the mutation does not
+/// apply (no W cells to move, non-helix family for toggle-recompute, every
+/// candidate swap refused, ...) — the genome is unchanged in that case.
+/// `cost` prices the relist operator's list scheduling.
+bool apply_mutation(Genome& g, MutationKind kind, std::mt19937_64& rng,
+                    const core::CostModel& cost, const MutationOptions& opt);
+
+}  // namespace helix::tune

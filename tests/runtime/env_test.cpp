@@ -1,0 +1,126 @@
+// Checked HELIX_* environment parsing: the std::atoi path this replaced
+// silently turned garbage into 0 (HELIX_HEALTH_WINDOW_MS=abc -> a watchdog
+// firing instantly). parse_env_int must reject every malformed input with an
+// error naming the variable, the value and the accepted range.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/env.h"
+
+using namespace helix::runtime;
+
+namespace {
+
+std::string error_of(const std::string& name, const std::string& value,
+                     int lo, int hi) {
+  try {
+    parse_env_int(name, value, lo, hi);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << name << "=\"" << value << "\" parsed without error";
+  return {};
+}
+
+/// RAII environment variable for the getenv-backed wrappers.
+struct ScopedEnv {
+  explicit ScopedEnv(const char* n, const char* v) : name(n) {
+    ::setenv(n, v, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name); }
+  const char* name;
+};
+
+}  // namespace
+
+TEST(ParseEnvInt, AcceptsPlainIntegersAndRangeEndpoints) {
+  EXPECT_EQ(parse_env_int("X", "0", -10, 10), 0);
+  EXPECT_EQ(parse_env_int("X", "42", 0, 100), 42);
+  EXPECT_EQ(parse_env_int("X", "-8", -10, 10), -8);
+  EXPECT_EQ(parse_env_int("X", "10", -10, 10), 10);   // upper endpoint
+  EXPECT_EQ(parse_env_int("X", "-10", -10, 10), -10); // lower endpoint
+  EXPECT_EQ(parse_env_int("X", "  7", 0, 10), 7);     // strtoll skips spaces
+}
+
+TEST(ParseEnvInt, RejectsGarbage) {
+  EXPECT_THROW(parse_env_int("HELIX_HEALTH_WINDOW_MS", "abc", 1, 1 << 30),
+               std::invalid_argument);
+  EXPECT_THROW(parse_env_int("X", "12ms", 0, 100), std::invalid_argument);
+  EXPECT_THROW(parse_env_int("X", "1.5", 0, 100), std::invalid_argument);
+  EXPECT_THROW(parse_env_int("X", "--3", -10, 10), std::invalid_argument);
+  EXPECT_THROW(parse_env_int("X", " ", 0, 100), std::invalid_argument);
+}
+
+TEST(ParseEnvInt, RejectsEmpty) {
+  EXPECT_THROW(parse_env_int("X", "", 0, 100), std::invalid_argument);
+}
+
+TEST(ParseEnvInt, RejectsOverflowAndOutOfRange) {
+  // Overflows long long and int respectively.
+  EXPECT_THROW(parse_env_int("X", "99999999999999999999999999", 0, 1 << 30),
+               std::invalid_argument);
+  EXPECT_THROW(parse_env_int("X", "9999999999", 0, 1 << 30),
+               std::invalid_argument);
+  // In-type but outside the caller's range.
+  EXPECT_THROW(parse_env_int("X", "101", 0, 100), std::invalid_argument);
+  EXPECT_THROW(parse_env_int("X", "-1", 0, 100), std::invalid_argument);
+}
+
+TEST(ParseEnvInt, ErrorsNameVariableValueAndRange) {
+  const std::string e =
+      error_of("HELIX_COMM_LOOKAHEAD", "120ms", -1, 1 << 30);
+  EXPECT_NE(e.find("HELIX_COMM_LOOKAHEAD"), std::string::npos) << e;
+  EXPECT_NE(e.find("120ms"), std::string::npos) << e;
+  EXPECT_NE(e.find("-1"), std::string::npos) << e;  // range lower bound
+}
+
+TEST(EnvInt, UnsetAndEmptyMeanKeepDefault) {
+  ::unsetenv("HELIX_ENV_TEST_VAR");
+  EXPECT_FALSE(env_int("HELIX_ENV_TEST_VAR", 0, 100).has_value());
+  {
+    ScopedEnv e("HELIX_ENV_TEST_VAR", "");
+    EXPECT_FALSE(env_int("HELIX_ENV_TEST_VAR", 0, 100).has_value());
+  }
+  {
+    ScopedEnv e("HELIX_ENV_TEST_VAR", "17");
+    EXPECT_EQ(env_int("HELIX_ENV_TEST_VAR", 0, 100).value(), 17);
+  }
+  {
+    ScopedEnv e("HELIX_ENV_TEST_VAR", "17q");
+    EXPECT_THROW(env_int("HELIX_ENV_TEST_VAR", 0, 100),
+                 std::invalid_argument);
+  }
+}
+
+TEST(EnvFlag, ZeroIsFalseAnythingElseIsTrue) {
+  ::unsetenv("HELIX_ENV_TEST_FLAG");
+  EXPECT_FALSE(env_flag("HELIX_ENV_TEST_FLAG").has_value());
+  {
+    ScopedEnv e("HELIX_ENV_TEST_FLAG", "");
+    EXPECT_FALSE(env_flag("HELIX_ENV_TEST_FLAG").has_value());
+  }
+  {
+    ScopedEnv e("HELIX_ENV_TEST_FLAG", "0");
+    EXPECT_EQ(env_flag("HELIX_ENV_TEST_FLAG"), std::optional<bool>(false));
+  }
+  for (const char* v : {"1", "true", "yes", "off"}) {
+    ScopedEnv e("HELIX_ENV_TEST_FLAG", v);
+    EXPECT_EQ(env_flag("HELIX_ENV_TEST_FLAG"), std::optional<bool>(true)) << v;
+  }
+}
+
+TEST(EnvString, UnsetAndEmptyAreNullopt) {
+  ::unsetenv("HELIX_ENV_TEST_STR");
+  EXPECT_FALSE(env_string("HELIX_ENV_TEST_STR").has_value());
+  {
+    ScopedEnv e("HELIX_ENV_TEST_STR", "");
+    EXPECT_FALSE(env_string("HELIX_ENV_TEST_STR").has_value());
+  }
+  {
+    ScopedEnv e("HELIX_ENV_TEST_STR", "/tmp/dump");
+    EXPECT_EQ(env_string("HELIX_ENV_TEST_STR").value(), "/tmp/dump");
+  }
+}

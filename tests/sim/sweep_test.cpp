@@ -4,6 +4,7 @@
 // is literal: doubles compare with ==, i.e. 0 ulp of drift.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
 #include "core/compiled.h"
@@ -179,6 +180,79 @@ TEST(Sweep, UnknownFamilyAndInapplicableConfigFailInPlace) {
   EXPECT_TRUE(results[2].ok);
   EXPECT_GT(results[2].makespan, 0.0);
   EXPECT_EQ(sweep.stats().failed, 2);
+}
+
+TEST(Sweep, RebuiltCostModelAtTheSameAddressIsACacheMiss) {
+  // Regression: the memo key used to include the cost model's *address*, so
+  // destroying a model and constructing a different one at the same location
+  // — exactly what std::optional::emplace or vector reuse does — produced a
+  // stale cache hit with the old model's numbers. The key now carries a
+  // per-instance uid, so the rebuilt model must miss and re-evaluate.
+  std::optional<core::UnitCostModel> model;
+  core::UnitCostModel::Units u;
+  u.seconds_per_elem = 0.1;
+  model.emplace(core::UnitCostModel{u});
+  core::PipelineProblem pr = grid_problem(2);
+  pr.comm.boundary = 50;  // price comm onto the critical path
+
+  sim::Sweep sweep;
+  const sim::SweepItem item_a{"1f1b", pr, &*model, {}};
+  const std::string key_a = sim::memo_key(item_a);
+  const auto first = sweep.run({item_a});
+  ASSERT_TRUE(first[0].ok);
+
+  // Rebuild in place: same address, different parameters.
+  const core::CostModel* old_address = &*model;
+  model.reset();
+  u.seconds_per_elem = 0.2;
+  model.emplace(core::UnitCostModel{u});
+  ASSERT_EQ(old_address, &*model);  // optional storage is in-object
+
+  const sim::SweepItem item_b{"1f1b", pr, &*model, {}};
+  EXPECT_NE(sim::memo_key(item_b), key_a);
+  const auto second = sweep.run({item_b});
+  ASSERT_TRUE(second[0].ok);
+  EXPECT_EQ(sweep.stats().cache_hits, 0);
+  EXPECT_EQ(sweep.stats().evaluated, 2);
+  // Doubling the comm price must change the simulated result; a stale hit
+  // would have returned `first` verbatim.
+  EXPECT_NE(second[0].makespan, first[0].makespan);
+}
+
+TEST(Sweep, RunSchedulesMatchesRunAndKeysOnContent) {
+  const core::UnitCostModel cost = unit_cost();
+  const core::PipelineProblem pr = grid_problem(2);
+  sim::Sweep sweep;
+
+  // An already-built schedule must score identically to the family path.
+  const auto by_family = sweep.run({{"1f1b", pr, &cost, {}}});
+  ASSERT_TRUE(by_family[0].ok);
+  core::Schedule sched;
+  for (const schedules::FamilySpec& fam : schedules::family_registry()) {
+    if (std::string(fam.key) == "1f1b") sched = fam.build(pr, cost);
+  }
+  const auto direct = sweep.run_schedules({{&sched, &cost, {}}});
+  ASSERT_TRUE(direct[0].ok);
+  EXPECT_EQ(direct[0].makespan, by_family[0].makespan);
+  EXPECT_EQ(direct[0].total_bubble, by_family[0].total_bubble);
+  EXPECT_EQ(direct[0].max_peak_memory, by_family[0].max_peak_memory);
+
+  // Content-hashed keys: same bits share a key (even across distinct
+  // Schedule objects), any mutation changes it.
+  core::Schedule copy = sched;
+  const sim::ScheduleItem a{&sched, &cost, {}};
+  const sim::ScheduleItem b{&copy, &cost, {}};
+  EXPECT_EQ(sim::memo_key(a), sim::memo_key(b));
+
+  std::swap(copy.stage_ops[0][0], copy.stage_ops[0][1]);
+  EXPECT_NE(sim::memo_key(a), sim::memo_key(b));
+
+  // The copy shares the original's key, so scoring it is a cache hit.
+  const std::int64_t evaluated = sweep.stats().evaluated;
+  core::Schedule copy2 = sched;
+  const auto warm = sweep.run_schedules({{&copy2, &cost, {}}});
+  EXPECT_EQ(warm[0].makespan, direct[0].makespan);
+  EXPECT_EQ(sweep.stats().evaluated, evaluated);
 }
 
 TEST(Sweep, MemoKeySeparatesConfigsAndCostModels) {

@@ -1,0 +1,47 @@
+// perf_compare --only PREFIX must select whole benchmark sections, not raw
+// string prefixes: "--only sim" previously also gated "sim_legacy/..."
+// because the match was a plain starts-with. The filter now anchors at the
+// key's section separators ('/' and '.').
+#include <gtest/gtest.h>
+
+#include "tools/only_filter.h"
+
+using helix::tools::only_prefix_matches;
+using helix::tools::only_selects;
+
+TEST(OnlyFilter, SectionPrefixDoesNotLeakIntoSiblingSections) {
+  // The regression: --only sim must keep sim/ keys and nothing from
+  // sim_legacy/.
+  EXPECT_TRUE(only_prefix_matches("sim/run_all_families", "sim"));
+  EXPECT_TRUE(only_prefix_matches("sim/compiled/one", "sim"));
+  EXPECT_FALSE(only_prefix_matches("sim_legacy/run_all_families", "sim"));
+  EXPECT_FALSE(only_prefix_matches("simulator/x", "sim"));
+}
+
+TEST(OnlyFilter, TrailingSeparatorInThePrefixStillAnchors) {
+  EXPECT_TRUE(only_prefix_matches("sim/run", "sim/"));
+  EXPECT_FALSE(only_prefix_matches("sim_legacy/run", "sim/"));
+  // A separator-terminated prefix matches mid-segment continuations too —
+  // the user asked for that subtree explicitly.
+  EXPECT_TRUE(only_prefix_matches("tune/search.small", "tune/"));
+}
+
+TEST(OnlyFilter, DotSeparatedMetricNamesAnchorTheSameWay) {
+  EXPECT_TRUE(only_prefix_matches("sweep.run_schedules", "sweep"));
+  EXPECT_FALSE(only_prefix_matches("sweeper.run", "sweep"));
+  EXPECT_TRUE(only_prefix_matches("tune/search.small", "tune/search"));
+  EXPECT_FALSE(only_prefix_matches("tune/searcher.big", "tune/search"));
+}
+
+TEST(OnlyFilter, ExactMatchAlwaysSelects) {
+  EXPECT_TRUE(only_prefix_matches("sim", "sim"));
+  EXPECT_TRUE(only_prefix_matches("tune/search.small", "tune/search.small"));
+}
+
+TEST(OnlyFilter, EmptyOnlyListSelectsEverything) {
+  EXPECT_TRUE(only_selects({}, "sim/run"));
+  EXPECT_TRUE(only_selects({}, "anything"));
+  EXPECT_TRUE(only_selects({"sim"}, "sim/run"));
+  EXPECT_FALSE(only_selects({"sim"}, "sim_legacy/run"));
+  EXPECT_TRUE(only_selects({"nope", "sweep"}, "sweep.cache_hits"));
+}

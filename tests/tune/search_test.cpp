@@ -1,0 +1,140 @@
+// Search-layer contract (DESIGN §15): the seeded beam is deterministic,
+// never accepts an IR-gate failure, respects memory caps through the scoring
+// penalty, and — the ISSUE acceptance criterion in miniature — rediscovers a
+// two-fold-or-better schedule from the naive FILO seed under priced
+// communication.
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/validator.h"
+#include "sim/sweep.h"
+#include "tune/search.h"
+
+using namespace helix;
+
+namespace {
+
+core::PipelineProblem make_problem(int p, int m, int L) {
+  core::PipelineProblem pr;
+  pr.p = p;
+  pr.m = m;
+  pr.L = L;
+  pr.comm.boundary = 10;
+  pr.comm.pre_to_attn = 10;
+  pr.comm.attn_to_post = 10;
+  pr.include_lm_head = true;  // numerically executable (the gate's contract)
+  pr.act.pre = 2;
+  pr.act.attn = 3;
+  pr.act.post = 11;
+  pr.act.attn_recompute = 2;
+  pr.act.post_recompute = 2;
+  return pr;
+}
+
+/// Paper unit costs with priced communication — under free comm the naive
+/// FILO order is already optimal and there is nothing to search for.
+core::UnitCostModel priced_cost() {
+  core::UnitCostModel::Units u;
+  u.pre = 1.0;
+  u.attn = 3.0;
+  u.post = 2.0;
+  u.seconds_per_elem = 0.1;
+  return core::UnitCostModel{u};
+}
+
+tune::TuneOptions short_budget() {
+  tune::TuneOptions opt;
+  opt.beam_width = 4;
+  opt.generations = 8;
+  opt.children_per_parent = 6;
+  opt.patience = 4;
+  opt.seed = 1;
+  return opt;
+}
+
+}  // namespace
+
+TEST(Search, NaiveSeedReachesTwoFoldBubbleUnderPricedComm) {
+  const core::PipelineProblem pr = make_problem(4, 8, 8);
+  const core::UnitCostModel cost = priced_cost();
+  sim::Sweep sweep;
+
+  tune::TuneOptions opt = short_budget();
+  opt.seed_families = {"helix_naive"};
+  const tune::TuneReport rep = tune::tune(pr, cost, opt, &sweep);
+
+  ASSERT_TRUE(rep.best.outcome.ok) << rep.best.outcome.error;
+  const auto two =
+      sweep.run({sim::SweepItem{"helix_two_fold", pr, &cost, {}}});
+  ASSERT_TRUE(two[0].ok) << two[0].error;
+  EXPECT_LE(rep.best.outcome.total_bubble, two[0].total_bubble)
+      << "lineage: " << rep.best.lineage;
+
+  // Everything the beam accepted passed the IR gate.
+  EXPECT_EQ(rep.candidates_invalid, 0);
+  // The winner itself is valid and carries its seed's provenance.
+  EXPECT_TRUE(core::validate_semantics(rep.best.schedule).ok);
+  EXPECT_TRUE(core::validate_coverage(rep.best.schedule).ok);
+  EXPECT_EQ(rep.best.prov.family, "helix_naive");
+}
+
+TEST(Search, SameSeedIsDeterministicAcrossRuns) {
+  const core::PipelineProblem pr = make_problem(2, 4, 4);
+  const core::UnitCostModel cost = priced_cost();
+  const tune::TuneOptions opt = short_budget();
+
+  const tune::TuneReport a = tune::tune(pr, cost, opt);
+  const tune::TuneReport b = tune::tune(pr, cost, opt);
+  EXPECT_EQ(a.best.score, b.best.score);
+  EXPECT_EQ(a.best.lineage, b.best.lineage);
+  EXPECT_EQ(a.best.outcome.makespan, b.best.outcome.makespan);
+  EXPECT_EQ(a.candidates_scored, b.candidates_scored);
+  EXPECT_EQ(a.candidates_deduped, b.candidates_deduped);
+}
+
+TEST(Search, TunedNeverLosesToItsSeeds) {
+  // The beam keeps parents, so the winner can never score worse than the
+  // best seed baseline.
+  const core::PipelineProblem pr = make_problem(2, 4, 8);
+  const core::UnitCostModel cost = priced_cost();
+  const tune::TuneReport rep = tune::tune(pr, cost, short_budget());
+  ASSERT_TRUE(rep.best.outcome.ok);
+  for (const tune::FamilyBaseline& b : rep.baselines) {
+    if (!b.outcome.ok) continue;
+    EXPECT_LE(rep.best.outcome.makespan, b.outcome.makespan) << b.family;
+  }
+}
+
+TEST(Search, MemoryCapSteersSelectionWhenFeasible) {
+  const core::PipelineProblem pr = make_problem(2, 4, 4);
+  const core::UnitCostModel cost = priced_cost();
+
+  // First, unconstrained: record the winner's peak.
+  const tune::TuneReport free_run = tune::tune(pr, cost, short_budget());
+  ASSERT_TRUE(free_run.best.outcome.ok);
+
+  // Then cap at the recompute baseline's peak — feasible candidates exist
+  // (helix_two_fold_rc), so the tuned winner must respect the cap.
+  std::int64_t rc_peak = 0;
+  for (const tune::FamilyBaseline& b : free_run.baselines) {
+    if (b.family == "helix_two_fold_rc" && b.outcome.ok) {
+      rc_peak = b.outcome.max_peak_memory;
+    }
+  }
+  ASSERT_GT(rc_peak, 0);
+  tune::TuneOptions capped = short_budget();
+  capped.memory_cap_bytes = rc_peak;
+  const tune::TuneReport rep = tune::tune(pr, cost, capped);
+  ASSERT_TRUE(rep.best.outcome.ok);
+  EXPECT_LE(rep.best.outcome.max_peak_memory, rc_peak)
+      << "lineage: " << rep.best.lineage;
+}
+
+TEST(Search, ThrowsWhenNoSeedFamilyApplies) {
+  core::PipelineProblem pr = make_problem(4, 8, 8);
+  pr.m = 3;  // helix families need m % 2p == 0
+  const core::UnitCostModel cost = priced_cost();
+  tune::TuneOptions opt = short_budget();
+  opt.seed_families = {"helix_two_fold"};
+  EXPECT_THROW(tune::tune(pr, cost, opt), std::invalid_argument);
+}

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+// Key selection for `--only PREFIX` flags (perf_compare and friends).
+//
+// Bench keys are hierarchical, with '/' separating sections and '.'
+// separating leaf components ("sim/helix_two_fold/p4_m8_L16",
+// "sweep.cache_hits"). A raw starts-with match over such keys is a footgun:
+// `--only sim` would also gate a future `sim_legacy/...` section. The match
+// is therefore anchored at a separator: a key is selected iff it equals the
+// prefix, or it starts with the prefix and the match ends on a component
+// boundary (the prefix's last character is a separator, or the key's next
+// character is one). `--only sim` selects "sim/..." and "sim.x" but never
+// "sim_legacy/..."; `--only sim/` behaves as before.
+namespace helix::tools {
+
+inline bool is_key_separator(char c) { return c == '/' || c == '.'; }
+
+inline bool only_prefix_matches(const std::string& key,
+                                const std::string& prefix) {
+  if (prefix.empty()) return true;
+  if (key.size() < prefix.size()) return false;
+  if (key.compare(0, prefix.size(), prefix) != 0) return false;
+  if (key.size() == prefix.size()) return true;
+  return is_key_separator(prefix.back()) || is_key_separator(key[prefix.size()]);
+}
+
+/// True when `only` is empty (no restriction) or any prefix matches.
+inline bool only_selects(const std::vector<std::string>& only,
+                         const std::string& key) {
+  if (only.empty()) return true;
+  for (const std::string& prefix : only) {
+    if (only_prefix_matches(key, prefix)) return true;
+  }
+  return false;
+}
+
+}  // namespace helix::tools

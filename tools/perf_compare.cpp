@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "only_filter.h"
+
 namespace {
 
 // ------------------------------------------------------- minimal JSON value
@@ -308,15 +310,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   // --only restricts the comparison (metrics and counters alike) to keys
-  // starting with any given prefix — so CI can gate on the stable
-  // deterministic sections (build/, sim/) while the timing-noisy train/
-  // section stays informational.
+  // under any given prefix — so CI can gate on the stable deterministic
+  // sections (build/, sim/) while the timing-noisy train/ section stays
+  // informational. Matching is anchored at section separators (see
+  // only_filter.h): `--only sim` gates sim/... but not a sim_legacy/...
+  // section.
   const auto selected = [&only](const std::string& key) {
-    if (only.empty()) return true;
-    for (const std::string& prefix : only) {
-      if (key.compare(0, prefix.size(), prefix) == 0) return true;
-    }
-    return false;
+    return helix::tools::only_selects(only, key);
   };
 
   try {
